@@ -1,0 +1,80 @@
+//! InvaliDB matching-path micro-benchmarks backing Figure 12: the per-
+//! event cost of matching against N registered queries, and sorted-layer
+//! maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quaestor_document::{doc, Document, Value};
+use quaestor_invalidb::MatchingNode;
+use quaestor_query::{Filter, Order, Query, QueryKey};
+use quaestor_store::{WriteEvent, WriteKind};
+use std::sync::Arc;
+
+fn event(i: u64) -> WriteEvent {
+    let image: Document = doc! {
+        "_id" => format!("r{i}"),
+        "tags" => vec![format!("tag{}", i % 1000)],
+        "score" => (i % 100) as i64
+    };
+    WriteEvent {
+        table: "stream".into(),
+        id: format!("r{i}"),
+        kind: WriteKind::Insert,
+        image: Arc::new(image),
+        version: 1,
+        seq: i,
+        at: quaestor_common::Timestamp::from_millis(i),
+    }
+}
+
+fn matching_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invalidb_match_per_event");
+    for &queries in &[100usize, 500, 1_000, 4_000] {
+        let mut node = MatchingNode::new();
+        for q in 0..queries {
+            let query =
+                Query::table("stream").filter(Filter::contains("tags", format!("tag{}", q % 1000)));
+            let key = QueryKey::of(&query);
+            node.register(query, key, vec![]);
+        }
+        group.throughput(Throughput::Elements(queries as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(queries),
+            &queries,
+            |b, _| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    node.process(&event(i))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn sorted_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invalidb_sorted_layer");
+    let query = Query::table("stream")
+        .filter(Filter::True)
+        .sort_by("score", Order::Desc)
+        .limit(10);
+    let key = QueryKey::of(&query);
+    let initial: Vec<Arc<Document>> = (0..1_000u64)
+        .map(|i| {
+            Arc::new(doc! { "_id" => format!("r{i}"), "score" => (i % 100) as i64, "tags" => vec!["x".to_string()] })
+        })
+        .collect();
+    let mut state = quaestor_invalidb::SortedQueryState::new(query, key, initial);
+    group.bench_function("process_update_1000_members", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            state.process(&event(i % 1_000))
+        })
+    });
+    group.finish();
+    let _ = Value::Null;
+}
+
+criterion_group!(benches, matching_scale, sorted_layer);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Micro-benchmarks of the hot paths: Bloom probes, EBF maintenance,
+//! query normalization, predicate matching, LRU churn, store CRUD.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quaestor_bloom::{BloomFilter, BloomParams, CountingBloomFilter, ExpiringBloomFilter};
+use quaestor_common::ManualClock;
+use quaestor_document::{doc, Update, Value};
+use quaestor_query::{matcher, Filter, Query, QueryKey};
+use quaestor_store::Database;
+use quaestor_webcache::LruCache;
+
+fn bloom_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    let params = BloomParams::PAPER_DEFAULT;
+    let mut filter = BloomFilter::new(params);
+    for i in 0..20_000 {
+        filter.insert(format!("q{i}").as_bytes());
+    }
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("contains_hit", |b| {
+        b.iter(|| filter.contains(black_box(b"q100")))
+    });
+    group.bench_function("contains_miss", |b| {
+        b.iter(|| filter.contains(black_box(b"not-present")))
+    });
+    group.bench_function("insert", |b| {
+        let mut f = BloomFilter::new(params);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            f.insert(&i.to_le_bytes());
+        })
+    });
+    group.bench_function("counting_insert_remove", |b| {
+        let mut cbf = CountingBloomFilter::new(params);
+        b.iter(|| {
+            cbf.insert(b"key");
+            cbf.remove(b"key");
+        })
+    });
+    group.bench_function("flat_snapshot_clone", |b| {
+        let clock = ManualClock::new();
+        let ebf = ExpiringBloomFilter::new(params, clock);
+        for i in 0..1_000 {
+            let k = format!("q{i}");
+            ebf.report_read(&k, 60_000);
+            ebf.invalidate(&k);
+        }
+        b.iter(|| ebf.flat_snapshot())
+    });
+    group.finish();
+}
+
+fn query_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    let q = Query::table("posts").filter(Filter::and([
+        Filter::contains("tags", "example"),
+        Filter::gt("likes", 10),
+        Filter::eq("author.name", "ada"),
+    ]));
+    group.bench_function("normalize", |b| b.iter(|| QueryKey::of(black_box(&q))));
+    let mut d = doc! { "likes" => 42 };
+    d.insert(
+        "tags".into(),
+        Value::Array(vec![Value::str("example"), Value::str("music")]),
+    );
+    d.insert(
+        "author".into(),
+        Value::Object(
+            [("name".to_string(), Value::str("ada"))]
+                .into_iter()
+                .collect(),
+        ),
+    );
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("match_hit", |b| {
+        b.iter(|| matcher::matches(black_box(&q.filter), black_box(&d)))
+    });
+    group.finish();
+}
+
+fn lru_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru");
+    group.bench_function("insert_evict_churn", |b| {
+        let mut lru: LruCache<u64> = LruCache::new(1_024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            lru.insert(format!("k{}", i % 4_096), i);
+        })
+    });
+    group.bench_function("hot_get", |b| {
+        let mut lru: LruCache<u64> = LruCache::new(1_024);
+        for i in 0..1_024u64 {
+            lru.insert(format!("k{i}"), i);
+        }
+        b.iter(|| lru.get(black_box("k512")).copied())
+    });
+    group.finish();
+}
+
+fn store_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    let db = Database::new();
+    let t = db.create_table("posts");
+    t.create_index("category");
+    for i in 0..10_000 {
+        t.insert(&format!("p{i}"), doc! { "category" => (i % 1000) as i64, "n" => i })
+            .unwrap();
+    }
+    group.bench_function("get", |b| b.iter(|| t.get(black_box("p5000"))));
+    group.bench_function("indexed_query", |b| {
+        let q = Query::table("posts").filter(Filter::eq("category", 7));
+        b.iter(|| t.query(black_box(&q)))
+    });
+    group.bench_function("update_inc", |b| {
+        let u = Update::new().inc("n", 1.0);
+        b.iter(|| t.update("p1", &u, None).unwrap())
+    });
+    for size in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("scan_query", size), &size, |b, &_s| {
+            let q = Query::table("posts").filter(Filter::gt("n", 9_990));
+            b.iter(|| t.query(black_box(&q)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bloom_benches, query_benches, lru_benches, store_benches);
+criterion_main!(benches);

@@ -1,0 +1,605 @@
+//! One function per paper artifact.
+
+use quaestor_bloom::{BloomFilter, BloomParams};
+use quaestor_common::Histogram;
+use quaestor_invalidb::{PipelineConfig, ThreadedPipeline};
+use quaestor_sim::{
+    flash_sale, page_load, ttl_estimation_cdf, FlashSaleReport, LatencyModel, PageLoadReport,
+    SimConfig, Simulation, SystemVariant, TtlCdfReport,
+};
+use quaestor_ttl::EstimatorConfig;
+use quaestor_workload::{OperationMix, WorkloadConfig};
+
+/// Experiment scale: `quick` (default, minutes) or `full` (closer to the
+/// paper's parameter ranges; tens of minutes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~10x-scaled-down parameters.
+    Quick,
+    /// Paper-scale parameters.
+    Full,
+}
+
+impl Scale {
+    fn connections(&self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![30, 60, 120, 180, 240, 300],
+            Scale::Full => vec![300, 600, 1_200, 1_800, 2_400, 3_000],
+        }
+    }
+
+    fn docs_per_table(&self) -> usize {
+        match self {
+            Scale::Quick => 1_000,
+            Scale::Full => 10_000,
+        }
+    }
+
+    fn duration_ms(&self) -> u64 {
+        match self {
+            Scale::Quick => 6_000,
+            Scale::Full => 30_000,
+        }
+    }
+
+    fn warmup_ms(&self) -> u64 {
+        match self {
+            Scale::Quick => 1_500,
+            Scale::Full => 5_000,
+        }
+    }
+}
+
+fn base_sim(scale: Scale, connections: usize) -> SimConfig {
+    let clients = 10;
+    SimConfig {
+        variant: SystemVariant::Quaestor,
+        workload: WorkloadConfig {
+            tables: 10,
+            docs_per_table: scale.docs_per_table(),
+            queries_per_table: 100,
+            avg_result_size: 10,
+            zipf_theta: 0.8,
+            mix: OperationMix::read_heavy(),
+        },
+        clients,
+        connections_per_client: (connections / clients).max(1),
+        ebf_refresh_ms: 1_000,
+        duration_ms: scale.duration_ms(),
+        warmup_ms: scale.warmup_ms(),
+        latency: LatencyModel::default(),
+        seed: 42,
+        measure_staleness: false,
+        origin_capacity_ops_per_sec: Some(15_000.0),
+        client_capacity_ops_per_sec: Some(15_000.0),
+        server: Default::default(),
+    }
+}
+
+// ---------------------------------------------------------------- fig 8a-c
+
+/// One cell of the Figures 8a–8c sweep.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Connection count.
+    pub connections: usize,
+    /// System variant label.
+    pub system: &'static str,
+    /// Throughput (ops/s) — Figure 8a.
+    pub throughput: f64,
+    /// Mean record-read latency (ms) — Figure 8b.
+    pub read_latency_ms: f64,
+    /// Mean query latency (ms) — Figure 8c.
+    pub query_latency_ms: f64,
+}
+
+/// Run the read-heavy system comparison behind Figures 8a, 8b and 8c.
+pub fn fig8_systems(scale: Scale) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for &conns in &scale.connections() {
+        for variant in SystemVariant::all() {
+            let mut cfg = base_sim(scale, conns);
+            cfg.variant = variant;
+            let report = Simulation::new(cfg).run();
+            rows.push(Fig8Row {
+                connections: conns,
+                system: variant.label(),
+                throughput: report.throughput_ops_per_sec,
+                read_latency_ms: report.read_latency_ms.mean(),
+                query_latency_ms: report.query_latency_ms.mean(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- fig 8d/e
+
+/// One row of the Figure 8d/8e query-count sweep.
+#[derive(Debug, Clone)]
+pub struct Fig8dRow {
+    /// Total distinct queries (tables × queries-per-table).
+    pub query_count: usize,
+    /// Mean record-read latency (ms).
+    pub read_latency_ms: f64,
+    /// Mean query latency (ms).
+    pub query_latency_ms: f64,
+    /// Client cache hit rate for queries.
+    pub client_query_hit_rate: f64,
+    /// Client cache hit rate for reads.
+    pub client_read_hit_rate: f64,
+    /// CDN hit rate for queries.
+    pub cdn_query_hit_rate: f64,
+    /// CDN hit rate for reads.
+    pub cdn_read_hit_rate: f64,
+}
+
+/// Run the query-count sweep behind Figures 8d and 8e.
+pub fn fig8_query_count(scale: Scale) -> Vec<Fig8dRow> {
+    let sweeps = match scale {
+        Scale::Quick => vec![100, 200, 400, 600, 800, 1_000],
+        Scale::Full => vec![1_000, 2_000, 4_000, 6_000, 8_000, 10_000],
+    };
+    let mut rows = Vec::new();
+    for qc in sweeps {
+        let mut cfg = base_sim(scale, 120);
+        cfg.workload.queries_per_table = qc / cfg.workload.tables;
+        // More queries need more categories; keep ~10 docs per result.
+        cfg.workload.avg_result_size =
+            (cfg.workload.docs_per_table / cfg.workload.queries_per_table.max(1)).clamp(1, 10);
+        // This sweep measures a steady-state coverage effect ("a larger
+        // portion of keys is part of a cached query result"), so it needs
+        // to run well past cold start.
+        cfg.duration_ms = scale.duration_ms() * 5;
+        cfg.warmup_ms = cfg.duration_ms / 2;
+        let report = Simulation::new(cfg).run();
+        rows.push(Fig8dRow {
+            query_count: qc,
+            read_latency_ms: report.read_latency_ms.mean(),
+            query_latency_ms: report.query_latency_ms.mean(),
+            client_query_hit_rate: report.query_client_hit_rate,
+            client_read_hit_rate: report.record_client_hit_rate,
+            cdn_query_hit_rate: report.query_cdn_hit_rate,
+            cdn_read_hit_rate: report.record_cdn_hit_rate,
+        });
+    }
+    rows
+}
+
+// ------------------------------------------------------------------ fig 8f
+
+/// The Figure 8f query-latency histogram.
+pub fn fig8f_histogram(scale: Scale) -> Histogram {
+    let cfg = base_sim(scale, 120);
+    Simulation::new(cfg).run().query_latency_ms
+}
+
+// ------------------------------------------------------------------- fig 9
+
+/// One line point of Figure 9.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Fraction of operations that are updates.
+    pub update_rate: f64,
+    /// EBF refresh interval (s).
+    pub refresh_s: u64,
+    /// Total distinct queries.
+    pub query_count: usize,
+    /// Client cache hit rate for queries.
+    pub query_hit_rate: f64,
+}
+
+/// Run the update-rate sweep behind Figure 9 (client query cache hit
+/// rates for varying update rates and EBF refresh intervals).
+pub fn fig9_update_rates(scale: Scale) -> Vec<Fig9Row> {
+    let rates = [0.01, 0.05, 0.10, 0.15, 0.20];
+    // (refresh seconds, query count factor) — three refresh lines at 1k
+    // queries plus the 10k-query line at 1 s, as in the figure.
+    let lines: [(u64, usize); 4] = [(1, 1_000), (10, 1_000), (100, 1_000), (1, 10_000)];
+    let mut rows = Vec::new();
+    for &(refresh_s, qc) in &lines {
+        for &rate in &rates {
+            let mut cfg = base_sim(scale, 120);
+            cfg.workload.mix = OperationMix::with_update_rate(rate);
+            let qc_scaled = match scale {
+                Scale::Quick => qc / 10,
+                Scale::Full => qc,
+            };
+            cfg.workload.queries_per_table = (qc_scaled / cfg.workload.tables).max(1);
+            cfg.ebf_refresh_ms = refresh_s * 1_000;
+            let report = Simulation::new(cfg).run();
+            rows.push(Fig9Row {
+                update_rate: rate,
+                refresh_s,
+                query_count: qc_scaled,
+                query_hit_rate: report.query_client_hit_rate,
+            });
+        }
+    }
+    rows
+}
+
+// ------------------------------------------------------------------ fig 10
+
+/// One point of Figure 10.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// EBF refresh interval (s).
+    pub refresh_s: u64,
+    /// Number of clients.
+    pub clients: usize,
+    /// Stale query rate.
+    pub query_staleness: f64,
+    /// Stale read rate.
+    pub read_staleness: f64,
+}
+
+/// Run the staleness-vs-refresh-interval sweep behind Figure 10 (10/100
+/// clients with 6 browser-like connections each).
+pub fn fig10_staleness(scale: Scale) -> Vec<Fig10Row> {
+    let refreshes = [1u64, 5, 10, 20, 30, 50];
+    let client_counts = match scale {
+        Scale::Quick => vec![10usize, 50],
+        Scale::Full => vec![10usize, 100],
+    };
+    let mut rows = Vec::new();
+    for &clients in &client_counts {
+        for &r in &refreshes {
+            let mut cfg = base_sim(scale, clients * 6);
+            cfg.clients = clients;
+            cfg.connections_per_client = 6;
+            cfg.ebf_refresh_ms = r * 1_000;
+            cfg.measure_staleness = true;
+            cfg.workload.mix = OperationMix::with_update_rate(0.05);
+            cfg.duration_ms = (r * 1_000 * 4).max(scale.duration_ms());
+            cfg.warmup_ms = cfg.duration_ms / 6;
+            let report = Simulation::new(cfg).run();
+            rows.push(Fig10Row {
+                refresh_s: r,
+                clients,
+                query_staleness: report.query_staleness_rate(),
+                read_staleness: report.record_staleness_rate(),
+            });
+        }
+    }
+    rows
+}
+
+// ------------------------------------------------------------------ fig 11
+
+/// Run the TTL-estimation CDF comparison of Figure 11 (1% write rate,
+/// 10 simulated minutes).
+pub fn fig11_ttl_cdf(scale: Scale) -> TtlCdfReport {
+    let queries = match scale {
+        Scale::Quick => 300,
+        Scale::Full => 1_000,
+    };
+    ttl_estimation_cdf(queries, 600_000, 1.0, 11)
+}
+
+// ------------------------------------------------------------------ tab 1
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Tab1Row {
+    /// Total documents.
+    pub documents: usize,
+    /// Total distinct queries.
+    pub queries: usize,
+    /// Mean query latency (ms).
+    pub query_latency_ms: f64,
+    /// Mean read latency (ms).
+    pub read_latency_ms: f64,
+}
+
+/// Run the document-count sweep of Table 1 (Zipf 0.99). The paper's 10 M
+/// row is reproduced at 1 M in quick mode (memory-scaled; see
+/// EXPERIMENTS.md).
+pub fn tab1_document_counts(scale: Scale) -> Vec<Tab1Row> {
+    let sweeps: Vec<(usize, usize)> = match scale {
+        // (total docs, total queries); tables of 10k docs each as in §6.2
+        Scale::Quick => vec![(10_000, 100), (100_000, 1_000), (500_000, 5_000)],
+        Scale::Full => vec![(10_000, 100), (100_000, 1_000), (1_000_000, 10_000)],
+    };
+    let mut rows = Vec::new();
+    for (docs, queries) in sweeps {
+        let tables = (docs / 10_000).max(1);
+        let mut cfg = base_sim(scale, 120);
+        cfg.workload.tables = tables;
+        cfg.workload.docs_per_table = docs / tables;
+        cfg.workload.queries_per_table = (queries / tables).max(1);
+        cfg.workload.zipf_theta = 0.99;
+        cfg.duration_ms = scale.duration_ms() * 2; // caches take longer to fill
+        cfg.warmup_ms = scale.warmup_ms();
+        let report = Simulation::new(cfg).run();
+        rows.push(Tab1Row {
+            documents: docs,
+            queries,
+            query_latency_ms: report.query_latency_ms.mean(),
+            read_latency_ms: report.read_latency_ms.mean(),
+        });
+    }
+    rows
+}
+
+// ------------------------------------------------------------------ fig 12
+
+/// One point of Figure 12.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Matching nodes in the cluster.
+    pub nodes: usize,
+    /// Active queries at this load level.
+    pub active_queries: usize,
+    /// Sustained matching throughput (match evaluations/s, whole cluster).
+    pub throughput_ops_per_sec: f64,
+    /// 99th-percentile notification latency (ms).
+    pub p99_latency_ms: f64,
+}
+
+/// Run the InvaliDB scalability sweep of Figure 12: for each cluster
+/// size, raise the number of active queries until the latency bound is
+/// crossed, reporting sustained throughput at each step.
+pub fn fig12_invalidb_scaling(scale: Scale) -> Vec<Fig12Row> {
+    let node_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 2, 4],
+        Scale::Full => vec![1, 2, 4, 8, 16],
+    };
+    let steps: Vec<usize> = match scale {
+        Scale::Quick => vec![500, 1_000, 2_000, 4_000],
+        Scale::Full => vec![500, 1_000, 2_000, 4_000, 8_000],
+    };
+    let duration_ms = match scale {
+        Scale::Quick => 1_000,
+        Scale::Full => 5_000,
+    };
+    let mut rows = Vec::new();
+    for &nodes in &node_counts {
+        for &qpn in &steps {
+            let report = ThreadedPipeline::new(PipelineConfig {
+                nodes,
+                queries_per_node: qpn,
+                inserts_per_sec: 1_000,
+                duration_ms,
+                tag_vocabulary: 1_000,
+            })
+            .run();
+            rows.push(Fig12Row {
+                nodes,
+                active_queries: nodes * qpn,
+                throughput_ops_per_sec: report.match_evaluations as f64
+                    / report.wall.as_secs_f64(),
+                p99_latency_ms: report.latency_us.percentile(0.99) as f64 / 1_000.0,
+            });
+        }
+    }
+    rows
+}
+
+// ------------------------------------------------- fig 1 & production story
+
+/// Run the Figure 1 page-load comparison.
+pub fn fig1_page_load() -> Vec<PageLoadReport> {
+    page_load(20, 6)
+}
+
+/// Run the §6.2 "Thinks" flash-sale scenario.
+pub fn thinks_flash_sale(scale: Scale) -> FlashSaleReport {
+    match scale {
+        Scale::Quick => flash_sale(2_000, 10, 50),
+        Scale::Full => flash_sale(50_000, 10, 500),
+    }
+}
+
+// --------------------------------------------------------------- ablations
+
+/// One row of the TTL-strategy ablation (§3's straw-man comparison).
+#[derive(Debug, Clone)]
+pub struct AblationTtlRow {
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Client query hit rate.
+    pub query_hit_rate: f64,
+    /// Query staleness rate.
+    pub query_staleness: f64,
+}
+
+/// Ablation: static TTLs (short/long straw-men) vs estimated TTLs, with
+/// and without the EBF.
+pub fn ablation_ttl_strategies(scale: Scale) -> Vec<AblationTtlRow> {
+    let mk = |label: &'static str,
+              min_ttl: u64,
+              max_ttl: u64,
+              use_ebf: bool|
+     -> AblationTtlRow {
+        let mut cfg = base_sim(scale, 60);
+        cfg.workload.mix = OperationMix::with_update_rate(0.05);
+        cfg.measure_staleness = true;
+        cfg.server.estimator = EstimatorConfig {
+            min_ttl_ms: min_ttl,
+            max_ttl_ms: max_ttl,
+            ..Default::default()
+        };
+        if !use_ebf {
+            // Simulate "no EBF" by never refreshing it (staleness is then
+            // bounded only by the TTL).
+            cfg.ebf_refresh_ms = u64::MAX / 4;
+        }
+        let report = Simulation::new(cfg).run();
+        AblationTtlRow {
+            strategy: label,
+            query_hit_rate: report.query_client_hit_rate,
+            query_staleness: report.query_staleness_rate(),
+        }
+    };
+    vec![
+        mk("static 1s, no EBF", 1_000, 1_000, false),
+        mk("static 60s, no EBF", 60_000, 60_000, false),
+        mk("estimated, no EBF", 1_000, 600_000, false),
+        mk("estimated + EBF", 1_000, 600_000, true),
+    ]
+}
+
+/// One row of the representation ablation.
+#[derive(Debug, Clone)]
+pub struct AblationRepRow {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Mean query latency (ms).
+    pub query_latency_ms: f64,
+    /// Query invalidations the server performed.
+    pub invalidations: u64,
+}
+
+/// Ablation: forced object-lists vs forced id-lists vs the cost model.
+pub fn ablation_representation(scale: Scale) -> Vec<AblationRepRow> {
+    let mk = |label: &'static str, rt_cost: f64, inval_cost: f64| -> AblationRepRow {
+        let mut cfg = base_sim(scale, 60);
+        cfg.workload.mix = OperationMix::with_update_rate(0.10);
+        cfg.server.cost = quaestor_ttl::CostModel {
+            invalidation_cost: inval_cost,
+            round_trip_cost: rt_cost,
+        };
+        let sim = Simulation::new(cfg);
+        let report = sim.run();
+        AblationRepRow {
+            policy: label,
+            query_latency_ms: report.query_latency_ms.mean(),
+            invalidations: report.origin_reads, // proxy: origin load
+        }
+    };
+    vec![
+        // Huge round-trip cost => object-lists always win.
+        mk("always object-list", 1e9, 1.0),
+        // Zero round-trip cost (HTTP/2 push) => id-lists always win.
+        mk("always id-list", 0.0, 1e9),
+        mk("cost model (default)", 3.0, 1.0),
+    ]
+}
+
+/// One row of the quantile ablation (Eq. 1's `p`).
+#[derive(Debug, Clone)]
+pub struct AblationQuantileRow {
+    /// Quantile p.
+    pub quantile: f64,
+    /// Client query hit rate.
+    pub query_hit_rate: f64,
+    /// Server-side query invalidations (EBF insertions).
+    pub query_invalidations: u64,
+}
+
+/// Ablation: sweep the Poisson quantile `p` — "by varying the quantile,
+/// higher/lower TTLs and thus cache hit rates can be traded off against
+/// more or fewer invalidations".
+pub fn ablation_quantile(scale: Scale) -> Vec<AblationQuantileRow> {
+    [0.5, 0.7, 0.8, 0.9, 0.99]
+        .iter()
+        .map(|&q| {
+            let mut cfg = base_sim(scale, 60);
+            cfg.workload.mix = OperationMix::with_update_rate(0.05);
+            cfg.server.estimator = EstimatorConfig {
+                quantile: q,
+                ..Default::default()
+            };
+            let report = Simulation::new(cfg).run();
+            AblationQuantileRow {
+                quantile: q,
+                query_hit_rate: report.query_client_hit_rate,
+                query_invalidations: report.origin_reads,
+            }
+        })
+        .collect()
+}
+
+/// One row of the EBF-size ablation.
+#[derive(Debug, Clone)]
+pub struct AblationFprRow {
+    /// Filter size in bytes.
+    pub size_bytes: usize,
+    /// Hash count k.
+    pub k: u32,
+    /// Measured false-positive rate at 20 000 entries.
+    pub measured_fpr: f64,
+    /// Analytic expectation.
+    pub expected_fpr: f64,
+}
+
+/// Ablation: EBF size vs false-positive rate at the paper's 20 000-stale-
+/// query load (§3.3 claims 6% at 14.6 KB).
+pub fn ablation_fpr() -> Vec<AblationFprRow> {
+    [4_096usize, 8_192, 14_600, 32_768, 65_536]
+        .iter()
+        .map(|&bytes| {
+            let params = BloomParams {
+                m_bits: bytes * 8,
+                k: 4,
+            };
+            let mut filter = BloomFilter::new(params);
+            for i in 0..20_000 {
+                filter.insert(format!("stale-query-{i}").as_bytes());
+            }
+            let trials = 50_000;
+            let fp = (0..trials)
+                .filter(|i| filter.contains(format!("fresh-query-{i}").as_bytes()))
+                .count();
+            AblationFprRow {
+                size_bytes: bytes,
+                k: params.k,
+                measured_fpr: fp as f64 / trials as f64,
+                expected_fpr: params.expected_fpr(20_000),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_ordering_holds_at_small_scale() {
+        // One small connection point, all four systems: Quaestor must beat
+        // everything; uncached must lose to everything.
+        let mut rows = Vec::new();
+        for variant in SystemVariant::all() {
+            let mut cfg = base_sim(Scale::Quick, 40);
+            cfg.variant = variant;
+            // Long enough for the Zipf head to warm the caches.
+            cfg.duration_ms = 15_000;
+            cfg.warmup_ms = 5_000;
+            let report = Simulation::new(cfg).run();
+            rows.push((variant.label(), report.throughput_ops_per_sec));
+        }
+        let get = |label: &str| rows.iter().find(|(l, _)| *l == label).unwrap().1;
+        assert!(
+            get("Quaestor") > get("Uncached") * 3.0,
+            "Quaestor {} vs uncached {}",
+            get("Quaestor"),
+            get("Uncached")
+        );
+        assert!(get("CDN only") > get("Uncached"));
+        assert!(get("EBF only") > get("Uncached"));
+    }
+
+    #[test]
+    fn fpr_ablation_matches_paper_claim() {
+        let rows = ablation_fpr();
+        let paper = rows.iter().find(|r| r.size_bytes == 14_600).unwrap();
+        assert!(
+            (paper.measured_fpr - 0.06).abs() < 0.02,
+            "14.6KB @ 20k entries should be ~6%, got {}",
+            paper.measured_fpr
+        );
+        // Monotone: bigger filters, fewer false positives.
+        for w in rows.windows(2) {
+            assert!(w[0].measured_fpr >= w[1].measured_fpr - 0.005);
+        }
+    }
+
+    #[test]
+    fn fig11_cdf_report_is_populated() {
+        let r = fig11_ttl_cdf(Scale::Quick);
+        assert!(r.estimated.count() > 50);
+        assert!(r.true_ttls.count() > 50);
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment harness: one function per table/figure of the paper's
+//! evaluation (§6), shared by the `reproduce` binary and the integration
+//! tests.
+//!
+//! Scale note: the EC2 experiments used 3 000 HTTP connections and 100 000
+//! documents; the defaults here are scaled down ~10× so that `reproduce
+//! all` finishes in minutes on a laptop, with a `--full` flag restoring
+//! paper scale. The *shape* of every result (who wins, by what factor,
+//! where crossovers fall) is the reproduction target; absolute numbers
+//! depend on the simulated latency profile (client↔CDN 4 ms,
+//! client↔origin 145 ms — the paper's measured values).
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::TableWriter;

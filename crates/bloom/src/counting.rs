@@ -1,0 +1,192 @@
+//! The server-side Counting Bloom filter.
+
+use quaestor_common::DoubleHasher;
+
+use crate::filter::{BloomFilter, BloomParams};
+
+/// A counting Bloom filter that incrementally maintains a flat
+/// [`BloomFilter`] mirror.
+///
+/// "As a normal Bloom filter does not allow removals, the EBF is
+/// maintained as a Counting Bloom filter which allows discarding queries
+/// once they are no longer stale. As it is inefficient to generate the
+/// non-counting Bloom filter for each request, the server-side EBF
+/// efficiently updates the flat Bloom filter (i.e. all non-zero counters)
+/// upon changes." (§3.3)
+///
+/// Counters are u16 and saturate rather than overflow; with the paper's
+/// parameters the probability of any counter reaching 2^16 is negligible
+/// (counters beyond 15 already occur with probability < 10^-15 per slot).
+#[derive(Debug, Clone)]
+pub struct CountingBloomFilter {
+    params: BloomParams,
+    counters: Vec<u16>,
+    flat: BloomFilter,
+}
+
+impl CountingBloomFilter {
+    /// An empty counting filter.
+    pub fn new(params: BloomParams) -> CountingBloomFilter {
+        CountingBloomFilter {
+            params,
+            counters: vec![0; params.m_bits],
+            flat: BloomFilter::new(params),
+        }
+    }
+
+    /// Geometry.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Add a key (increments its k counters).
+    pub fn insert(&mut self, key: &[u8]) {
+        let dh = DoubleHasher::new(key);
+        for pos in dh.positions(self.params.k, self.params.m_bits) {
+            let c = &mut self.counters[pos];
+            if *c == 0 {
+                self.flat.set_bit(pos);
+            }
+            *c = c.saturating_add(1);
+        }
+    }
+
+    /// Remove a key (decrements its k counters, clamped at zero). The
+    /// caller must only remove keys it previously inserted — the EBF's
+    /// TTL ledger guarantees this.
+    pub fn remove(&mut self, key: &[u8]) {
+        let dh = DoubleHasher::new(key);
+        for pos in dh.positions(self.params.k, self.params.m_bits) {
+            let c = &mut self.counters[pos];
+            if *c > 0 {
+                *c -= 1;
+                if *c == 0 {
+                    self.flat.clear_bit(pos);
+                }
+            }
+        }
+    }
+
+    /// Membership probe.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let dh = DoubleHasher::new(key);
+        dh.positions(self.params.k, self.params.m_bits)
+            .all(|pos| self.counters[pos] > 0)
+    }
+
+    /// The incrementally-maintained flat filter (cheap: returns a
+    /// reference; clone to ship to a client).
+    pub fn flat(&self) -> &BloomFilter {
+        &self.flat
+    }
+
+    /// Number of non-zero counters.
+    pub fn nonzero(&self) -> usize {
+        self.flat.count_ones()
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+        self.flat.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params() -> BloomParams {
+        BloomParams::optimal(200, 0.01)
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut cbf = CountingBloomFilter::new(params());
+        cbf.insert(b"q1");
+        assert!(cbf.contains(b"q1"));
+        cbf.remove(b"q1");
+        assert!(!cbf.contains(b"q1"));
+        assert_eq!(cbf.nonzero(), 0);
+    }
+
+    #[test]
+    fn duplicate_inserts_need_matching_removes() {
+        let mut cbf = CountingBloomFilter::new(params());
+        cbf.insert(b"q");
+        cbf.insert(b"q");
+        cbf.remove(b"q");
+        assert!(cbf.contains(b"q"), "still one insertion outstanding");
+        cbf.remove(b"q");
+        assert!(!cbf.contains(b"q"));
+    }
+
+    #[test]
+    fn overlapping_keys_do_not_interfere() {
+        let mut cbf = CountingBloomFilter::new(params());
+        for i in 0..100 {
+            cbf.insert(format!("k{i}").as_bytes());
+        }
+        cbf.remove(b"k50");
+        for i in 0..100 {
+            if i != 50 {
+                assert!(
+                    cbf.contains(format!("k{i}").as_bytes()),
+                    "k{i} must survive removal of k50"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_mirror_tracks_counters() {
+        let mut cbf = CountingBloomFilter::new(params());
+        cbf.insert(b"a");
+        cbf.insert(b"b");
+        let flat = cbf.flat().clone();
+        assert!(flat.contains(b"a") && flat.contains(b"b"));
+        cbf.remove(b"a");
+        assert!(!cbf.flat().contains(b"a") || cbf.flat().contains(b"b"));
+        assert!(cbf.flat().contains(b"b"));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut cbf = CountingBloomFilter::new(params());
+        cbf.insert(b"x");
+        cbf.clear();
+        assert!(!cbf.contains(b"x"));
+        assert!(cbf.flat().is_empty());
+    }
+
+    proptest! {
+        /// The flat mirror must equal a Bloom filter freshly built from
+        /// the multiset of currently live keys, whatever the interleaving.
+        #[test]
+        fn flat_equals_rebuild(ops in proptest::collection::vec((any::<bool>(), 0u8..20), 1..200)) {
+            let p = params();
+            let mut cbf = CountingBloomFilter::new(p);
+            let mut live: Vec<u8> = Vec::new();
+            for (is_insert, key) in ops {
+                let kb = [key];
+                if is_insert {
+                    cbf.insert(&kb);
+                    live.push(key);
+                } else if let Some(idx) = live.iter().position(|&k| k == key) {
+                    // only remove keys actually present (EBF invariant)
+                    cbf.remove(&kb);
+                    live.swap_remove(idx);
+                }
+            }
+            let mut rebuilt = crate::filter::BloomFilter::new(p);
+            for k in &live {
+                rebuilt.insert(&[*k]);
+            }
+            // The flat mirror may only differ where counters overlap;
+            // rebuild from scratch must be bit-identical because counts
+            // of set bits derive from the same multiset.
+            prop_assert_eq!(cbf.flat(), &rebuilt);
+        }
+    }
+}

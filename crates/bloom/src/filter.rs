@@ -1,0 +1,357 @@
+//! The flat Bloom filter and its sizing maths.
+
+use bytes::Bytes;
+use quaestor_common::DoubleHasher;
+use serde::{Deserialize, Serialize};
+
+/// Bloom filter geometry: `m` bits probed by `k` hash functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomParams {
+    /// Bit-array size.
+    pub m_bits: usize,
+    /// Number of hash functions.
+    pub k: u32,
+}
+
+impl BloomParams {
+    /// The paper's default: "when the size matches the initial congestion
+    /// window of TCP with m ≈ 10 · 1460 byte = 14.6 KB it is always
+    /// transferred in one round-trip. With these parameters, the Bloom
+    /// filter has a false positive rate of 6% when containing 20,000
+    /// distinct stale queries." (§3.3)
+    pub const PAPER_DEFAULT: BloomParams = BloomParams {
+        m_bits: 14_600 * 8,
+        k: 4,
+    };
+
+    /// Optimal parameters for `n` expected entries at false-positive rate
+    /// `f`: `m = -n·ln f / (ln 2)²`, `k = (m/n)·ln 2`.
+    pub fn optimal(n: usize, f: f64) -> BloomParams {
+        assert!(n > 0, "need at least one expected entry");
+        assert!((0.0..1.0).contains(&f) && f > 0.0, "f must be in (0,1)");
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-(n as f64) * f.ln() / (ln2 * ln2)).ceil().max(64.0) as usize;
+        let k = (((m as f64 / n as f64) * ln2).round() as u32).max(1);
+        BloomParams { m_bits: m, k }
+    }
+
+    /// Expected false-positive rate with `n` entries inserted:
+    /// `(1 - e^(-k·n/m))^k`.
+    pub fn expected_fpr(&self, n: usize) -> f64 {
+        let exponent = -(self.k as f64) * n as f64 / self.m_bits as f64;
+        (1.0 - exponent.exp()).powi(self.k as i32)
+    }
+
+    /// Transfer size of the flat filter in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.m_bits.div_ceil(8)
+    }
+}
+
+impl Default for BloomParams {
+    fn default() -> Self {
+        BloomParams::PAPER_DEFAULT
+    }
+}
+
+/// A flat (immutable-structure) Bloom filter over byte-string keys.
+///
+/// This is what clients receive and probe before every query: "the key
+/// (i.e. the normalized query string or record id) is hashed using k
+/// independent uniformly distributed hash functions ... If all bits
+/// h1(key), ..., hk(key) equal 1, the record is contained and considered
+/// stale." (§3.1)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    params: BloomParams,
+    words: Vec<u64>,
+    ones: usize,
+}
+
+impl BloomFilter {
+    /// An empty filter.
+    pub fn new(params: BloomParams) -> BloomFilter {
+        BloomFilter {
+            params,
+            words: vec![0; params.m_bits.div_ceil(64)],
+            ones: 0,
+        }
+    }
+
+    /// Geometry.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let dh = DoubleHasher::new(key);
+        for pos in dh.positions(self.params.k, self.params.m_bits) {
+            self.set_bit(pos);
+        }
+    }
+
+    /// Membership probe; false positives possible, false negatives not.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let dh = DoubleHasher::new(key);
+        dh.positions(self.params.k, self.params.m_bits)
+            .all(|pos| self.get_bit(pos))
+    }
+
+    #[inline]
+    pub(crate) fn set_bit(&mut self, pos: usize) {
+        let (word, bit) = (pos / 64, pos % 64);
+        let mask = 1u64 << bit;
+        if self.words[word] & mask == 0 {
+            self.words[word] |= mask;
+            self.ones += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn clear_bit(&mut self, pos: usize) {
+        let (word, bit) = (pos / 64, pos % 64);
+        let mask = 1u64 << bit;
+        if self.words[word] & mask != 0 {
+            self.words[word] &= !mask;
+            self.ones -= 1;
+        }
+    }
+
+    #[inline]
+    fn get_bit(&self, pos: usize) -> bool {
+        self.words[pos / 64] & (1u64 << (pos % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Load factor (fraction of set bits).
+    pub fn load(&self) -> f64 {
+        self.ones as f64 / self.params.m_bits as f64
+    }
+
+    /// Current false-positive probability estimate from the observed load:
+    /// `load^k`.
+    pub fn current_fpr(&self) -> f64 {
+        self.load().powi(self.params.k as i32)
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Clear all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.ones = 0;
+    }
+
+    /// Bitwise-OR `other` into `self`. Panics on geometry mismatch —
+    /// union is only defined across EBF partitions sharing (m, k) (§3.3).
+    pub fn union_with(&mut self, other: &BloomFilter) {
+        assert_eq!(
+            self.params, other.params,
+            "Bloom union requires identical geometry"
+        );
+        let mut ones = 0;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+            ones += a.count_ones() as usize;
+        }
+        self.ones = ones;
+    }
+
+    /// Serialize to the wire format shipped to clients (little-endian
+    /// words; the flat filter is "well-compressible through HTTP with
+    /// Gzip" precisely because it is sparse).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut out = Vec::with_capacity(12 + self.words.len() * 8);
+        out.extend_from_slice(&(self.params.m_bits as u64).to_le_bytes());
+        out.extend_from_slice(&self.params.k.to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        Bytes::from(out)
+    }
+
+    /// Deserialize the wire format; `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<BloomFilter> {
+        if bytes.len() < 12 {
+            return None;
+        }
+        let m_bits = u64::from_le_bytes(bytes[0..8].try_into().ok()?) as usize;
+        let k = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+        let want_words = m_bits.div_ceil(64);
+        let body = &bytes[12..];
+        if body.len() != want_words * 8 || k == 0 || m_bits == 0 {
+            return None;
+        }
+        let mut words = Vec::with_capacity(want_words);
+        let mut ones = 0;
+        for chunk in body.chunks_exact(8) {
+            let w = u64::from_le_bytes(chunk.try_into().ok()?);
+            ones += w.count_ones() as usize;
+            words.push(w);
+        }
+        Some(BloomFilter {
+            params: BloomParams { m_bits, k },
+            words,
+            ones,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(BloomParams::optimal(100, 0.01));
+        for i in 0..100 {
+            f.insert(format!("key{i}").as_bytes());
+        }
+        for i in 0..100 {
+            assert!(f.contains(format!("key{i}").as_bytes()));
+        }
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(BloomParams::default());
+        assert!(!f.contains(b"anything"));
+        assert!(f.is_empty());
+        assert_eq!(f.count_ones(), 0);
+    }
+
+    #[test]
+    fn paper_default_matches_section_3_3() {
+        let p = BloomParams::PAPER_DEFAULT;
+        assert_eq!(p.byte_size(), 14_600);
+        // "false positive rate of 6% when containing 20,000 distinct
+        // stale queries"
+        let fpr = p.expected_fpr(20_000);
+        assert!(
+            (fpr - 0.06).abs() < 0.005,
+            "expected ~6% FPR, got {fpr:.4}"
+        );
+    }
+
+    #[test]
+    fn optimal_sizing_hits_target_fpr() {
+        for &(n, f) in &[(1_000usize, 0.01f64), (20_000, 0.05), (500, 0.001)] {
+            let p = BloomParams::optimal(n, f);
+            let achieved = p.expected_fpr(n);
+            assert!(
+                achieved <= f * 1.15,
+                "n={n} f={f}: achieved {achieved} too high (params {p:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_fpr_close_to_expected() {
+        let params = BloomParams::optimal(2_000, 0.02);
+        let mut f = BloomFilter::new(params);
+        for i in 0..2_000 {
+            f.insert(format!("member{i}").as_bytes());
+        }
+        let mut fp = 0;
+        let trials = 20_000;
+        for i in 0..trials {
+            if f.contains(format!("nonmember{i}").as_bytes()) {
+                fp += 1;
+            }
+        }
+        let measured = fp as f64 / trials as f64;
+        assert!(
+            measured < 0.04,
+            "measured FPR {measured} exceeds twice the 2% target"
+        );
+    }
+
+    #[test]
+    fn union_is_superset() {
+        let params = BloomParams::optimal(100, 0.01);
+        let mut a = BloomFilter::new(params);
+        let mut b = BloomFilter::new(params);
+        a.insert(b"in-a");
+        b.insert(b"in-b");
+        a.union_with(&b);
+        assert!(a.contains(b"in-a"));
+        assert!(a.contains(b"in-b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical geometry")]
+    fn union_rejects_mismatched_geometry() {
+        let mut a = BloomFilter::new(BloomParams { m_bits: 64, k: 2 });
+        let b = BloomFilter::new(BloomParams { m_bits: 128, k: 2 });
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut f = BloomFilter::new(BloomParams::optimal(50, 0.01));
+        for i in 0..50 {
+            f.insert(format!("k{i}").as_bytes());
+        }
+        let bytes = f.to_bytes();
+        let g = BloomFilter::from_bytes(&bytes).unwrap();
+        assert_eq!(f, g);
+        assert_eq!(g.count_ones(), f.count_ones());
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(BloomFilter::from_bytes(&[]).is_none());
+        assert!(BloomFilter::from_bytes(&[0; 11]).is_none());
+        // Header claims more words than present.
+        let mut bogus = Vec::new();
+        bogus.extend_from_slice(&1024u64.to_le_bytes());
+        bogus.extend_from_slice(&4u32.to_le_bytes());
+        bogus.extend_from_slice(&[0u8; 8]);
+        assert!(BloomFilter::from_bytes(&bogus).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn inserted_keys_always_contained(
+            keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..32), 1..100)
+        ) {
+            let mut f = BloomFilter::new(BloomParams::optimal(100, 0.01));
+            for k in &keys { f.insert(k); }
+            for k in &keys { prop_assert!(f.contains(k)); }
+        }
+
+        #[test]
+        fn union_commutes(
+            ka in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 0..30),
+            kb in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 0..30),
+        ) {
+            let params = BloomParams::optimal(100, 0.01);
+            let mut a = BloomFilter::new(params);
+            let mut b = BloomFilter::new(params);
+            for k in &ka { a.insert(k); }
+            for k in &kb { b.insert(k); }
+            let mut ab = a.clone(); ab.union_with(&b);
+            let mut ba = b.clone(); ba.union_with(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn roundtrip_any_filter(
+            keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 0..50)
+        ) {
+            let mut f = BloomFilter::new(BloomParams::optimal(64, 0.05));
+            for k in &keys { f.insert(k); }
+            let g = BloomFilter::from_bytes(&f.to_bytes()).unwrap();
+            prop_assert_eq!(f, g);
+        }
+    }
+}

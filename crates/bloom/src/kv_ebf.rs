@@ -1,0 +1,318 @@
+//! The distributed (KV-backed) Expiring Bloom Filter.
+//!
+//! "The distributed implementation is capable of sharing the state of the
+//! EBF across machines. In the distributed case, all DBaaS servers
+//! communicate with the in-memory key-value store Redis, which holds the
+//! counting Bloom Filter and the tracked expirations." (§3.3)
+//!
+//! Layout inside the [`KvStore`]:
+//!
+//! * `ebf:<ns>:cbf`          — a hash: counter slot → count (the CBF).
+//! * `ebf:<ns>:ttl:<key>`    — the ledger entry for one key: the absolute
+//!   residency deadline in little-endian millis, stored with a matching
+//!   KV expiry so the ledger self-prunes.
+//! * `ebf:<ns>:pending`      — a list of scheduled removals
+//!   `(deadline_ms, key)`; [`KvExpiringBloomFilter::sweep`] applies the
+//!   due ones (Redis-side this is a sorted set consumed by a worker; the
+//!   semantics are identical).
+//!
+//! Several `KvExpiringBloomFilter` handles (one per DBaaS server) may
+//! point at the same store and namespace.
+
+use bytes::Bytes;
+use quaestor_common::{ClockRef, DoubleHasher, Timestamp};
+use quaestor_kv::KvStore;
+use std::sync::Arc;
+
+use crate::filter::{BloomFilter, BloomParams};
+
+/// Handle to a shared, KV-backed EBF.
+#[derive(Clone)]
+pub struct KvExpiringBloomFilter {
+    kv: Arc<KvStore>,
+    clock: ClockRef,
+    params: BloomParams,
+    cbf_key: String,
+    ttl_prefix: String,
+    pending_key: String,
+}
+
+impl std::fmt::Debug for KvExpiringBloomFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvExpiringBloomFilter")
+            .field("namespace", &self.cbf_key)
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+impl KvExpiringBloomFilter {
+    /// Attach to (or create) the EBF named `namespace` in `kv`.
+    pub fn new(
+        kv: Arc<KvStore>,
+        namespace: &str,
+        params: BloomParams,
+        clock: ClockRef,
+    ) -> KvExpiringBloomFilter {
+        KvExpiringBloomFilter {
+            kv,
+            clock,
+            params,
+            cbf_key: format!("ebf:{namespace}:cbf"),
+            ttl_prefix: format!("ebf:{namespace}:ttl:"),
+            pending_key: format!("ebf:{namespace}:pending"),
+        }
+    }
+
+    /// Geometry.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    fn ledger_key(&self, key: &str) -> String {
+        let mut s = String::with_capacity(self.ttl_prefix.len() + key.len());
+        s.push_str(&self.ttl_prefix);
+        s.push_str(key);
+        s
+    }
+
+    /// Record a cacheable read of `key` with `ttl_ms`.
+    pub fn report_read(&self, key: &str, ttl_ms: u64) {
+        let now = self.clock.now();
+        let deadline = now.plus(ttl_ms);
+        let lk = self.ledger_key(key);
+        // Extend-only semantics: the recorded deadline is the max over all
+        // issued TTLs. (Benign race: two servers may both read-then-set;
+        // the smaller deadline can win by a hair, mirroring the eventual
+        // consistency the paper accepts for asynchronous maintenance.)
+        let current = self
+            .kv
+            .get(&lk)
+            .and_then(|b| decode_ts(&b))
+            .unwrap_or(Timestamp::ZERO);
+        if deadline > current {
+            self.kv
+                .set(&lk, encode_ts(deadline), Some(deadline.since(now)));
+        }
+    }
+
+    /// A write invalidated `key`; admit it if a live copy may exist.
+    pub fn invalidate(&self, key: &str) -> bool {
+        let now = self.clock.now();
+        let lk = self.ledger_key(key);
+        let deadline = match self.kv.get(&lk).and_then(|b| decode_ts(&b)) {
+            Some(d) if d > now => d,
+            _ => return false,
+        };
+        let dh = DoubleHasher::new(key.as_bytes());
+        for pos in dh.positions(self.params.k, self.params.m_bits) {
+            self.kv.hincr_clamped(&self.cbf_key, pos as u64, 1);
+        }
+        self.kv
+            .lpush(&self.pending_key, encode_pending(deadline, key));
+        true
+    }
+
+    /// Is `key` potentially stale?
+    pub fn is_stale(&self, key: &str) -> bool {
+        let dh = DoubleHasher::new(key.as_bytes());
+        dh.positions(self.params.k, self.params.m_bits)
+            .all(|pos| self.kv.hget(&self.cbf_key, pos as u64) > 0)
+    }
+
+    /// Apply all due removals. Call periodically (the simulator and server
+    /// call it before snapshotting). Returns removals applied.
+    pub fn sweep(&self) -> usize {
+        let now = self.clock.now();
+        let mut applied = 0;
+        let n = self.kv.llen(&self.pending_key);
+        for _ in 0..n {
+            let Some(entry) = self.kv.rpop(&self.pending_key) else {
+                break;
+            };
+            match decode_pending(&entry) {
+                Some((deadline, key)) if deadline <= now => {
+                    let dh = DoubleHasher::new(key.as_bytes());
+                    for pos in dh.positions(self.params.k, self.params.m_bits) {
+                        self.kv.hincr_clamped(&self.cbf_key, pos as u64, -1);
+                    }
+                    applied += 1;
+                }
+                Some(_) => {
+                    // Not yet due: recycle to the back of the queue.
+                    self.kv.lpush(&self.pending_key, entry);
+                }
+                None => {} // malformed entry: drop
+            }
+        }
+        applied
+    }
+
+    /// Build the flat client filter from the shared counters.
+    pub fn flat_snapshot(&self) -> (BloomFilter, Timestamp) {
+        self.sweep();
+        let now = self.clock.now();
+        let mut flat = BloomFilter::new(self.params);
+        for (slot, count) in self.kv.hgetall(&self.cbf_key) {
+            if count > 0 {
+                flat.set_bit(slot as usize);
+            }
+        }
+        (flat, now)
+    }
+}
+
+fn encode_ts(t: Timestamp) -> Bytes {
+    Bytes::copy_from_slice(&t.as_millis().to_le_bytes())
+}
+
+fn decode_ts(b: &[u8]) -> Option<Timestamp> {
+    Some(Timestamp::from_millis(u64::from_le_bytes(
+        b.get(0..8)?.try_into().ok()?,
+    )))
+}
+
+fn encode_pending(deadline: Timestamp, key: &str) -> Bytes {
+    let mut out = Vec::with_capacity(8 + key.len());
+    out.extend_from_slice(&deadline.as_millis().to_le_bytes());
+    out.extend_from_slice(key.as_bytes());
+    Bytes::from(out)
+}
+
+fn decode_pending(b: &[u8]) -> Option<(Timestamp, String)> {
+    let deadline = decode_ts(b)?;
+    let key = std::str::from_utf8(b.get(8..)?).ok()?.to_owned();
+    Some((deadline, key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_common::ManualClock;
+
+    fn setup() -> (KvExpiringBloomFilter, Arc<ManualClock>, Arc<KvStore>) {
+        let clock = ManualClock::new();
+        let kv = KvStore::with_clock(4, clock.clone());
+        let ebf = KvExpiringBloomFilter::new(
+            kv.clone(),
+            "t1",
+            BloomParams::optimal(500, 0.001),
+            clock.clone(),
+        );
+        (ebf, clock, kv)
+    }
+
+    #[test]
+    fn basic_lifecycle() {
+        let (ebf, clock, _) = setup();
+        ebf.report_read("q1", 100);
+        assert!(!ebf.is_stale("q1"));
+        assert!(ebf.invalidate("q1"));
+        assert!(ebf.is_stale("q1"));
+        clock.advance(150);
+        ebf.sweep();
+        assert!(!ebf.is_stale("q1"));
+    }
+
+    #[test]
+    fn invalidate_unknown_key_rejected() {
+        let (ebf, _, _) = setup();
+        assert!(!ebf.invalidate("never-seen"));
+    }
+
+    #[test]
+    fn ledger_self_prunes_via_kv_expiry() {
+        let (ebf, clock, kv) = setup();
+        ebf.report_read("q1", 100);
+        assert_eq!(kv.len(), 1);
+        clock.advance(150);
+        assert!(!ebf.invalidate("q1"), "ledger entry expired in the KV");
+    }
+
+    #[test]
+    fn two_handles_share_state() {
+        let (ebf_a, clock, kv) = setup();
+        // A second "DBaaS server" attaching to the same namespace.
+        let ebf_b = KvExpiringBloomFilter::new(
+            kv,
+            "t1",
+            BloomParams::optimal(500, 0.001),
+            clock.clone(),
+        );
+        ebf_a.report_read("q1", 1_000);
+        assert!(ebf_b.invalidate("q1"), "server B sees server A's read");
+        assert!(ebf_a.is_stale("q1"), "server A sees server B's insert");
+        let (flat, _) = ebf_a.flat_snapshot();
+        assert!(flat.contains(b"q1"));
+    }
+
+    #[test]
+    fn sweep_only_removes_due_entries() {
+        let (ebf, clock, _) = setup();
+        ebf.report_read("short", 50);
+        ebf.report_read("long", 500);
+        ebf.invalidate("short");
+        ebf.invalidate("long");
+        clock.advance(100);
+        assert_eq!(ebf.sweep(), 1, "only 'short' is due");
+        assert!(!ebf.is_stale("short"));
+        assert!(ebf.is_stale("long"));
+    }
+
+    #[test]
+    fn flat_snapshot_reflects_counters() {
+        let (ebf, _, _) = setup();
+        for i in 0..20 {
+            let k = format!("q{i}");
+            ebf.report_read(&k, 1_000);
+            ebf.invalidate(&k);
+        }
+        let (flat, _) = ebf.flat_snapshot();
+        for i in 0..20 {
+            assert!(flat.contains(format!("q{i}").as_bytes()));
+        }
+    }
+
+    #[test]
+    fn matches_in_memory_ebf_behaviour() {
+        // Differential test: drive the in-memory EBF and the KV EBF with
+        // the same schedule; staleness answers must agree (both are exact
+        // on these inputs — no hash collisions at this scale/params).
+        use crate::ebf::ExpiringBloomFilter;
+        use rand::{Rng, SeedableRng};
+        let clock = ManualClock::new();
+        let kv = KvStore::with_clock(4, clock.clone());
+        let params = BloomParams::optimal(2_000, 0.0001);
+        let mem = ExpiringBloomFilter::new(params, clock.clone());
+        let dist = KvExpiringBloomFilter::new(kv, "diff", params, clock.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for step in 0..1_500 {
+            let key = format!("k{}", rng.gen_range(0..10));
+            match step % 3 {
+                0 => {
+                    let ttl = rng.gen_range(10..300u64);
+                    mem.report_read(&key, ttl);
+                    dist.report_read(&key, ttl);
+                }
+                1 => {
+                    let a = mem.invalidate(&key);
+                    let b = dist.invalidate(&key);
+                    assert_eq!(a, b, "admission decisions must agree at step {step}");
+                }
+                _ => {
+                    clock.advance(rng.gen_range(1..40));
+                    dist.sweep();
+                }
+            }
+            dist.sweep();
+            for i in 0..10 {
+                let k = format!("k{i}");
+                assert_eq!(
+                    mem.is_stale(&k),
+                    dist.is_stale(&k),
+                    "step {step}, key {k}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-table EBF partitioning with union reads.
+//!
+//! "Write scalability is reached through per-table partitioning: each
+//! table has its own EBF instance. This horizontally distributes Bloom
+//! filter modifications and expiration tracking. At read time, the
+//! aggregated EBF is constructed by a union over the EBF partitions
+//! through a bitwise OR-operation over the Bloom filter bit vectors.
+//! Alternatively, clients can also exploit the table-specific EBFs to
+//! decrease the total false positive rate at the expense of loading more
+//! individual EBFs." (§3.3)
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use quaestor_common::{ClockRef, FxHashMap, Timestamp};
+
+use crate::ebf::{EbfStats, ExpiringBloomFilter};
+use crate::filter::{BloomFilter, BloomParams};
+
+/// A family of per-table EBFs sharing one geometry (so flats can be OR-ed).
+pub struct PartitionedEbf {
+    params: BloomParams,
+    clock: ClockRef,
+    partitions: RwLock<FxHashMap<String, Arc<ExpiringBloomFilter>>>,
+}
+
+impl std::fmt::Debug for PartitionedEbf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionedEbf")
+            .field("partitions", &self.partitions.read().len())
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+impl PartitionedEbf {
+    /// New family; partitions are created on first touch.
+    pub fn new(params: BloomParams, clock: ClockRef) -> PartitionedEbf {
+        PartitionedEbf {
+            params,
+            clock,
+            partitions: RwLock::new(FxHashMap::default()),
+        }
+    }
+
+    /// The EBF partition for `table` (created if absent).
+    pub fn partition(&self, table: &str) -> Arc<ExpiringBloomFilter> {
+        if let Some(p) = self.partitions.read().get(table) {
+            return p.clone();
+        }
+        let mut parts = self.partitions.write();
+        parts
+            .entry(table.to_owned())
+            .or_insert_with(|| {
+                Arc::new(ExpiringBloomFilter::new(self.params, self.clock.clone()))
+            })
+            .clone()
+    }
+
+    /// Report a cacheable read on a table.
+    pub fn report_read(&self, table: &str, key: &str, ttl_ms: u64) {
+        self.partition(table).report_read(key, ttl_ms);
+    }
+
+    /// Invalidate a key on a table.
+    pub fn invalidate(&self, table: &str, key: &str) -> bool {
+        self.partition(table).invalidate(key)
+    }
+
+    /// Staleness check against a single partition (the lower-FPR option).
+    pub fn is_stale(&self, table: &str, key: &str) -> bool {
+        self.partition(table).is_stale(key)
+    }
+
+    /// The aggregated flat filter: bitwise OR over all partitions.
+    pub fn union_snapshot(&self) -> (BloomFilter, Timestamp) {
+        let now = self.clock.now();
+        let mut out = BloomFilter::new(self.params);
+        let parts = self.partitions.read();
+        for ebf in parts.values() {
+            let (flat, _) = ebf.flat_snapshot();
+            out.union_with(&flat);
+        }
+        (out, now)
+    }
+
+    /// Flat snapshot of one partition.
+    pub fn partition_snapshot(&self, table: &str) -> (BloomFilter, Timestamp) {
+        self.partition(table).flat_snapshot()
+    }
+
+    /// Aggregate stats over all partitions.
+    pub fn stats(&self) -> EbfStats {
+        let parts = self.partitions.read();
+        let mut total = EbfStats::default();
+        for ebf in parts.values() {
+            let s = ebf.stats();
+            total.reads_reported += s.reads_reported;
+            total.inserted += s.inserted;
+            total.skipped += s.skipped;
+            total.expired += s.expired;
+        }
+        total
+    }
+
+    /// Drive expiry on all partitions.
+    pub fn tick(&self) -> usize {
+        self.partitions
+            .read()
+            .values()
+            .map(|e| e.tick())
+            .sum()
+    }
+
+    /// Names of existing partitions.
+    pub fn tables(&self) -> Vec<String> {
+        self.partitions.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_common::ManualClock;
+
+    fn family() -> (PartitionedEbf, Arc<ManualClock>) {
+        let clock = ManualClock::new();
+        (
+            PartitionedEbf::new(BloomParams::optimal(500, 0.001), clock.clone()),
+            clock,
+        )
+    }
+
+    #[test]
+    fn partitions_are_isolated() {
+        let (fam, _) = family();
+        fam.report_read("posts", "q1", 1_000);
+        fam.report_read("users", "q1", 1_000);
+        fam.invalidate("posts", "q1");
+        assert!(fam.is_stale("posts", "q1"));
+        assert!(!fam.is_stale("users", "q1"), "same key, other table");
+    }
+
+    #[test]
+    fn union_covers_all_partitions() {
+        let (fam, _) = family();
+        fam.report_read("a", "qa", 1_000);
+        fam.report_read("b", "qb", 1_000);
+        fam.invalidate("a", "qa");
+        fam.invalidate("b", "qb");
+        let (union, _) = fam.union_snapshot();
+        assert!(union.contains(b"qa"));
+        assert!(union.contains(b"qb"));
+    }
+
+    #[test]
+    fn per_partition_snapshot_has_lower_load_than_union() {
+        let (fam, _) = family();
+        for i in 0..50 {
+            fam.report_read("a", &format!("qa{i}"), 1_000);
+            fam.invalidate("a", &format!("qa{i}"));
+            fam.report_read("b", &format!("qb{i}"), 1_000);
+            fam.invalidate("b", &format!("qb{i}"));
+        }
+        let (pa, _) = fam.partition_snapshot("a");
+        let (union, _) = fam.union_snapshot();
+        assert!(pa.load() < union.load(), "partition flats are sparser");
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let (fam, _) = family();
+        fam.report_read("a", "q", 100);
+        fam.report_read("b", "q", 100);
+        fam.invalidate("a", "q");
+        fam.invalidate("b", "nope");
+        let s = fam.stats();
+        assert_eq!(s.reads_reported, 2);
+        assert_eq!(s.inserted, 1);
+        assert_eq!(s.skipped, 1);
+    }
+
+    #[test]
+    fn tick_expires_across_partitions() {
+        let (fam, clock) = family();
+        fam.report_read("a", "q", 50);
+        fam.invalidate("a", "q");
+        clock.advance(100);
+        assert_eq!(fam.tick(), 1);
+        assert!(!fam.is_stale("a", "q"));
+    }
+}

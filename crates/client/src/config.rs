@@ -1,0 +1,68 @@
+//! Client configuration and consistency levels.
+
+/// Consistency choices (Figure 4). Δ-atomicity plus the session
+/// guarantees are always on; causal and strong are per-operation opt-ins
+/// "with a performance penalty".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Consistency {
+    /// Default: Δ-atomicity (Δ = EBF refresh interval) + monotonic
+    /// reads/writes + read-your-writes.
+    #[default]
+    DeltaAtomic,
+    /// Causal consistency: reads performed after data newer than the
+    /// current EBF was observed are promoted to revalidations until the
+    /// next EBF refresh.
+    Causal,
+    /// Strong consistency (linearizability): "explicit revalidation
+    /// (cache miss at all levels)".
+    Strong,
+}
+
+/// Client tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// EBF refresh interval Δ in ms; this *is* the staleness bound of
+    /// Theorem 1 ("clients can therefore precisely control the desired
+    /// level of consistency").
+    pub ebf_refresh_ms: u64,
+    /// Browser-cache capacity (entries).
+    pub browser_cache_capacity: usize,
+    /// Default consistency level for reads.
+    pub consistency: Consistency,
+    /// Whether this client keeps a private expiration-based cache. The
+    /// evaluation's "CDN only" baseline disables it.
+    pub use_browser_cache: bool,
+    /// Whether the client consults/refreshes the EBF at all. The
+    /// evaluation's "CDN only" and "uncached" baselines disable it.
+    pub use_ebf: bool,
+    /// Fetch per-table EBF partitions instead of the aggregated union:
+    /// "clients can also exploit the table-specific EBFs to decrease the
+    /// total false positive rate at the expense of loading more
+    /// individual EBFs" (§3.3).
+    pub per_table_ebf: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            ebf_refresh_ms: 1_000, // the paper's read-heavy runs use 1 s
+            browser_cache_capacity: 4_096,
+            consistency: Consistency::DeltaAtomic,
+            use_browser_cache: true,
+            use_ebf: true,
+            per_table_ebf: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = ClientConfig::default();
+        assert_eq!(c.consistency, Consistency::DeltaAtomic);
+        assert_eq!(c.ebf_refresh_ms, 1_000);
+    }
+}

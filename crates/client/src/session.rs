@@ -1,0 +1,67 @@
+//! Session state: the client-side half of the session guarantees.
+
+use quaestor_common::{FxHashMap, FxHashSet, Version};
+
+/// Mutable per-session state (guarded by the client's mutex).
+#[derive(Debug, Default)]
+pub struct SessionState {
+    /// Highest record version seen per cache key — monotonic reads:
+    /// "clients cache the most recently seen versions and \[compare\] any
+    /// subsequent reads to the highest seen version" (§3.2).
+    pub seen_versions: FxHashMap<String, Version>,
+    /// Keys revalidated since the last EBF refresh — the differential
+    /// whitelist of §3.3.
+    pub whitelist: FxHashSet<String>,
+    /// Set once the session observed data that may be newer than the
+    /// current EBF; drives the causal-consistency promotion rule.
+    pub read_newer_than_ebf: bool,
+}
+
+impl SessionState {
+    /// Record an observed version; returns `true` if it regressed below
+    /// the highest previously seen version (a monotonic-reads violation
+    /// the caller must repair).
+    pub fn observe_version(&mut self, key: &str, version: Version) -> bool {
+        match self.seen_versions.get_mut(key) {
+            Some(prev) if *prev > version => true,
+            Some(prev) => {
+                *prev = version;
+                false
+            }
+            None => {
+                self.seen_versions.insert(key.to_owned(), version);
+                false
+            }
+        }
+    }
+
+    /// Reset the per-EBF-generation state after a refresh.
+    pub fn on_ebf_refresh(&mut self) {
+        self.whitelist.clear();
+        self.read_newer_than_ebf = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_monotonicity_detection() {
+        let mut s = SessionState::default();
+        assert!(!s.observe_version("k", 3));
+        assert!(!s.observe_version("k", 5));
+        assert!(s.observe_version("k", 4), "regression detected");
+        assert_eq!(s.seen_versions["k"], 5, "highest version retained");
+    }
+
+    #[test]
+    fn refresh_clears_generation_state() {
+        let mut s = SessionState::default();
+        s.whitelist.insert("a".into());
+        s.read_newer_than_ebf = true;
+        s.on_ebf_refresh();
+        assert!(s.whitelist.is_empty());
+        assert!(!s.read_newer_than_ebf);
+    }
+}

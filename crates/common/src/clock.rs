@@ -1,0 +1,198 @@
+//! Time sources.
+//!
+//! Quaestor's correctness argument (Definition 1 / Theorem 1 in the paper)
+//! is phrased in terms of timestamps: a query result read at `t_r` with a
+//! TTL is cacheable until `t_r + TTL`, and the Expiring Bloom Filter
+//! generated at `t_1` bounds staleness of any read at `t_2` by
+//! `Δ = t_2 − t_1`. To test those properties deterministically, every
+//! component takes a [`Clock`] rather than calling the OS. The simulator
+//! drives a [`ManualClock`]; production-style benchmarks use
+//! [`SystemClock`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in time, in milliseconds since an arbitrary epoch.
+///
+/// The paper's TTL estimation "does not require clock synchronization, as
+/// only relative time spans are used" (§4.2); accordingly `Timestamp` only
+/// supports differences and offsets.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp (epoch).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Construct from raw milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Raw milliseconds since the epoch.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// `self + ms`, saturating.
+    #[inline]
+    pub fn plus(self, ms: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(ms))
+    }
+
+    /// `self - ms`, saturating at zero.
+    #[inline]
+    pub fn minus(self, ms: u64) -> Timestamp {
+        Timestamp(self.0.saturating_sub(ms))
+    }
+
+    /// Milliseconds elapsed from `earlier` to `self` (0 if negative).
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+/// A source of timestamps.
+pub trait Clock: Send + Sync + 'static {
+    /// Current time.
+    fn now(&self) -> Timestamp;
+}
+
+/// Shared handle to a clock. Cloning is cheap.
+pub type ClockRef = Arc<dyn Clock>;
+
+/// Wall-clock time with millisecond resolution.
+///
+/// Uses `SystemTime` so timestamps are comparable across threads; Quaestor
+/// only ever uses relative spans, so non-monotonic adjustments merely show
+/// up as measurement noise, exactly as on the paper's EC2 testbed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl SystemClock {
+    /// A `ClockRef` for wall-clock time.
+    pub fn shared() -> ClockRef {
+        Arc::new(SystemClock)
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Timestamp {
+        let ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("system clock before unix epoch")
+            .as_millis() as u64;
+        Timestamp(ms)
+    }
+}
+
+/// A virtual clock advanced explicitly by the discrete-event simulator.
+///
+/// All components observing a `ManualClock` see exactly the same instant
+/// until the simulator advances it, which gives the globally ordered event
+/// timestamps the paper's Monte Carlo methodology relies on ("simulation is
+/// the most reliable method to analyze properties like staleness", §6.1).
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_ms: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ManualClock {
+            now_ms: AtomicU64::new(0),
+        })
+    }
+
+    /// A clock starting at `start`.
+    pub fn starting_at(start: Timestamp) -> Arc<Self> {
+        Arc::new(ManualClock {
+            now_ms: AtomicU64::new(start.0),
+        })
+    }
+
+    /// Move the clock forward by `ms` milliseconds and return the new time.
+    pub fn advance(&self, ms: u64) -> Timestamp {
+        let new = self.now_ms.fetch_add(ms, Ordering::SeqCst) + ms;
+        Timestamp(new)
+    }
+
+    /// Jump directly to `t`. Panics if `t` is in the past: the simulator
+    /// must never move time backwards or event ordering breaks.
+    pub fn set(&self, t: Timestamp) {
+        let prev = self.now_ms.swap(t.0, Ordering::SeqCst);
+        assert!(prev <= t.0, "ManualClock moved backwards: {prev} -> {}", t.0);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.now_ms.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_millis(100);
+        assert_eq!(t.plus(50), Timestamp(150));
+        assert_eq!(t.minus(30), Timestamp(70));
+        assert_eq!(t.minus(200), Timestamp(0), "saturates at zero");
+        assert_eq!(t.plus(50).since(t), 50);
+        assert_eq!(t.since(t.plus(50)), 0, "negative spans clamp to zero");
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now(), Timestamp::ZERO);
+        assert_eq!(clock.advance(10), Timestamp(10));
+        assert_eq!(clock.now(), Timestamp(10));
+        clock.set(Timestamp(25));
+        assert_eq!(clock.now(), Timestamp(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn manual_clock_rejects_backwards() {
+        let clock = ManualClock::starting_at(Timestamp(100));
+        clock.set(Timestamp(50));
+    }
+
+    #[test]
+    fn system_clock_is_sane() {
+        let clock = SystemClock;
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        // After 2020-01-01 in unix millis.
+        assert!(a.as_millis() > 1_577_836_800_000);
+    }
+
+    #[test]
+    fn manual_clock_shared_view() {
+        let clock = ManualClock::new();
+        let as_ref: ClockRef = clock.clone();
+        clock.advance(42);
+        assert_eq!(as_ref.now(), Timestamp(42));
+    }
+}

@@ -1,0 +1,124 @@
+//! The shared error type.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors surfaced by the Quaestor service and its substrates.
+///
+/// The variants mirror the failure classes a REST DBaaS exposes over HTTP:
+/// not-found (404), conflict (412 on version mismatch), bad request (400),
+/// capacity (429/503) and internal faults (500).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Table does not exist.
+    UnknownTable(String),
+    /// Record does not exist.
+    NotFound { table: String, id: String },
+    /// Optimistic concurrency failure: expected version did not match.
+    VersionMismatch {
+        table: String,
+        id: String,
+        expected: u64,
+        actual: u64,
+    },
+    /// The record already exists (insert of a duplicate primary key).
+    AlreadyExists { table: String, id: String },
+    /// Malformed query or document (e.g. invalid update operator).
+    BadRequest(String),
+    /// A transaction failed validation at commit time.
+    TransactionAborted(String),
+    /// Component at capacity (e.g. InvaliDB refused a query registration).
+    Capacity(String),
+    /// A pipeline or channel shut down while an operation was in flight.
+    Closed(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl Error {
+    /// Classifies the error the way an HTTP API would.
+    pub fn status_code(&self) -> u16 {
+        match self {
+            Error::UnknownTable(_) | Error::NotFound { .. } => 404,
+            Error::VersionMismatch { .. } => 412,
+            Error::AlreadyExists { .. } => 409,
+            Error::BadRequest(_) => 400,
+            Error::TransactionAborted(_) => 409,
+            Error::Capacity(_) => 429,
+            Error::Closed(_) => 503,
+            Error::Internal(_) => 500,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            Error::NotFound { table, id } => write!(f, "record '{table}/{id}' not found"),
+            Error::VersionMismatch {
+                table,
+                id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "version mismatch on '{table}/{id}': expected v{expected}, found v{actual}"
+            ),
+            Error::AlreadyExists { table, id } => {
+                write!(f, "record '{table}/{id}' already exists")
+            }
+            Error::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            Error::TransactionAborted(msg) => write!(f, "transaction aborted: {msg}"),
+            Error::Capacity(msg) => write!(f, "capacity exceeded: {msg}"),
+            Error::Closed(msg) => write!(f, "component closed: {msg}"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_match_http_semantics() {
+        assert_eq!(Error::UnknownTable("posts".into()).status_code(), 404);
+        assert_eq!(
+            Error::NotFound {
+                table: "posts".into(),
+                id: "1".into()
+            }
+            .status_code(),
+            404
+        );
+        assert_eq!(
+            Error::VersionMismatch {
+                table: "posts".into(),
+                id: "1".into(),
+                expected: 1,
+                actual: 2
+            }
+            .status_code(),
+            412
+        );
+        assert_eq!(Error::BadRequest("x".into()).status_code(), 400);
+        assert_eq!(Error::Capacity("x".into()).status_code(), 429);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::VersionMismatch {
+            table: "posts".into(),
+            id: "42".into(),
+            expected: 3,
+            actual: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("posts/42") && s.contains("v3") && s.contains("v5"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Fast, stable hashing.
+//!
+//! Two consumers with different needs share this module:
+//!
+//! * Hot hash maps (record id → state, query → state) want a fast hasher;
+//!   we provide an FxHash-style multiplicative hasher as drop-in
+//!   `HashMap`/`HashSet` aliases, per the workspace performance guide.
+//! * The Bloom filters need `k` independent, *stable* hash functions over
+//!   arbitrary byte strings: stability matters because the server-built
+//!   filter is shipped to clients which must probe the same bit positions.
+//!   [`DoubleHasher`] derives `k` functions from two 64-bit hashes using
+//!   the standard Kirsch–Mitzenmacher construction `g_i(x) = h1 + i·h2`.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit FxHash multiplier (golden-ratio derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style hasher: fast multiplicative mixing, not HashDoS resistant.
+/// Fine here: all keys are internal (record ids, query strings), never
+/// attacker-controlled hash-map keys in a long-lived public service.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Fold in the remainder length so "a" and "a\0" differ.
+            buf[7] = rest.len() as u8;
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Stable 64-bit hash of a byte string. Independent of process, platform
+/// and endianness of the caller; safe to persist or ship to clients.
+#[inline]
+pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Stable 64-bit hash of a string (hashes its UTF-8 bytes).
+#[inline]
+pub fn fx_hash_str(s: &str) -> u64 {
+    fx_hash_bytes(s.as_bytes())
+}
+
+/// MurmurHash3's 64-bit finalizer: full-avalanche bit mixing.
+#[inline]
+fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// Derives `k` hash functions from two base hashes of the key
+/// (Kirsch–Mitzenmacher double hashing): `g_i(x) = h1(x) + i * h2(x)`.
+///
+/// This is the construction the Bloom-filter survey the paper cites
+/// (Broder & Mitzenmacher) recommends: two hashes give the same asymptotic
+/// false-positive rate as `k` independent ones.
+#[derive(Debug, Clone, Copy)]
+pub struct DoubleHasher {
+    h1: u64,
+    h2: u64,
+}
+
+impl DoubleHasher {
+    /// Hash `key` with two seeded base functions.
+    #[inline]
+    pub fn new(key: &[u8]) -> Self {
+        // FxHash concentrates entropy in the high bits; Bloom position
+        // computation reduces modulo m (often a power of two, i.e. low
+        // bits only), so both hashes get a murmur-style finalizer that
+        // spreads entropy across the word.
+        let h1 = fmix64(fx_hash_bytes(key));
+        let mut h = FxHasher::default();
+        h.write_u64(h1 ^ 0x9e37_79b9_7f4a_7c15);
+        h.write(key);
+        // Force h2 odd: an even stride shares factors with even table
+        // sizes and collapses the probe sequence into a subgroup, which
+        // skews the Bloom filter's load away from the analytic model.
+        // (Odd also rules out the degenerate h2 == 0.)
+        let h2 = fmix64(h.finish()) | 1;
+        DoubleHasher { h1, h2 }
+    }
+
+    /// The `i`-th derived hash.
+    #[inline]
+    pub fn get(&self, i: u32) -> u64 {
+        self.h1.wrapping_add((i as u64).wrapping_mul(self.h2))
+    }
+
+    /// Iterator over the first `k` derived positions modulo `m`.
+    /// Takes `self` by value (`DoubleHasher` is `Copy`) so the iterator
+    /// owns its state and can outlive the binding.
+    #[inline]
+    pub fn positions(self, k: u32, m: usize) -> impl Iterator<Item = usize> {
+        debug_assert!(m > 0);
+        (0..k).map(move |i| (self.get(i) % m as u64) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hash_is_stable_across_calls() {
+        assert_eq!(fx_hash_str("posts/42"), fx_hash_str("posts/42"));
+        assert_ne!(fx_hash_str("posts/42"), fx_hash_str("posts/43"));
+    }
+
+    #[test]
+    fn remainder_length_matters() {
+        assert_ne!(fx_hash_bytes(b"a"), fx_hash_bytes(b"a\0"));
+        assert_ne!(fx_hash_bytes(b""), fx_hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn double_hasher_positions_in_range() {
+        let dh = DoubleHasher::new(b"SELECT * FROM posts");
+        for pos in dh.positions(16, 1024) {
+            assert!(pos < 1024);
+        }
+    }
+
+    #[test]
+    fn double_hasher_deterministic() {
+        let a: Vec<_> = DoubleHasher::new(b"key").positions(8, 997).collect();
+        let b: Vec<_> = DoubleHasher::new(b"key").positions(8, 997).collect();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn positions_always_in_range(key in proptest::collection::vec(any::<u8>(), 0..64),
+                                     k in 1u32..20, m in 1usize..10_000) {
+            let dh = DoubleHasher::new(&key);
+            for pos in dh.positions(k, m) {
+                prop_assert!(pos < m);
+            }
+        }
+
+        #[test]
+        fn equal_keys_equal_hashes(key in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assert_eq!(fx_hash_bytes(&key), fx_hash_bytes(&key));
+        }
+
+        #[test]
+        fn distribution_not_degenerate(keys in proptest::collection::hash_set(
+            proptest::collection::vec(any::<u8>(), 1..16), 50..100)) {
+            // At least half of distinct keys should get distinct hashes
+            // (in practice virtually all do; this is a smoke bound).
+            let hashes: std::collections::HashSet<u64> =
+                keys.iter().map(|k| fx_hash_bytes(k)).collect();
+            prop_assert!(hashes.len() >= keys.len() / 2);
+        }
+    }
+}

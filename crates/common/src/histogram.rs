@@ -1,0 +1,265 @@
+//! A log-bucketed latency histogram with percentile queries.
+//!
+//! The evaluation reports mean latencies, 99th-percentile bounds
+//! (Figure 12) and a full latency histogram (Figure 8f). This histogram
+//! uses logarithmic bucketing (HdrHistogram-style, base-2 with 16 linear
+//! sub-buckets per octave) which keeps relative error below ~6% across the
+//! full `u64` range while using a few KB of memory.
+
+use serde::{Deserialize, Serialize};
+
+const SUB_BUCKET_BITS: u32 = 4; // 16 sub-buckets per octave
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+
+/// Log-bucketed histogram over `u64` values (typically microseconds or
+/// milliseconds of latency).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // 64 octaves x 16 sub-buckets covers all of u64.
+        Histogram {
+            counts: vec![0; 64 * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros();
+        let shift = octave - SUB_BUCKET_BITS;
+        let sub = (value >> shift) as usize & (SUB_BUCKETS - 1);
+        ((octave - SUB_BUCKET_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    /// Representative (lower-bound) value of a bucket.
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let octave = (index / SUB_BUCKETS) as u32 + SUB_BUCKET_BITS - 1;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let base = 1u64 << octave;
+        base + (sub << (octave - SUB_BUCKET_BITS))
+    }
+
+    /// Record a single observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record `n` identical observations.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::bucket_index(value)] += n;
+        self.total += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]`. Returns the lower bound of the
+    /// bucket containing the `ceil(q * count)`-th observation.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> u64 {
+        self.percentile(0.5)
+    }
+
+    /// Iterate non-empty `(bucket_lower_bound, count)` pairs, ascending.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_value(i), c))
+    }
+
+    /// Fraction of observations `<= value` (an empirical CDF point).
+    pub fn cdf(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let limit = Self::bucket_index(value);
+        let below: u64 = self.counts[..=limit].iter().sum();
+        below as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.percentile(1.0), 15);
+        assert_eq!(h.median(), 7);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5, 100, 200, 1000, 10_000] {
+            h.record(v);
+        }
+        assert!(h.percentile(0.5) <= h.percentile(0.9));
+        assert!(h.percentile(0.9) <= h.percentile(0.99));
+        assert!(h.percentile(0.99) <= h.max());
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(15);
+        b.record_n(25, 2);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 25);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut h = Histogram::new();
+        for v in [1u64, 10, 100, 1000] {
+            h.record(v);
+        }
+        assert!(h.cdf(0) <= h.cdf(10));
+        assert!(h.cdf(10) <= h.cdf(100));
+        assert!((h.cdf(u64::MAX / 2) - 1.0).abs() < f64::EPSILON);
+    }
+
+    proptest! {
+        #[test]
+        fn bucket_relative_error_bounded(v in 1u64..u64::MAX / 2) {
+            let idx = Histogram::bucket_index(v);
+            let lo = Histogram::bucket_value(idx);
+            prop_assert!(lo <= v, "bucket lower bound {lo} must be <= value {v}");
+            // Relative error of the lower bound is < 1/16 + epsilon.
+            let err = (v - lo) as f64 / v as f64;
+            prop_assert!(err < 0.07, "relative error {err} too large for {v}");
+        }
+
+        #[test]
+        fn bucket_index_monotone(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(Histogram::bucket_index(lo) <= Histogram::bucket_index(hi));
+        }
+
+        #[test]
+        fn percentile_bounded_by_min_max(values in proptest::collection::vec(0u64..100_000, 1..200),
+                                         q in 0.0f64..1.0) {
+            let mut h = Histogram::new();
+            for &v in &values { h.record(v); }
+            let p = h.percentile(q);
+            prop_assert!(p <= h.max());
+        }
+    }
+}

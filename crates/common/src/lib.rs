@@ -1,0 +1,31 @@
+//! Shared infrastructure for the Quaestor workspace.
+//!
+//! This crate deliberately has no dependency on the rest of the workspace.
+//! It provides:
+//!
+//! * [`clock`] — the [`Clock`] abstraction with a wall-clock
+//!   implementation and a virtual, manually-advanced implementation used by
+//!   the discrete-event simulator. Every time-dependent component in the
+//!   workspace takes a `Clock` so that experiments are deterministic.
+//! * [`hash`] — a fast, stable, non-cryptographic hasher (an FxHash
+//!   derivative) plus the double-hashing scheme used by the Bloom filters.
+//! * [`histogram`] — a fixed-bucket latency histogram with percentile
+//!   queries, used by the workload driver and the benchmarks.
+//! * [`error`] — the shared [`Error`] type.
+
+pub mod clock;
+pub mod error;
+pub mod hash;
+pub mod histogram;
+
+pub use clock::{Clock, ClockRef, ManualClock, SystemClock, Timestamp};
+pub use error::{Error, Result};
+pub use hash::{fx_hash_bytes, fx_hash_str, DoubleHasher, FxBuildHasher, FxHashMap, FxHashSet};
+pub use histogram::Histogram;
+
+/// A monotonically increasing version counter attached to every stored
+/// record. Versions double as HTTP `ETag`s in the web-caching model.
+pub type Version = u64;
+
+/// Milliseconds, the time unit used throughout the workspace.
+pub type Millis = u64;

@@ -1,0 +1,37 @@
+//! Quaestor — the query-web-caching DBaaS middleware (the paper's primary
+//! contribution), assembled from the substrate crates.
+//!
+//! > "Quaestor (Query Store) is a comprehensive DBaaS system for automatic
+//! > query result caching ... \[it\] completely relies on standard web
+//! > caching to provide low-latency data access with rich consistency
+//! > guarantees." (§1)
+//!
+//! [`QuaestorServer`] is the origin server of Figure 3: it answers cache
+//! misses and revalidations for records and queries, assigns estimated
+//! TTLs, maintains the Expiring Bloom Filter, registers cached queries
+//! with InvaliDB, and purges invalidation-based caches when results
+//! change. The client-side half (EBF usage, session guarantees) lives in
+//! `quaestor-client`.
+//!
+//! The request flow of §3.1:
+//!
+//! 1. on connect, clients fetch the piggybacked EBF
+//!    ([`QuaestorServer::ebf_snapshot`]);
+//! 2. the SDK consults the EBF per query (client crate);
+//! 3. caches serve fresh copies or forward upstream (webcache crate);
+//! 4. misses/revalidations land on [`QuaestorServer::query`] /
+//!    [`QuaestorServer::get_record`], which estimate a TTL, register the
+//!    query in InvaliDB, report the read to the EBF and reply with a
+//!    cacheable response.
+
+pub mod config;
+pub mod metrics;
+pub mod response;
+pub mod server;
+pub mod transaction;
+
+pub use config::ServerConfig;
+pub use metrics::ServerMetrics;
+pub use response::{QueryResponse, RecordResponse};
+pub use server::QuaestorServer;
+pub use transaction::{Transaction, WriteOp};

@@ -1,0 +1,82 @@
+//! Server-side metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters for everything the evaluation section reports about
+/// server behaviour.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Record reads answered by the origin (cache misses + revalidations).
+    pub record_reads: AtomicU64,
+    /// Query evaluations answered by the origin.
+    pub query_reads: AtomicU64,
+    /// Write operations processed.
+    pub writes: AtomicU64,
+    /// Record invalidations added to the EBF.
+    pub record_invalidations: AtomicU64,
+    /// Query invalidations (from InvaliDB notifications) added to the EBF.
+    pub query_invalidations: AtomicU64,
+    /// Purges dispatched to invalidation-based caches.
+    pub purges: AtomicU64,
+    /// EBF snapshots served to clients.
+    pub ebf_snapshots: AtomicU64,
+    /// Queries rejected by the capacity manager (served uncacheable).
+    pub capacity_rejections: AtomicU64,
+    /// Transactions committed.
+    pub tx_commits: AtomicU64,
+    /// Transactions aborted at validation.
+    pub tx_aborts: AtomicU64,
+}
+
+/// Bump a counter by one (relaxed: metrics tolerate reordering).
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+impl ServerMetrics {
+    /// Snapshot all counters as (name, value) pairs for reporting.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("record_reads", self.record_reads.load(Ordering::Relaxed)),
+            ("query_reads", self.query_reads.load(Ordering::Relaxed)),
+            ("writes", self.writes.load(Ordering::Relaxed)),
+            (
+                "record_invalidations",
+                self.record_invalidations.load(Ordering::Relaxed),
+            ),
+            (
+                "query_invalidations",
+                self.query_invalidations.load(Ordering::Relaxed),
+            ),
+            ("purges", self.purges.load(Ordering::Relaxed)),
+            ("ebf_snapshots", self.ebf_snapshots.load(Ordering::Relaxed)),
+            (
+                "capacity_rejections",
+                self.capacity_rejections.load(Ordering::Relaxed),
+            ),
+            ("tx_commits", self.tx_commits.load(Ordering::Relaxed)),
+            ("tx_aborts", self.tx_aborts.load(Ordering::Relaxed)),
+        ]
+    }
+
+    /// Total origin reads (records + queries) — the backend load a cache
+    /// layer is supposed to absorb.
+    pub fn origin_reads(&self) -> u64 {
+        self.record_reads.load(Ordering::Relaxed) + self.query_reads.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_lists_all_counters() {
+        let m = ServerMetrics::default();
+        m.writes.fetch_add(3, Ordering::Relaxed);
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 10);
+        assert!(snap.contains(&("writes", 3)));
+        assert_eq!(m.origin_reads(), 0);
+    }
+}

@@ -1,0 +1,666 @@
+//! The Quaestor origin server.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use quaestor_bloom::{BloomFilter, PartitionedEbf};
+use quaestor_common::{ClockRef, Result, Timestamp};
+use quaestor_document::{Document, Update, Value};
+use quaestor_invalidb::{InvaliDbCluster, Notification};
+use quaestor_query::{Query, QueryKey};
+use quaestor_store::{Database, WriteEvent};
+use quaestor_ttl::{
+    ActiveList, AdmissionDecision, CapacityManager, CostModel, QueryState, Representation,
+    TtlEstimator, WriteRateSampler,
+};
+use quaestor_webcache::InvalidationCache;
+
+use crate::config::ServerConfig;
+use crate::metrics::{bump, ServerMetrics};
+use crate::response::{id_list_body, object_list_body, result_etag, QueryResponse, RecordResponse};
+
+/// The origin server of Figure 3: database service + cache coherence
+/// machinery.
+///
+/// Thread-safe; in a multi-node deployment several `QuaestorServer`s would
+/// share the KV-backed EBF and the database — here one instance stands for
+/// the server tier and concurrency is exercised by threads.
+pub struct QuaestorServer {
+    config: ServerConfig,
+    db: Arc<Database>,
+    ebf: PartitionedEbf,
+    estimator: TtlEstimator,
+    sampler: WriteRateSampler,
+    active: ActiveList,
+    capacity: CapacityManager,
+    cost: CostModel,
+    invalidb: InvaliDbCluster,
+    /// Invalidation-based caches (CDN edges / reverse proxies) the server
+    /// purges asynchronously.
+    cdns: RwLock<Vec<Arc<InvalidationCache>>>,
+    /// Per-query change streams clients can subscribe to (§3.2).
+    streams: Arc<quaestor_kv::PubSub>,
+    clock: ClockRef,
+    metrics: ServerMetrics,
+}
+
+impl std::fmt::Debug for QuaestorServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuaestorServer")
+            .field("active_queries", &self.active.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QuaestorServer {
+    /// Build a server over an existing database.
+    pub fn new(db: Arc<Database>, config: ServerConfig, clock: ClockRef) -> Arc<QuaestorServer> {
+        Arc::new(QuaestorServer {
+            ebf: PartitionedEbf::new(config.bloom, clock.clone()),
+            estimator: TtlEstimator::new(config.estimator),
+            sampler: WriteRateSampler::new(config.sampler_window_ms, config.sampler_max_samples),
+            active: ActiveList::new(16),
+            capacity: CapacityManager::new(config.max_cached_queries),
+            cost: config.cost,
+            invalidb: InvaliDbCluster::new(config.invalidb),
+            cdns: RwLock::new(Vec::new()),
+            streams: quaestor_kv::PubSub::new(),
+            clock,
+            metrics: ServerMetrics::default(),
+            config,
+            db,
+        })
+    }
+
+    /// A server with default config over a fresh database (tests/examples).
+    pub fn with_defaults(clock: ClockRef) -> Arc<QuaestorServer> {
+        let db = Database::with_clock(clock.clone());
+        Self::new(db, ServerConfig::default(), clock)
+    }
+
+    /// The underlying database (for loading data and direct inspection).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Server metrics.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Register an invalidation-based cache for asynchronous purges.
+    pub fn register_cdn(&self, cache: Arc<InvalidationCache>) {
+        self.cdns.write().push(cache);
+    }
+
+    fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    fn record_sample_key(table: &str, id: &str) -> String {
+        format!("{table}/{id}")
+    }
+
+    fn purge(&self, key: &QueryKey) {
+        let cdns = self.cdns.read();
+        for cdn in cdns.iter() {
+            if cdn.purge(key.as_str()) {
+                bump(&self.metrics.purges);
+            }
+        }
+    }
+
+    // ---- the EBF endpoint ----------------------------------------------
+
+    /// Serve the flat EBF (union over table partitions) with its
+    /// generation timestamp — step 1 of the §3.1 request flow.
+    pub fn ebf_snapshot(&self) -> (BloomFilter, Timestamp) {
+        bump(&self.metrics.ebf_snapshots);
+        self.ebf.union_snapshot()
+    }
+
+    /// Serve a single table's EBF partition (the lower-FPR client option).
+    pub fn ebf_partition_snapshot(&self, table: &str) -> (BloomFilter, Timestamp) {
+        bump(&self.metrics.ebf_snapshots);
+        self.ebf.partition_snapshot(table)
+    }
+
+    // ---- reads -----------------------------------------------------------
+
+    /// Origin read of one record (cache miss or revalidation).
+    pub fn get_record(&self, table: &str, id: &str) -> Result<RecordResponse> {
+        bump(&self.metrics.record_reads);
+        let t = self.db.table(table)?;
+        let rec = t.get(id).ok_or_else(|| quaestor_common::Error::NotFound {
+            table: table.to_owned(),
+            id: id.to_owned(),
+        })?;
+        let rate = self
+            .sampler
+            .rate(&Self::record_sample_key(table, id), self.now());
+        let ttl_ms = self.estimator.record_ttl(rate);
+        let key = QueryKey::record(table, id);
+        // Report to the EBF *before* replying, so any invalidation racing
+        // this response finds the ledger entry (Figure 7 step 2).
+        self.ebf.report_read(table, key.as_str(), ttl_ms);
+        let body = doc_body(&rec.doc);
+        Ok(RecordResponse {
+            key,
+            body,
+            etag: rec.version,
+            ttl_ms,
+            invalidation_ttl_ms: self.invalidation_ttl(ttl_ms),
+            doc: rec.doc,
+        })
+    }
+
+    fn invalidation_ttl(&self, ttl_ms: u64) -> u64 {
+        (ttl_ms as f64 * self.config.invalidation_cache_ttl_factor) as u64
+    }
+
+    /// Origin evaluation of a query (cache miss or revalidation) — step 4
+    /// of the §3.1 request flow: evaluate, decide representation, estimate
+    /// TTL, register with InvaliDB, report to the EBF, reply cacheably.
+    pub fn query(&self, query: &Query) -> Result<QueryResponse> {
+        bump(&self.metrics.query_reads);
+        let now = self.now();
+        let key = QueryKey::of(query);
+        // Watermark BEFORE evaluation: anything ingested after this point
+        // raced the evaluation and must be replayed on registration.
+        let mark = self.invalidb.ingest_mark();
+        // Schemaless DBaaS semantics: querying a table that does not exist
+        // yet creates it and returns the empty result.
+        self.db.create_table(&query.table);
+        let docs = self.db.query(query)?;
+        let ids: Vec<String> = docs
+            .iter()
+            .filter_map(|d| d.get("_id").and_then(Value::as_str).map(str::to_owned))
+            .collect();
+
+        // Admission: is this query worth one of the InvaliDB slots?
+        let admitted = match self.capacity.request_admission(&key) {
+            AdmissionDecision::Admitted => true,
+            AdmissionDecision::AdmittedEvicting(victim) => {
+                // The victim loses active matching: deregister and treat
+                // every copy of it as stale (conservative; it can no
+                // longer be invalidated).
+                self.invalidb.deregister_query(&victim);
+                self.ebf.invalidate(victim_table(&victim), victim.as_str());
+                self.active.remove(&victim);
+                self.purge(&victim);
+                true
+            }
+            AdmissionDecision::Rejected => {
+                bump(&self.metrics.capacity_rejections);
+                false
+            }
+        };
+
+        if !admitted {
+            // Served uncacheable: ttl 0, not registered anywhere.
+            let body = object_list_body(&docs);
+            let etag = self.result_etag_of(query, &ids)?;
+            let versions = self.versions_of(query, &ids)?;
+            return Ok(QueryResponse {
+                key,
+                body,
+                etag,
+                ttl_ms: 0,
+                invalidation_ttl_ms: 0,
+                representation: Representation::ObjectList,
+                ids,
+                versions,
+                docs,
+                cacheable: false,
+            });
+        }
+
+        // Representation decision from observed per-query workload.
+        let representation = match self.active.get(&key) {
+            Some(state) => self.decide_representation(&state, ids.len(), now),
+            None => Representation::ObjectList,
+        };
+
+        // TTL: EWMA-refined estimate if we have history, otherwise the
+        // Poisson initial estimate from the result set's write rates.
+        let ttl_ms = match self.active.get(&key) {
+            Some(state) if state.invalidations > 0 => state.ttl_ms,
+            _ => {
+                let combined = self.sampler.combined_rate(
+                    ids.iter()
+                        .map(|id| Self::record_sample_key(&query.table, id))
+                        .collect::<Vec<_>>()
+                        .iter()
+                        .map(String::as_str),
+                    now,
+                );
+                self.estimator.initial_query_ttl(combined)
+            }
+        };
+
+        // Register with InvaliDB (idempotent re-registration is fine).
+        // Stateful queries need the full unwindowed matching set.
+        let initial = if query.is_stateful() {
+            let mut unwindowed = query.clone();
+            unwindowed.limit = None;
+            unwindowed.offset = 0;
+            self.db.query(&unwindowed)?
+        } else {
+            docs.clone()
+        };
+        let raced = self.invalidb.register_query(query.clone(), initial, mark)?;
+        self.active.set_registered(&key, true);
+
+        // Report the cacheable read, then handle any raced notifications
+        // as regular invalidations (they arrived between evaluation and
+        // activation).
+        self.ebf.report_read(&query.table, key.as_str(), ttl_ms);
+        self.active
+            .on_origin_read(&key, ttl_ms, representation, now);
+        for n in raced {
+            self.apply_notification(&n);
+        }
+
+        // Per-record side effect: "all records in a result are inserted
+        // into the cache as individual entries" (§6.2) — the server
+        // reports each member read so the EBF can cover them, and the
+        // response carries the members so caches can store them.
+        for id in &ids {
+            let rate = self
+                .sampler
+                .rate(&Self::record_sample_key(&query.table, id), now);
+            let rttl = self.estimator.record_ttl(rate);
+            self.ebf
+                .report_read(&query.table, QueryKey::record(&query.table, id).as_str(), rttl);
+        }
+
+        let body = match representation {
+            Representation::ObjectList => object_list_body(&docs),
+            Representation::IdList => id_list_body(&ids),
+        };
+        let etag = self.result_etag_of(query, &ids)?;
+        let versions = self.versions_of(query, &ids)?;
+        Ok(QueryResponse {
+            key,
+            body,
+            etag,
+            ttl_ms,
+            invalidation_ttl_ms: self.invalidation_ttl(ttl_ms),
+            representation,
+            ids,
+            versions,
+            docs,
+            cacheable: true,
+        })
+    }
+
+    fn versions_of(&self, query: &Query, ids: &[String]) -> Result<Vec<u64>> {
+        let t = self.db.table(&query.table)?;
+        Ok(ids
+            .iter()
+            .map(|id| t.get(id).map(|r| r.version).unwrap_or(0))
+            .collect())
+    }
+
+    fn result_etag_of(&self, query: &Query, ids: &[String]) -> Result<u64> {
+        let t = self.db.table(&query.table)?;
+        Ok(result_etag(ids.iter().map(|id| {
+            let v = t.get(id).map(|r| r.version).unwrap_or(0);
+            (id.clone(), v)
+        })))
+    }
+
+    fn decide_representation(
+        &self,
+        state: &QueryState,
+        result_size: usize,
+        now: Timestamp,
+    ) -> Representation {
+        let w = quaestor_ttl::cost::QueryWorkload {
+            // Rates are per-ms in the state; the cost model only compares
+            // relative magnitudes, so a consistent unit suffices.
+            read_rate: state.read_rate(now),
+            membership_change_rate: state.membership_change_rate(now),
+            change_rate: state.value_change_rate(now),
+            result_size,
+            record_hit_rate: self.config.assumed_record_hit_rate,
+        };
+        self.cost.choose(&w)
+    }
+
+    // ---- writes ----------------------------------------------------------
+
+    /// Insert a record, driving the full invalidation pipeline. Returns
+    /// the stored version and after-image (the client SDK caches them for
+    /// read-your-writes).
+    pub fn insert(&self, table: &str, id: &str, doc: Document) -> Result<(u64, Arc<Document>)> {
+        let t = self.db.create_table(table);
+        let event = t.insert(id, doc)?;
+        self.after_write(&event);
+        Ok((event.version, event.image))
+    }
+
+    /// Partially update a record; returns version and after-image.
+    pub fn update(
+        &self,
+        table: &str,
+        id: &str,
+        update: &Update,
+    ) -> Result<(u64, Arc<Document>)> {
+        let t = self.db.table(table)?;
+        let event = t.update(id, update, None)?;
+        self.after_write(&event);
+        Ok((event.version, event.image))
+    }
+
+    /// Replace a record; returns version and after-image.
+    pub fn replace(&self, table: &str, id: &str, doc: Document) -> Result<(u64, Arc<Document>)> {
+        let t = self.db.table(table)?;
+        let event = t.replace(id, doc, None)?;
+        self.after_write(&event);
+        Ok((event.version, event.image))
+    }
+
+    /// Delete a record; returns the deleted version.
+    pub fn delete(&self, table: &str, id: &str) -> Result<u64> {
+        let t = self.db.table(table)?;
+        let event = t.delete(id, None)?;
+        self.after_write(&event);
+        Ok(event.version)
+    }
+
+    // ---- change streams ---------------------------------------------------
+
+    /// Subscribe to real-time change notifications for one cached query —
+    /// the "websocket-based query result change streams" of §3.2. Each
+    /// message is the serialized notification event kind and record id.
+    pub fn subscribe_query_stream(
+        &self,
+        key: &QueryKey,
+    ) -> quaestor_kv::Subscription {
+        self.streams.subscribe(key.as_str())
+    }
+
+    /// The write → invalidation pipeline of Figure 7 (step 4): sample the
+    /// write rate, invalidate the record key, feed InvaliDB, and apply
+    /// every resulting query invalidation.
+    pub(crate) fn after_write(&self, event: &WriteEvent) {
+        bump(&self.metrics.writes);
+        let now = self.now();
+        self.sampler
+            .record_write(&Self::record_sample_key(&event.table, &event.id), now);
+        // Record-level invalidation.
+        let rkey = QueryKey::record(&event.table, &event.id);
+        if self.ebf.invalidate(&event.table, rkey.as_str()) {
+            bump(&self.metrics.record_invalidations);
+        }
+        self.purge(&rkey);
+        // Query-level invalidations via InvaliDB.
+        for n in self.invalidb.on_write(event) {
+            self.apply_notification(&n);
+        }
+    }
+
+    fn apply_notification(&self, n: &Notification) {
+        // Push to subscribed change streams regardless of representation:
+        // subscribers want every event.
+        self.streams.publish(
+            n.query.as_str(),
+            bytes::Bytes::from(format!("{:?}:{}", n.event, n.record_id)),
+        );
+        let is_membership = n.event.invalidates_id_list();
+        self.active.on_notification(&n.query, is_membership);
+        // Does this event invalidate the representation actually cached?
+        let state = self.active.get(&n.query);
+        let invalidates = match state.as_ref().map(|s| s.representation) {
+            Some(Representation::IdList) => is_membership,
+            // Unknown state: be conservative, invalidate.
+            Some(Representation::ObjectList) | None => true,
+        };
+        if !invalidates {
+            return;
+        }
+        bump(&self.metrics.query_invalidations);
+        // Table is encoded in the query key's table; use the notification
+        // query key against that table's EBF partition.
+        let table = query_key_table(&n.query);
+        self.ebf.invalidate(table, n.query.as_str());
+        self.capacity.on_invalidation(&n.query);
+        self.purge(&n.query);
+        // EWMA refinement from the observed actual TTL (Eq. 2).
+        if let Some(actual) = self.active.on_invalidation(&n.query, n.at) {
+            if let Some(state) = self.active.get(&n.query) {
+                let refined = self.estimator.refine_query_ttl(state.ttl_ms, actual);
+                self.active.set_ttl(&n.query, refined);
+            }
+        }
+    }
+
+    /// Ground-truth ETag of a query's *current* result — used by the
+    /// simulator's staleness detector to compare what a client observed
+    /// against what a linearizable system would have returned.
+    pub fn current_query_etag(&self, query: &Query) -> Result<u64> {
+        let docs = self.db.query(query)?;
+        let ids: Vec<String> = docs
+            .iter()
+            .filter_map(|d| d.get("_id").and_then(Value::as_str).map(str::to_owned))
+            .collect();
+        self.result_etag_of(query, &ids)
+    }
+
+    /// Number of actively matched (cached) queries.
+    pub fn active_query_count(&self) -> usize {
+        self.invalidb.query_count()
+    }
+
+    /// Direct access to the active list (diagnostics, benches).
+    pub fn active_list(&self) -> &ActiveList {
+        &self.active
+    }
+
+    /// Direct access to the EBF family (diagnostics, benches).
+    pub fn ebf(&self) -> &PartitionedEbf {
+        &self.ebf
+    }
+}
+
+/// Extract the table name from a query key (`q:<table>?...` or
+/// `r:<table>/<id>`).
+fn query_key_table(key: &QueryKey) -> &str {
+    let s = key.as_str();
+    let rest = &s[2..];
+    let end = rest
+        .find(|c| c == '?' || c == '/')
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
+fn victim_table(key: &QueryKey) -> &str {
+    query_key_table(key)
+}
+
+fn doc_body(doc: &Document) -> bytes::Bytes {
+    bytes::Bytes::from(Value::Object(doc.clone()).canonical())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_common::ManualClock;
+    use quaestor_document::doc;
+    use quaestor_query::Filter;
+
+    fn server() -> (Arc<QuaestorServer>, Arc<ManualClock>) {
+        let clock = ManualClock::new();
+        let server = QuaestorServer::with_defaults(clock.clone());
+        (server, clock)
+    }
+
+    fn tagged(id: &str, tags: &[&str]) -> Document {
+        let mut d = doc! { "kind" => "post" };
+        d.insert(
+            "tags".into(),
+            Value::Array(tags.iter().map(|t| Value::str(*t)).collect()),
+        );
+        let _ = id;
+        d
+    }
+
+    #[test]
+    fn record_read_reports_to_ebf() {
+        let (s, _) = server();
+        s.insert("posts", "p1", tagged("p1", &["x"])).unwrap();
+        let resp = s.get_record("posts", "p1").unwrap();
+        assert!(resp.ttl_ms > 0);
+        assert_eq!(resp.etag, 1);
+        // A subsequent write must mark the record stale.
+        s.update("posts", "p1", &Update::new().set("kind", "draft"))
+            .unwrap();
+        let (flat, _) = s.ebf_snapshot();
+        assert!(flat.contains(resp.key.as_str().as_bytes()));
+    }
+
+    #[test]
+    fn unread_record_write_is_not_inserted() {
+        let (s, _) = server();
+        s.insert("posts", "p1", tagged("p1", &["x"])).unwrap();
+        s.update("posts", "p1", &Update::new().set("kind", "draft"))
+            .unwrap();
+        // p1 was never served cacheably before the write... but the insert
+        // itself wasn't either. No EBF entry.
+        let (flat, _) = s.ebf_snapshot();
+        assert!(!flat.contains(QueryKey::record("posts", "p1").as_str().as_bytes()));
+    }
+
+    #[test]
+    fn query_lifecycle_with_invalidation() {
+        let (s, clock) = server();
+        s.insert("posts", "p1", tagged("p1", &["example"])).unwrap();
+        s.insert("posts", "p2", tagged("p2", &["music"])).unwrap();
+        let q = Query::table("posts").filter(Filter::contains("tags", "example"));
+        let resp = s.query(&q).unwrap();
+        assert!(resp.cacheable);
+        assert_eq!(resp.ids, vec!["p1"]);
+        assert_eq!(s.active_query_count(), 1);
+
+        clock.advance(1_000);
+        // p2 gains the tag -> enters the result -> add notification ->
+        // query invalidated.
+        s.update("posts", "p2", &Update::new().push("tags", "example"))
+            .unwrap();
+        let (flat, _) = s.ebf_snapshot();
+        assert!(
+            flat.contains(resp.key.as_str().as_bytes()),
+            "query key must be stale in the EBF"
+        );
+        assert_eq!(s.metrics().query_invalidations.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn irrelevant_writes_do_not_invalidate_queries() {
+        let (s, _) = server();
+        s.insert("posts", "p1", tagged("p1", &["example"])).unwrap();
+        let q = Query::table("posts").filter(Filter::contains("tags", "example"));
+        let resp = s.query(&q).unwrap();
+        s.insert("posts", "p9", tagged("p9", &["unrelated"]))
+            .unwrap();
+        let (flat, _) = s.ebf_snapshot();
+        assert!(!flat.contains(resp.key.as_str().as_bytes()));
+    }
+
+    #[test]
+    fn cdn_purge_on_invalidation() {
+        let (s, _) = server();
+        let cdn = Arc::new(InvalidationCache::new("cdn", 64));
+        s.register_cdn(cdn.clone());
+        s.insert("posts", "p1", tagged("p1", &["example"])).unwrap();
+        let q = Query::table("posts").filter(Filter::contains("tags", "example"));
+        let resp = s.query(&q).unwrap();
+        // Simulate the CDN having cached it.
+        cdn.put(
+            resp.key.as_str(),
+            quaestor_webcache::CacheEntry::new(resp.body.clone(), resp.etag, Timestamp::ZERO, 60_000),
+        );
+        s.update("posts", "p1", &Update::new().pull("tags", "example"))
+            .unwrap();
+        assert_eq!(cdn.len(), 0, "stale result purged from the CDN");
+        assert!(s.metrics().purges.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn ewma_refines_query_ttl_after_invalidation() {
+        let (s, clock) = server();
+        s.insert("posts", "p1", tagged("p1", &["t"])).unwrap();
+        let q = Query::table("posts").filter(Filter::contains("tags", "t"));
+        let r1 = s.query(&q).unwrap();
+        let initial_ttl = r1.ttl_ms;
+        clock.advance(2_000); // actual TTL will be 2000 ms
+        s.update("posts", "p1", &Update::new().pull("tags", "t"))
+            .unwrap();
+        let state = s.active_list().get(&r1.key).unwrap();
+        assert!(
+            state.ttl_ms < initial_ttl,
+            "EWMA must pull the estimate down towards 2000 (was {initial_ttl}, now {})",
+            state.ttl_ms
+        );
+    }
+
+    #[test]
+    fn capacity_rejection_serves_uncacheable() {
+        let clock = ManualClock::new();
+        let db = Database::with_clock(clock.clone());
+        let mut cfg = ServerConfig::default();
+        cfg.max_cached_queries = 1;
+        cfg.invalidb.max_queries = 1;
+        let s = QuaestorServer::new(db, cfg, clock.clone());
+        s.insert("t", "a", doc! { "n" => 1 }).unwrap();
+        let q1 = Query::table("t").filter(Filter::eq("n", 1));
+        let r1 = s.query(&q1).unwrap();
+        assert!(r1.cacheable);
+        // Raise q1's score so q2 cannot evict it.
+        s.query(&q1).unwrap();
+        let q2 = Query::table("t").filter(Filter::eq("n", 2));
+        let r2 = s.query(&q2).unwrap();
+        assert!(!r2.cacheable);
+        assert_eq!(r2.ttl_ms, 0);
+    }
+
+    #[test]
+    fn delete_invalidates_containing_queries() {
+        let (s, _) = server();
+        s.insert("posts", "p1", tagged("p1", &["x"])).unwrap();
+        let q = Query::table("posts").filter(Filter::contains("tags", "x"));
+        let resp = s.query(&q).unwrap();
+        s.delete("posts", "p1").unwrap();
+        let (flat, _) = s.ebf_snapshot();
+        assert!(flat.contains(resp.key.as_str().as_bytes()));
+    }
+
+    #[test]
+    fn query_key_table_extraction() {
+        let q = Query::table("posts").filter(Filter::eq("a", 1));
+        assert_eq!(query_key_table(&QueryKey::of(&q)), "posts");
+        assert_eq!(query_key_table(&QueryKey::record("users", "7")), "users");
+        let bare = Query::table("plain");
+        assert_eq!(query_key_table(&QueryKey::of(&bare)), "plain");
+    }
+
+    #[test]
+    fn member_records_reported_for_ebf_coverage() {
+        let (s, _) = server();
+        s.insert("posts", "p1", tagged("p1", &["x"])).unwrap();
+        let q = Query::table("posts").filter(Filter::contains("tags", "x"));
+        s.query(&q).unwrap();
+        // p1 was reported as a side effect of the query; a write to p1
+        // must now mark the *record* stale too.
+        s.update("posts", "p1", &Update::new().set("kind", "draft"))
+            .unwrap();
+        let (flat, _) = s.ebf_snapshot();
+        assert!(flat.contains(QueryKey::record("posts", "p1").as_str().as_bytes()));
+    }
+}

@@ -1,0 +1,23 @@
+//! MongoDB-style document model.
+//!
+//! Quaestor assumes "records to be rich nested documents that are contained
+//! in tables" (§2). This crate provides that record model:
+//!
+//! * [`Value`] — a JSON-like value with a **BSON-style total order** so
+//!   that range predicates and `ORDER BY` have well-defined semantics
+//!   across types, like MongoDB's comparison rules.
+//! * [`Document`] — an ordered map of fields with **dotted-path** access
+//!   (`author.name`, `tags.0`), the addressing scheme MongoDB predicates
+//!   use for nested documents.
+//! * [`update`] — partial update operators (`$set`, `$unset`, `$inc`,
+//!   `$push`, `$pull`, `$rename`), matching the "partial updates" operation
+//!   class of the paper's workloads (§6.1).
+//! * JSON interop (`serde`), since records are served over a REST/HTTP API.
+
+pub mod path;
+pub mod update;
+pub mod value;
+
+pub use path::Path;
+pub use update::{Update, UpdateOp};
+pub use value::{Document, Value};

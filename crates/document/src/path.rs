@@ -1,0 +1,191 @@
+//! Dotted field paths (`author.name`, `comments.0.text`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed dotted path into a nested document.
+///
+/// Paths are pre-split at construction so that the hot matcher loop
+/// (InvaliDB evaluates every registered query against every after-image)
+/// never re-parses strings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Path {
+    raw: String,
+    /// Byte offsets of segment boundaries within `raw`.
+    #[serde(skip)]
+    splits: Vec<(u32, u32)>,
+}
+
+// Identity is the raw string alone: `splits` is a derived cache that is
+// absent after deserialization and must not affect equality or hashing.
+impl PartialEq for Path {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl Eq for Path {}
+impl std::hash::Hash for Path {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+impl PartialOrd for Path {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Path {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+
+impl Path {
+    /// Parse a dotted path. Empty segments (leading/trailing/double dots)
+    /// are preserved verbatim and will simply never match a field.
+    pub fn new(raw: impl Into<String>) -> Path {
+        let raw = raw.into();
+        let splits = Self::split(&raw);
+        Path { raw, splits }
+    }
+
+    fn split(raw: &str) -> Vec<(u32, u32)> {
+        let mut splits = Vec::with_capacity(2);
+        let mut start = 0u32;
+        for (i, b) in raw.bytes().enumerate() {
+            if b == b'.' {
+                splits.push((start, i as u32));
+                start = i as u32 + 1;
+            }
+        }
+        splits.push((start, raw.len() as u32));
+        splits
+    }
+
+    /// The original dotted string.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments_vec().len()
+    }
+
+    /// True if the path is the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    fn segments_vec(&self) -> &[(u32, u32)] {
+        &self.splits
+    }
+
+    /// Iterate over path segments.
+    pub fn segments(&self) -> impl Iterator<Item = &str> + '_ {
+        // `splits` is skipped by serde; recompute lazily if empty but raw
+        // isn't (deserialized paths).
+        if self.splits.is_empty() && !self.raw.is_empty() {
+            // This only happens post-deserialization; fall back to split.
+            Segments::Lazy(self.raw.split('.'))
+        } else {
+            Segments::Pre {
+                raw: &self.raw,
+                iter: self.splits.iter(),
+            }
+        }
+    }
+
+    /// First segment (the top-level field name).
+    pub fn head(&self) -> &str {
+        self.segments().next().unwrap_or("")
+    }
+}
+
+enum Segments<'a> {
+    Pre {
+        raw: &'a str,
+        iter: std::slice::Iter<'a, (u32, u32)>,
+    },
+    Lazy(std::str::Split<'a, char>),
+}
+
+impl<'a> Iterator for Segments<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        match self {
+            Segments::Pre { raw, iter } => iter
+                .next()
+                .map(|&(s, e)| &raw[s as usize..e as usize]),
+            Segments::Lazy(split) => split.next(),
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+impl From<&str> for Path {
+    fn from(s: &str) -> Self {
+        Path::new(s)
+    }
+}
+
+impl From<String> for Path {
+    fn from(s: String) -> Self {
+        Path::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_segment() {
+        let p = Path::new("tags");
+        assert_eq!(p.segments().collect::<Vec<_>>(), vec!["tags"]);
+        assert_eq!(p.head(), "tags");
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn nested_segments() {
+        let p = Path::new("author.name.first");
+        assert_eq!(
+            p.segments().collect::<Vec<_>>(),
+            vec!["author", "name", "first"]
+        );
+        assert_eq!(p.head(), "author");
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn numeric_segments() {
+        let p = Path::new("comments.0.text");
+        assert_eq!(
+            p.segments().collect::<Vec<_>>(),
+            vec!["comments", "0", "text"]
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(Path::new("").segments().collect::<Vec<_>>(), vec![""]);
+        assert_eq!(
+            Path::new("a..b").segments().collect::<Vec<_>>(),
+            vec!["a", "", "b"]
+        );
+    }
+
+    #[test]
+    fn paths_equal_by_raw_string() {
+        assert_eq!(Path::new("a.b"), Path::new("a.b"));
+        assert_ne!(Path::new("a.b"), Path::new("a.c"));
+    }
+}

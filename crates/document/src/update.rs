@@ -1,0 +1,333 @@
+//! Partial update operators.
+//!
+//! The paper's workloads include "partial updates" (§6.1) and the InvaliDB
+//! example walks a blog post through `+'example'`, `+'music'`,
+//! `-'example'` tag mutations (Figure 5). These are exactly `$push` /
+//! `$pull` on an array field; this module implements the MongoDB-style
+//! operator set the store applies to produce after-images.
+
+use std::collections::BTreeMap;
+
+use quaestor_common::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::path::Path;
+use crate::value::{Document, Value};
+
+/// A single update operator applied to one field path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UpdateOp {
+    /// `$set`: write `value` at the path, creating intermediate objects.
+    Set(Path, Value),
+    /// `$unset`: remove the field at the path.
+    Unset(Path),
+    /// `$inc`: numeric increment (creates the field as `delta` if absent).
+    Inc(Path, f64),
+    /// `$push`: append to an array (creates a one-element array if absent).
+    Push(Path, Value),
+    /// `$pull`: remove all array elements equal to `value`.
+    Pull(Path, Value),
+    /// `$rename`: move the value from one top-level-or-nested path to another.
+    Rename(Path, Path),
+}
+
+/// A batch of update operators applied atomically to one document.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Update {
+    ops: Vec<UpdateOp>,
+}
+
+impl Update {
+    /// An empty update (applying it is a no-op touch that still bumps the
+    /// version — useful for cache-invalidation tests).
+    pub fn new() -> Update {
+        Update::default()
+    }
+
+    /// Add a `$set`.
+    pub fn set(mut self, path: impl Into<Path>, value: impl Into<Value>) -> Self {
+        self.ops.push(UpdateOp::Set(path.into(), value.into()));
+        self
+    }
+
+    /// Add a `$unset`.
+    pub fn unset(mut self, path: impl Into<Path>) -> Self {
+        self.ops.push(UpdateOp::Unset(path.into()));
+        self
+    }
+
+    /// Add an `$inc`.
+    pub fn inc(mut self, path: impl Into<Path>, delta: f64) -> Self {
+        self.ops.push(UpdateOp::Inc(path.into(), delta));
+        self
+    }
+
+    /// Add a `$push`.
+    pub fn push(mut self, path: impl Into<Path>, value: impl Into<Value>) -> Self {
+        self.ops.push(UpdateOp::Push(path.into(), value.into()));
+        self
+    }
+
+    /// Add a `$pull`.
+    pub fn pull(mut self, path: impl Into<Path>, value: impl Into<Value>) -> Self {
+        self.ops.push(UpdateOp::Pull(path.into(), value.into()));
+        self
+    }
+
+    /// Add a `$rename`.
+    pub fn rename(mut self, from: impl Into<Path>, to: impl Into<Path>) -> Self {
+        self.ops.push(UpdateOp::Rename(from.into(), to.into()));
+        self
+    }
+
+    /// The operator list.
+    pub fn ops(&self) -> &[UpdateOp] {
+        &self.ops
+    }
+
+    /// True if there are no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Apply all operators to `doc` in order, mutating it into the
+    /// after-image. Fails atomically: on error the document may be
+    /// partially modified, so the store applies updates to a clone.
+    pub fn apply(&self, doc: &mut Document) -> Result<()> {
+        for op in &self.ops {
+            apply_op(doc, op)?;
+        }
+        Ok(())
+    }
+}
+
+fn apply_op(doc: &mut Document, op: &UpdateOp) -> Result<()> {
+    match op {
+        UpdateOp::Set(path, value) => {
+            set_path(doc, path, value.clone());
+            Ok(())
+        }
+        UpdateOp::Unset(path) => {
+            unset_path(doc, path);
+            Ok(())
+        }
+        UpdateOp::Inc(path, delta) => {
+            let cur = get_mut_or_insert(doc, path, || Value::Int(0));
+            match cur {
+                Value::Int(i) => {
+                    if delta.fract() == 0.0 {
+                        *i += *delta as i64;
+                    } else {
+                        *cur = Value::Float(*i as f64 + delta);
+                    }
+                    Ok(())
+                }
+                Value::Float(f) => {
+                    *f += delta;
+                    Ok(())
+                }
+                other => Err(Error::BadRequest(format!(
+                    "$inc on non-numeric field '{path}' ({})",
+                    other.canonical()
+                ))),
+            }
+        }
+        UpdateOp::Push(path, value) => {
+            let cur = get_mut_or_insert(doc, path, || Value::Array(Vec::new()));
+            match cur {
+                Value::Array(items) => {
+                    items.push(value.clone());
+                    Ok(())
+                }
+                other => Err(Error::BadRequest(format!(
+                    "$push on non-array field '{path}' ({})",
+                    other.canonical()
+                ))),
+            }
+        }
+        UpdateOp::Pull(path, value) => {
+            if let Some(Value::Array(items)) = get_path_mut(doc, path) {
+                items.retain(|v| v != value);
+            }
+            // $pull on a missing/non-array field is a silent no-op, like
+            // MongoDB.
+            Ok(())
+        }
+        UpdateOp::Rename(from, to) => {
+            if let Some(v) = take_path(doc, from) {
+                set_path(doc, to, v);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Navigate to the parent object of `path`, creating intermediate objects.
+fn parent_object<'a>(doc: &'a mut Document, path: &Path) -> Option<(&'a mut Document, String)> {
+    let segs: Vec<&str> = path.segments().collect();
+    let (last, init) = segs.split_last()?;
+    let mut cur: &mut BTreeMap<String, Value> = doc;
+    for seg in init {
+        let entry = cur
+            .entry(seg.to_string())
+            .or_insert_with(|| Value::Object(BTreeMap::new()));
+        match entry {
+            Value::Object(map) => cur = map,
+            // Overwrite non-objects in the way, like MongoDB's $set with
+            // dotted paths does for upserted structure.
+            other => {
+                *other = Value::Object(BTreeMap::new());
+                match other {
+                    Value::Object(map) => cur = map,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+    Some((cur, last.to_string()))
+}
+
+fn set_path(doc: &mut Document, path: &Path, value: Value) {
+    if let Some((parent, key)) = parent_object(doc, path) {
+        parent.insert(key, value);
+    }
+}
+
+fn unset_path(doc: &mut Document, path: &Path) {
+    take_path(doc, path);
+}
+
+fn take_path(doc: &mut Document, path: &Path) -> Option<Value> {
+    let segs: Vec<&str> = path.segments().collect();
+    let (last, init) = segs.split_last()?;
+    let mut cur: &mut BTreeMap<String, Value> = doc;
+    for seg in init {
+        match cur.get_mut(*seg) {
+            Some(Value::Object(map)) => cur = map,
+            _ => return None,
+        }
+    }
+    cur.remove(*last)
+}
+
+fn get_path_mut<'a>(doc: &'a mut Document, path: &Path) -> Option<&'a mut Value> {
+    let segs: Vec<&str> = path.segments().collect();
+    let (last, init) = segs.split_last()?;
+    let mut cur: &mut BTreeMap<String, Value> = doc;
+    for seg in init {
+        match cur.get_mut(*seg) {
+            Some(Value::Object(map)) => cur = map,
+            _ => return None,
+        }
+    }
+    cur.get_mut(*last)
+}
+
+fn get_mut_or_insert<'a>(
+    doc: &'a mut Document,
+    path: &Path,
+    default: impl FnOnce() -> Value,
+) -> &'a mut Value {
+    let (parent, key) = parent_object(doc, path).expect("path has at least one segment");
+    parent.entry(key).or_insert_with(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{doc, varray};
+
+    #[test]
+    fn set_creates_nested_structure() {
+        let mut d = doc! { "title" => "post" };
+        Update::new()
+            .set("author.name", "ada")
+            .apply(&mut d)
+            .unwrap();
+        let v = Value::Object(d.clone());
+        assert_eq!(
+            v.get_path(&Path::new("author.name")),
+            Some(&Value::str("ada"))
+        );
+    }
+
+    #[test]
+    fn unset_removes_field() {
+        let mut d = doc! { "a" => 1, "b" => 2 };
+        Update::new().unset("a").apply(&mut d).unwrap();
+        assert!(!d.contains_key("a"));
+        assert!(d.contains_key("b"));
+    }
+
+    #[test]
+    fn inc_int_and_float() {
+        let mut d = doc! { "likes" => 10 };
+        Update::new().inc("likes", 5.0).apply(&mut d).unwrap();
+        assert_eq!(d["likes"], Value::Int(15));
+        Update::new().inc("likes", 0.5).apply(&mut d).unwrap();
+        assert_eq!(d["likes"], Value::Float(15.5));
+        Update::new().inc("views", 1.0).apply(&mut d).unwrap();
+        assert_eq!(d["views"], Value::Int(1));
+    }
+
+    #[test]
+    fn inc_on_string_fails() {
+        let mut d = doc! { "title" => "post" };
+        let err = Update::new().inc("title", 1.0).apply(&mut d).unwrap_err();
+        assert_eq!(err.status_code(), 400);
+    }
+
+    #[test]
+    fn push_and_pull_mirror_figure5() {
+        // Figure 5: tags {} -> +example -> +music -> -example
+        let mut d = doc! { "title" => "post" };
+        Update::new().push("tags", "example").apply(&mut d).unwrap();
+        assert_eq!(d["tags"], varray!["example"]);
+        Update::new().push("tags", "music").apply(&mut d).unwrap();
+        assert_eq!(d["tags"], varray!["example", "music"]);
+        Update::new().pull("tags", "example").apply(&mut d).unwrap();
+        assert_eq!(d["tags"], varray!["music"]);
+    }
+
+    #[test]
+    fn pull_missing_field_is_noop() {
+        let mut d = doc! { "a" => 1 };
+        Update::new().pull("tags", "x").apply(&mut d).unwrap();
+        assert_eq!(d, doc! { "a" => 1 });
+    }
+
+    #[test]
+    fn push_on_scalar_fails() {
+        let mut d = doc! { "tags" => "not-an-array" };
+        let err = Update::new().push("tags", "x").apply(&mut d).unwrap_err();
+        assert_eq!(err.status_code(), 400);
+    }
+
+    #[test]
+    fn rename_moves_value() {
+        let mut d = doc! { "old" => 7 };
+        Update::new().rename("old", "new").apply(&mut d).unwrap();
+        assert!(!d.contains_key("old"));
+        assert_eq!(d["new"], Value::Int(7));
+    }
+
+    #[test]
+    fn rename_missing_is_noop() {
+        let mut d = doc! { "a" => 1 };
+        Update::new().rename("x", "y").apply(&mut d).unwrap();
+        assert_eq!(d, doc! { "a" => 1 });
+    }
+
+    #[test]
+    fn multi_op_update_applies_in_order() {
+        let mut d = doc! { "n" => 0 };
+        Update::new()
+            .inc("n", 1.0)
+            .set("m", 10)
+            .inc("m", 5.0)
+            .apply(&mut d)
+            .unwrap();
+        assert_eq!(d["n"], Value::Int(1));
+        assert_eq!(d["m"], Value::Int(15));
+    }
+}

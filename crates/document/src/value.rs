@@ -1,0 +1,513 @@
+//! The [`Value`] type and [`Document`] alias.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::path::Path;
+
+/// A JSON-like value with MongoDB/BSON-flavoured total ordering.
+///
+/// Numbers are split into `Int`/`Float` but compare numerically with each
+/// other, as in MongoDB. Objects use a `BTreeMap` so that field order is
+/// canonical — important because the *normalized query string is the cache
+/// key* in Quaestor: two structurally equal literals must serialize
+/// identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum Value {
+    /// Null / absent marker.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Nested document with canonically sorted keys.
+    Object(BTreeMap<String, Value>),
+}
+
+/// A record: a top-level object value. Documents always carry their primary
+/// key in the `_id` field when stored.
+pub type Document = BTreeMap<String, Value>;
+
+/// Type-rank for cross-type ordering, following BSON's canonical order:
+/// Null < Numbers < Strings < Objects < Arrays < Booleans.
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Int(_) | Value::Float(_) => 1,
+        Value::Str(_) => 2,
+        Value::Object(_) => 3,
+        Value::Array(_) => 4,
+        Value::Bool(_) => 5,
+    }
+}
+
+impl Value {
+    /// String value constructor convenience.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Array constructor convenience.
+    pub fn array(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Array(items.into_iter().collect())
+    }
+
+    /// True if this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to f64), `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view, `None` for non-ints.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Resolve a dotted path against this value. Array elements are
+    /// addressed by numeric path segments.
+    pub fn get_path(&self, path: &Path) -> Option<&Value> {
+        let mut cur = self;
+        for seg in path.segments() {
+            match cur {
+                Value::Object(map) => cur = map.get(seg)?,
+                Value::Array(items) => {
+                    let idx: usize = seg.parse().ok()?;
+                    cur = items.get(idx)?;
+                }
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Approximate in-memory footprint in bytes; used by the cost model
+    /// that decides between id-list and object-list representations.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => 8 + s.len(),
+            Value::Array(a) => 8 + a.iter().map(Value::size_bytes).sum::<usize>(),
+            Value::Object(o) => {
+                8 + o
+                    .iter()
+                    .map(|(k, v)| k.len() + 2 + v.size_bytes())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Canonical string rendering. Deterministic: objects print keys in
+    /// sorted order, floats use Rust's shortest-roundtrip formatting.
+    /// Used for query-string normalization (the cache key).
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical(&mut out);
+        out
+    }
+
+    fn write_canonical(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                out.push_str(&i.to_string());
+            }
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                    // 3.0 and 3 must produce the same cache key: they are
+                    // the same point in MongoDB's numeric order.
+                    out.push_str(&(*f as i64).to_string());
+                } else {
+                    out.push_str(&f.to_string());
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_canonical(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(k);
+                    out.push_str("\":");
+                    v.write_canonical(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// BSON-style total order. NaN sorts below all other numbers (MongoDB
+    /// treats NaN as the smallest number), giving a genuine total order
+    /// despite `f64`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (ra, rb) = (type_rank(self), type_rank(other));
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (a, b) if ra == 1 => {
+                let fa = a.as_f64().unwrap();
+                let fb = b.as_f64().unwrap();
+                match (fa.is_nan(), fb.is_nan()) {
+                    (true, true) => Ordering::Equal,
+                    (true, false) => Ordering::Less,
+                    (false, true) => Ordering::Greater,
+                    (false, false) => fa.partial_cmp(&fb).unwrap(),
+                }
+            }
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Array(a), Value::Array(b)) => a.cmp(b),
+            (Value::Object(a), Value::Object(b)) => a.iter().cmp(b.iter()),
+            _ => unreachable!("type ranks matched but variants differ"),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash through the canonical rendering so Int(3) == Float(3.0)
+        // hash identically (they compare equal).
+        state.write(self.canonical().as_bytes());
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<serde_json::Value> for Value {
+    fn from(v: serde_json::Value) -> Self {
+        match v {
+            serde_json::Value::Null => Value::Null,
+            serde_json::Value::Bool(b) => Value::Bool(b),
+            serde_json::Value::Number(n) => {
+                if let Some(i) = n.as_i64() {
+                    Value::Int(i)
+                } else {
+                    Value::Float(n.as_f64().unwrap_or(f64::NAN))
+                }
+            }
+            serde_json::Value::String(s) => Value::Str(s),
+            serde_json::Value::Array(a) => Value::Array(a.into_iter().map(Into::into).collect()),
+            serde_json::Value::Object(o) => {
+                Value::Object(o.into_iter().map(|(k, v)| (k, v.into())).collect())
+            }
+        }
+    }
+}
+
+impl From<Value> for serde_json::Value {
+    fn from(v: Value) -> Self {
+        match v {
+            Value::Null => serde_json::Value::Null,
+            Value::Bool(b) => serde_json::Value::Bool(b),
+            Value::Int(i) => serde_json::Value::from(i),
+            Value::Float(f) => serde_json::Number::from_f64(f)
+                .map(serde_json::Value::Number)
+                .unwrap_or(serde_json::Value::Null),
+            Value::Str(s) => serde_json::Value::String(s),
+            Value::Array(a) => serde_json::Value::Array(a.into_iter().map(Into::into).collect()),
+            Value::Object(o) => {
+                serde_json::Value::Object(o.into_iter().map(|(k, v)| (k, v.into())).collect())
+            }
+        }
+    }
+}
+
+/// Build a [`Document`] with a terse literal syntax:
+///
+/// ```
+/// use quaestor_document::{doc, Value};
+/// let d = doc! { "title" => "First Post", "likes" => 42 };
+/// assert_eq!(d["likes"], Value::Int(42));
+/// ```
+#[macro_export]
+macro_rules! doc {
+    () => { $crate::Document::new() };
+    ( $( $k:expr => $v:expr ),+ $(,)? ) => {{
+        let mut m = $crate::Document::new();
+        $( m.insert($k.to_string(), $crate::Value::from($v)); )+
+        m
+    }};
+}
+
+/// Build a [`Value`] array from heterogeneous literals.
+#[macro_export]
+macro_rules! varray {
+    ( $( $v:expr ),* $(,)? ) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($v) ),* ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn obj(pairs: &[(&str, Value)]) -> Value {
+        Value::Object(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn cross_type_order_is_bson_like() {
+        let vals = [
+            Value::Null,
+            Value::Int(1),
+            Value::str("a"),
+            obj(&[("a", Value::Int(1))]),
+            Value::array([Value::Int(1)]),
+            Value::Bool(false),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} should sort before {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn numeric_cross_compare() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn nan_is_smallest_number() {
+        assert!(Value::Float(f64::NAN) < Value::Float(-1e308));
+        assert!(Value::Float(f64::NAN) > Value::Null);
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn canonical_is_deterministic_and_key_sorted() {
+        let a = obj(&[("b", Value::Int(2)), ("a", Value::Int(1))]);
+        assert_eq!(a.canonical(), r#"{"a":1,"b":2}"#);
+        // Int/Float at the same numeric point canonicalize identically.
+        assert_eq!(Value::Int(3).canonical(), Value::Float(3.0).canonical());
+    }
+
+    #[test]
+    fn get_path_traverses_objects_and_arrays() {
+        let v = obj(&[
+            (
+                "author",
+                obj(&[("name", Value::str("ada")), ("age", Value::Int(36))]),
+            ),
+            ("tags", varray!["example", "music"]),
+        ]);
+        assert_eq!(
+            v.get_path(&Path::new("author.name")),
+            Some(&Value::str("ada"))
+        );
+        assert_eq!(
+            v.get_path(&Path::new("tags.1")),
+            Some(&Value::str("music"))
+        );
+        assert_eq!(v.get_path(&Path::new("tags.7")), None);
+        assert_eq!(v.get_path(&Path::new("author.name.x")), None);
+    }
+
+    #[test]
+    fn doc_macro_builds_documents() {
+        let d = doc! { "title" => "post", "likes" => 42, "hot" => true };
+        assert_eq!(d["title"], Value::str("post"));
+        assert_eq!(d["likes"], Value::Int(42));
+        assert_eq!(d["hot"], Value::Bool(true));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let v = obj(&[
+            ("n", Value::Int(1)),
+            ("f", Value::Float(1.5)),
+            ("s", Value::str("x")),
+            ("a", varray![1, 2]),
+        ]);
+        let j: serde_json::Value = v.clone().into();
+        let back: Value = j.into();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn size_bytes_grows_with_content() {
+        let small = Value::str("a");
+        let big = Value::str("a".repeat(100));
+        assert!(big.size_bytes() > small.size_bytes());
+        let nested = obj(&[("x", big.clone())]);
+        assert!(nested.size_bytes() > big.size_bytes());
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            (-1e12f64..1e12).prop_map(Value::Float),
+            "[a-z]{0,8}".prop_map(Value::Str),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+                proptest::collection::btree_map("[a-z]{1,4}", inner, 0..4)
+                    .prop_map(Value::Object),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn ordering_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+            let ab = a.cmp(&b);
+            let ba = b.cmp(&a);
+            prop_assert_eq!(ab, ba.reverse());
+        }
+
+        #[test]
+        fn ordering_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+            let mut v = [a, b, c];
+            v.sort();
+            prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+        }
+
+        #[test]
+        fn equal_values_have_equal_canonical(a in arb_value(), b in arb_value()) {
+            if a == b {
+                prop_assert_eq!(a.canonical(), b.canonical());
+            }
+        }
+
+        #[test]
+        fn canonical_deterministic(a in arb_value()) {
+            prop_assert_eq!(a.canonical(), a.clone().canonical());
+        }
+    }
+}

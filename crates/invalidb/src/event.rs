@@ -1,0 +1,84 @@
+//! Notification events (Figure 5).
+
+use quaestor_common::Timestamp;
+use quaestor_query::QueryKey;
+
+/// What happened to a record relative to a cached query result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotificationEvent {
+    /// "an object enters a result set"
+    Add,
+    /// "an object leaves a result set"
+    Remove,
+    /// "an object already contained in a result set is updated without
+    /// altering its query \[membership\]"
+    Change,
+    /// "changeIndex events ... represent positional changes within the
+    /// result" — only emitted for sorted (stateful) queries.
+    ChangeIndex {
+        /// Former position in the windowed result.
+        from: usize,
+        /// New position in the windowed result.
+        to: usize,
+    },
+}
+
+impl NotificationEvent {
+    /// Does this event invalidate a cached result in the given
+    /// representation? "When the cached query result contains the IDs of
+    /// the matching objects (id-list), an invalidation is only required on
+    /// result set membership changes (add/remove). Caching full data
+    /// objects (object-list) ... also requires an invalidation as soon as
+    /// any object in the result set changes its state." (§4.1)
+    pub fn invalidates_id_list(&self) -> bool {
+        matches!(
+            self,
+            NotificationEvent::Add
+                | NotificationEvent::Remove
+                | NotificationEvent::ChangeIndex { .. }
+        )
+    }
+
+    /// Object-lists are invalidated by every event kind.
+    pub fn invalidates_object_list(&self) -> bool {
+        true
+    }
+}
+
+/// One notification: a query result changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    /// The affected cached query.
+    pub query: QueryKey,
+    /// What happened.
+    pub event: NotificationEvent,
+    /// The record that caused it.
+    pub record_id: String,
+    /// Database timestamp of the causing write.
+    pub at: Timestamp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_list_ignores_change_events() {
+        assert!(!NotificationEvent::Change.invalidates_id_list());
+        assert!(NotificationEvent::Add.invalidates_id_list());
+        assert!(NotificationEvent::Remove.invalidates_id_list());
+        assert!(NotificationEvent::ChangeIndex { from: 0, to: 1 }.invalidates_id_list());
+    }
+
+    #[test]
+    fn object_list_invalidated_by_everything() {
+        for ev in [
+            NotificationEvent::Add,
+            NotificationEvent::Remove,
+            NotificationEvent::Change,
+            NotificationEvent::ChangeIndex { from: 1, to: 0 },
+        ] {
+            assert!(ev.invalidates_object_list());
+        }
+    }
+}

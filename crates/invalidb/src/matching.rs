@@ -1,0 +1,307 @@
+//! One cell of the matching grid: stateless-query matching with
+//! was-match/is-match state.
+
+use std::sync::Arc;
+
+use quaestor_common::{FxHashMap, FxHashSet};
+use quaestor_document::Document;
+use quaestor_query::{matcher, Query, QueryKey};
+use quaestor_store::{WriteEvent, WriteKind};
+
+use crate::event::{Notification, NotificationEvent};
+
+struct RegisteredQuery {
+    query: Query,
+    /// Ids (within this node's object partition) currently matching.
+    matching: FxHashSet<String>,
+}
+
+/// A matching-task instance responsible for one query partition × one
+/// object partition.
+///
+/// "Simple static matching conditions ... are stateless, meaning that no
+/// additional information is required to determine whether a given
+/// after-image satisfies them. As a consequence, the only state required
+/// for providing add, remove or change notifications to stateless queries
+/// is the former matching status on a per-record basis." (§4.1)
+pub struct MatchingNode {
+    queries: FxHashMap<QueryKey, RegisteredQuery>,
+    /// Match evaluations performed (the ops/s measure of Figure 12).
+    evaluations: u64,
+}
+
+impl Default for MatchingNode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for MatchingNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatchingNode")
+            .field("queries", &self.queries.len())
+            .field("evaluations", &self.evaluations)
+            .finish()
+    }
+}
+
+impl MatchingNode {
+    /// An empty node.
+    pub fn new() -> MatchingNode {
+        MatchingNode {
+            queries: FxHashMap::default(),
+            evaluations: 0,
+        }
+    }
+
+    /// Register a query, seeding its state with the subset of the initial
+    /// result that falls into this node's object partition.
+    pub fn register(&mut self, query: Query, key: QueryKey, initial_ids: Vec<String>) {
+        self.queries.insert(
+            key,
+            RegisteredQuery {
+                query,
+                matching: initial_ids.into_iter().collect(),
+            },
+        );
+    }
+
+    /// Deregister; returns whether the query was present.
+    pub fn deregister(&mut self, key: &QueryKey) -> bool {
+        self.queries.remove(key).is_some()
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Total match evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Match one after-image against every registered query of its table
+    /// ("Is Match? / Was Match?", Figure 6).
+    pub fn process(&mut self, event: &WriteEvent) -> Vec<Notification> {
+        let mut out = Vec::new();
+        for (key, reg) in self.queries.iter_mut() {
+            if reg.query.table != event.table {
+                continue;
+            }
+            self.evaluations += 1;
+            let was = reg.matching.contains(&event.id);
+            let is = event.kind != WriteKind::Delete
+                && matcher::matches(&reg.query.filter, &event.image);
+            let notify = match (was, is) {
+                (false, true) => {
+                    reg.matching.insert(event.id.clone());
+                    Some(NotificationEvent::Add)
+                }
+                (true, false) => {
+                    reg.matching.remove(&event.id);
+                    Some(NotificationEvent::Remove)
+                }
+                (true, true) => Some(NotificationEvent::Change),
+                (false, false) => None,
+            };
+            if let Some(ev) = notify {
+                out.push(Notification {
+                    query: key.clone(),
+                    event: ev,
+                    record_id: event.id.clone(),
+                    at: event.at,
+                });
+            }
+        }
+        out
+    }
+
+    /// Current matching ids of a query within this partition (tests).
+    pub fn matching_ids(&self, key: &QueryKey) -> Option<Vec<String>> {
+        self.queries.get(key).map(|r| {
+            let mut v: Vec<String> = r.matching.iter().cloned().collect();
+            v.sort();
+            v
+        })
+    }
+}
+
+/// Convenience for tests and the inline cluster: build a [`WriteEvent`].
+pub fn write_event(
+    table: &str,
+    id: &str,
+    kind: WriteKind,
+    image: Document,
+    seq: u64,
+) -> WriteEvent {
+    WriteEvent {
+        table: table.to_owned(),
+        id: id.to_owned(),
+        kind,
+        image: Arc::new(image),
+        version: seq,
+        seq,
+        at: quaestor_common::Timestamp::from_millis(seq),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_document::{doc, Value};
+    use quaestor_query::Filter;
+
+    fn tags_query() -> (Query, QueryKey) {
+        let q = Query::table("posts").filter(Filter::contains("tags", "example"));
+        let k = QueryKey::of(&q);
+        (q, k)
+    }
+
+    fn post(tags: &[&str]) -> Document {
+        let mut d = doc! { "title" => "post" };
+        d.insert(
+            "tags".into(),
+            Value::Array(tags.iter().map(|t| Value::str(*t)).collect()),
+        );
+        d
+    }
+
+    #[test]
+    fn figure_5_event_sequence() {
+        // Figure 5: create untagged → +example (add) → +music (change)
+        // → -example (remove).
+        let (q, k) = tags_query();
+        let mut node = MatchingNode::new();
+        node.register(q, k.clone(), vec![]);
+
+        let n1 = node.process(&write_event("posts", "p1", WriteKind::Insert, post(&[]), 1));
+        assert!(n1.is_empty(), "untagged post matches nothing");
+
+        let n2 = node.process(&write_event(
+            "posts",
+            "p1",
+            WriteKind::Update,
+            post(&["example"]),
+            2,
+        ));
+        assert_eq!(n2.len(), 1);
+        assert_eq!(n2[0].event, NotificationEvent::Add);
+
+        let n3 = node.process(&write_event(
+            "posts",
+            "p1",
+            WriteKind::Update,
+            post(&["example", "music"]),
+            3,
+        ));
+        assert_eq!(n3[0].event, NotificationEvent::Change);
+
+        let n4 = node.process(&write_event(
+            "posts",
+            "p1",
+            WriteKind::Update,
+            post(&["music"]),
+            4,
+        ));
+        assert_eq!(n4[0].event, NotificationEvent::Remove);
+        assert_eq!(node.matching_ids(&k).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn delete_of_matching_record_is_remove() {
+        let (q, k) = tags_query();
+        let mut node = MatchingNode::new();
+        node.register(q, k, vec!["p1".to_owned()]);
+        let n = node.process(&write_event(
+            "posts",
+            "p1",
+            WriteKind::Delete,
+            post(&["example"]), // before-image
+            2,
+        ));
+        assert_eq!(n[0].event, NotificationEvent::Remove);
+    }
+
+    #[test]
+    fn delete_of_non_matching_record_is_silent() {
+        let (q, k) = tags_query();
+        let mut node = MatchingNode::new();
+        node.register(q, k, vec![]);
+        let n = node.process(&write_event(
+            "posts",
+            "p9",
+            WriteKind::Delete,
+            post(&[]),
+            2,
+        ));
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn initial_result_seeding_makes_first_update_a_change() {
+        let (q, k) = tags_query();
+        let mut node = MatchingNode::new();
+        node.register(q, k, vec!["p1".to_owned()]);
+        let n = node.process(&write_event(
+            "posts",
+            "p1",
+            WriteKind::Update,
+            post(&["example", "new"]),
+            2,
+        ));
+        assert_eq!(n[0].event, NotificationEvent::Change, "was already matching");
+    }
+
+    #[test]
+    fn other_tables_are_ignored() {
+        let (q, k) = tags_query();
+        let mut node = MatchingNode::new();
+        node.register(q, k, vec![]);
+        let n = node.process(&write_event(
+            "users",
+            "u1",
+            WriteKind::Insert,
+            post(&["example"]),
+            1,
+        ));
+        assert!(n.is_empty());
+        assert_eq!(node.evaluations(), 0, "cross-table events are not matched");
+    }
+
+    #[test]
+    fn multiple_queries_each_get_notifications() {
+        let mut node = MatchingNode::new();
+        let (q1, k1) = tags_query();
+        let q2 = Query::table("posts").filter(Filter::contains("tags", "music"));
+        let k2 = QueryKey::of(&q2);
+        node.register(q1, k1.clone(), vec![]);
+        node.register(q2, k2.clone(), vec![]);
+        let n = node.process(&write_event(
+            "posts",
+            "p1",
+            WriteKind::Insert,
+            post(&["example", "music"]),
+            1,
+        ));
+        assert_eq!(n.len(), 2, "both queries gained the record");
+        assert!(n.iter().all(|x| x.event == NotificationEvent::Add));
+    }
+
+    #[test]
+    fn deregister_stops_notifications() {
+        let (q, k) = tags_query();
+        let mut node = MatchingNode::new();
+        node.register(q, k.clone(), vec![]);
+        assert!(node.deregister(&k));
+        assert!(!node.deregister(&k));
+        let n = node.process(&write_event(
+            "posts",
+            "p1",
+            WriteKind::Insert,
+            post(&["example"]),
+            1,
+        ));
+        assert!(n.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Publish/subscribe channels.
+//!
+//! Quaestor and InvaliDB communicate "through Redis message queues"
+//! (§4.1), and clients "can directly subscribe to websocket-based query
+//! result change streams" (§3.2). Both are served by this fan-out bus:
+//! publishing clones the message to every live subscriber. Each
+//! [`Subscription`] carries an alive flag cleared on drop, so dead
+//! subscribers are pruned on the next publish to their channel.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
+use quaestor_common::FxHashMap;
+
+/// A subscription handle: a receiver of messages published to one channel.
+#[derive(Debug)]
+pub struct Subscription {
+    rx: Receiver<Bytes>,
+    channel: String,
+    alive: Arc<AtomicBool>,
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
+impl Subscription {
+    /// Channel name this subscription listens on.
+    pub fn channel(&self) -> &str {
+        &self.channel
+    }
+
+    /// Non-blocking poll for the next message.
+    pub fn try_recv(&self) -> Option<Bytes> {
+        match self.rx.try_recv() {
+            Ok(m) => Some(m),
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive (used by worker threads in the real-time pipeline).
+    pub fn recv(&self) -> Option<Bytes> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocking receive with timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Bytes> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drain all currently pending messages.
+    pub fn drain(&self) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Some(m) = self.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+}
+
+struct Subscriber {
+    tx: Sender<Bytes>,
+    alive: Arc<AtomicBool>,
+}
+
+/// A multi-channel fan-out message bus.
+#[derive(Default)]
+pub struct PubSub {
+    channels: RwLock<FxHashMap<String, Vec<Subscriber>>>,
+}
+
+impl std::fmt::Debug for PubSub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PubSub")
+            .field("channels", &self.channels.read().len())
+            .finish()
+    }
+}
+
+impl PubSub {
+    /// An empty bus.
+    pub fn new() -> Arc<PubSub> {
+        Arc::new(PubSub::default())
+    }
+
+    /// Subscribe to `channel`.
+    pub fn subscribe(&self, channel: &str) -> Subscription {
+        let (tx, rx) = unbounded();
+        let alive = Arc::new(AtomicBool::new(true));
+        self.channels
+            .write()
+            .entry(channel.to_owned())
+            .or_default()
+            .push(Subscriber {
+                tx,
+                alive: alive.clone(),
+            });
+        Subscription {
+            rx,
+            channel: channel.to_owned(),
+            alive,
+        }
+    }
+
+    /// Publish to every live subscriber; returns the number reached.
+    /// Dropped subscribers are pruned on the way.
+    pub fn publish(&self, channel: &str, message: impl Into<Bytes>) -> usize {
+        let message = message.into();
+        let mut any_dead = false;
+        let mut delivered = 0;
+        {
+            let chans = self.channels.read();
+            if let Some(subs) = chans.get(channel) {
+                for sub in subs {
+                    if sub.alive.load(Ordering::Acquire) && sub.tx.send(message.clone()).is_ok() {
+                        delivered += 1;
+                    } else {
+                        any_dead = true;
+                    }
+                }
+            }
+        }
+        if any_dead {
+            let mut chans = self.channels.write();
+            if let Some(subs) = chans.get_mut(channel) {
+                subs.retain(|s| s.alive.load(Ordering::Acquire));
+                if subs.is_empty() {
+                    chans.remove(channel);
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Number of live subscribers currently registered on `channel`.
+    pub fn subscriber_count(&self, channel: &str) -> usize {
+        self.channels
+            .read()
+            .get(channel)
+            .map(|v| v.iter().filter(|s| s.alive.load(Ordering::Acquire)).count())
+            .unwrap_or(0)
+    }
+
+    /// Drop all subscribers of a channel.
+    pub fn unsubscribe_all(&self, channel: &str) {
+        self.channels.write().remove(channel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_reaches_all_subscribers() {
+        let bus = PubSub::new();
+        let s1 = bus.subscribe("inval");
+        let s2 = bus.subscribe("inval");
+        assert_eq!(bus.publish("inval", &b"q1"[..]), 2);
+        assert_eq!(s1.try_recv().unwrap(), Bytes::from_static(b"q1"));
+        assert_eq!(s2.try_recv().unwrap(), Bytes::from_static(b"q1"));
+        assert!(s1.try_recv().is_none());
+    }
+
+    #[test]
+    fn channels_are_isolated() {
+        let bus = PubSub::new();
+        let a = bus.subscribe("a");
+        let b = bus.subscribe("b");
+        bus.publish("a", &b"m"[..]);
+        assert!(a.try_recv().is_some());
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn publish_to_empty_channel_is_zero() {
+        let bus = PubSub::new();
+        assert_eq!(bus.publish("nobody", &b"m"[..]), 0);
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned() {
+        let bus = PubSub::new();
+        let s1 = bus.subscribe("c");
+        let s2 = bus.subscribe("c");
+        drop(s2);
+        assert_eq!(bus.publish("c", &b"m"[..]), 1);
+        assert!(s1.try_recv().is_some());
+        assert_eq!(bus.subscriber_count("c"), 1, "dead subscriber pruned");
+    }
+
+    #[test]
+    fn channel_entry_removed_when_all_dead() {
+        let bus = PubSub::new();
+        let s = bus.subscribe("c");
+        drop(s);
+        bus.publish("c", &b"m"[..]);
+        assert_eq!(bus.subscriber_count("c"), 0);
+    }
+
+    #[test]
+    fn drain_collects_backlog() {
+        let bus = PubSub::new();
+        let s = bus.subscribe("c");
+        bus.publish("c", &b"1"[..]);
+        bus.publish("c", &b"2"[..]);
+        bus.publish("c", &b"3"[..]);
+        assert_eq!(s.drain().len(), 3);
+        assert!(s.drain().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let bus = PubSub::new();
+        let s = bus.subscribe("c");
+        let bus2 = bus.clone();
+        let t = std::thread::spawn(move || {
+            bus2.publish("c", &b"hello"[..]);
+        });
+        t.join().unwrap();
+        assert_eq!(
+            s.recv_timeout(std::time::Duration::from_secs(1)).unwrap(),
+            Bytes::from_static(b"hello")
+        );
+    }
+
+    #[test]
+    fn unsubscribe_all_clears() {
+        let bus = PubSub::new();
+        let _s = bus.subscribe("c");
+        assert_eq!(bus.subscriber_count("c"), 1);
+        bus.unsubscribe_all("c");
+        assert_eq!(bus.subscriber_count("c"), 0);
+    }
+}

@@ -1,0 +1,531 @@
+//! The sharded key-value store.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use quaestor_common::{fx_hash_str, ClockRef, FxHashMap, SystemClock, Timestamp};
+
+/// A value stored under a key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KvValue {
+    /// Opaque bytes (`GET`/`SET`).
+    Bytes(Bytes),
+    /// Integer counter (`INCRBY`).
+    Int(i64),
+    /// Hash of integer fields (`HINCRBY`) — the counting-Bloom-filter
+    /// layout: one hash per filter, one field per counter slot.
+    Hash(FxHashMap<u64, i64>),
+    /// FIFO list (`LPUSH`/`RPOP`) — the message-queue layout.
+    List(VecDeque<Bytes>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: KvValue,
+    /// Absolute expiry deadline, if set.
+    expires_at: Option<Timestamp>,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<String, Entry>,
+}
+
+impl Shard {
+    /// Drop the entry if it has expired as of `now`; returns whether the
+    /// key is (still) live.
+    fn check_live(&mut self, key: &str, now: Timestamp) -> bool {
+        match self.map.get(key) {
+            Some(e) => {
+                if e.expires_at.is_some_and(|d| d <= now) {
+                    self.map.remove(key);
+                    false
+                } else {
+                    true
+                }
+            }
+            None => false,
+        }
+    }
+}
+
+/// Operation counters for throughput accounting.
+#[derive(Debug, Default)]
+pub struct KvStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl KvStats {
+    /// Read operations served.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Write operations served.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Total operations served.
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+}
+
+/// A sharded, thread-safe, in-memory KV store with Redis-like primitives.
+///
+/// Sharding serves two purposes: write concurrency inside one logical
+/// instance, and a model for the paper's horizontal partitioning of the
+/// EBF ("each table has its own EBF instance", §3.3) when several
+/// `KvStore`s are instantiated.
+pub struct KvStore {
+    shards: Vec<Mutex<Shard>>,
+    clock: ClockRef,
+    stats: KvStats,
+}
+
+impl std::fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvStore")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl KvStore {
+    /// A store with the given shard count and clock.
+    pub fn with_clock(shards: usize, clock: ClockRef) -> Arc<KvStore> {
+        assert!(shards > 0);
+        Arc::new(KvStore {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            clock,
+            stats: KvStats::default(),
+        })
+    }
+
+    /// A 16-shard store on the system clock.
+    pub fn new() -> Arc<KvStore> {
+        Self::with_clock(16, SystemClock::shared())
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        let idx = (fx_hash_str(key) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> &KvStats {
+        &self.stats
+    }
+
+    // ---- strings -------------------------------------------------------
+
+    /// `SET key value [PX ttl]`.
+    pub fn set(&self, key: &str, value: impl Into<Bytes>, ttl_ms: Option<u64>) {
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        shard.map.insert(
+            key.to_owned(),
+            Entry {
+                value: KvValue::Bytes(value.into()),
+                expires_at: ttl_ms.map(|t| now.plus(t)),
+            },
+        );
+    }
+
+    /// `GET key`.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        if !shard.check_live(key, now) {
+            return None;
+        }
+        match &shard.map.get(key)?.value {
+            KvValue::Bytes(b) => Some(b.clone()),
+            _ => None,
+        }
+    }
+
+    /// `DEL key` — returns whether the key existed.
+    pub fn del(&self, key: &str) -> bool {
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        shard.check_live(key, now);
+        shard.map.remove(key).is_some()
+    }
+
+    /// `EXISTS key`.
+    pub fn exists(&self, key: &str) -> bool {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        self.shard(key).lock().check_live(key, now)
+    }
+
+    /// `PEXPIRE key ttl` — set/replace the expiry of an existing key.
+    pub fn expire(&self, key: &str, ttl_ms: u64) -> bool {
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        if !shard.check_live(key, now) {
+            return false;
+        }
+        if let Some(e) = shard.map.get_mut(key) {
+            e.expires_at = Some(now.plus(ttl_ms));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `PTTL key` — remaining life in ms (`None` = no key or no expiry).
+    pub fn ttl(&self, key: &str) -> Option<u64> {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        if !shard.check_live(key, now) {
+            return None;
+        }
+        shard.map.get(key)?.expires_at.map(|d| d.since(now))
+    }
+
+    // ---- counters ------------------------------------------------------
+
+    /// `INCRBY key delta` — atomic; missing keys start at 0.
+    pub fn incr_by(&self, key: &str, delta: i64) -> i64 {
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        shard.check_live(key, now);
+        let entry = shard.map.entry(key.to_owned()).or_insert(Entry {
+            value: KvValue::Int(0),
+            expires_at: None,
+        });
+        match &mut entry.value {
+            KvValue::Int(i) => {
+                *i += delta;
+                *i
+            }
+            other => {
+                // Redis would error; we overwrite-with-counter, which no
+                // internal caller relies on, but keep it deterministic.
+                *other = KvValue::Int(delta);
+                delta
+            }
+        }
+    }
+
+    /// Counter read (0 for missing).
+    pub fn get_int(&self, key: &str) -> i64 {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        if !shard.check_live(key, now) {
+            return 0;
+        }
+        match shard.map.get(key) {
+            Some(Entry {
+                value: KvValue::Int(i),
+                ..
+            }) => *i,
+            _ => 0,
+        }
+    }
+
+    // ---- hashes (counting Bloom filter layout) --------------------------
+
+    /// `HINCRBY key field delta`, clamped at zero on decrement (a counting
+    /// Bloom filter counter can never go negative; clamping matches the
+    /// Orestes Bloom filter implementation the paper open-sourced).
+    pub fn hincr_clamped(&self, key: &str, field: u64, delta: i64) -> i64 {
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        shard.check_live(key, now);
+        let entry = shard.map.entry(key.to_owned()).or_insert(Entry {
+            value: KvValue::Hash(FxHashMap::default()),
+            expires_at: None,
+        });
+        match &mut entry.value {
+            KvValue::Hash(h) => {
+                let slot = h.entry(field).or_insert(0);
+                *slot = (*slot + delta).max(0);
+                let v = *slot;
+                if v == 0 {
+                    h.remove(&field);
+                }
+                v
+            }
+            _ => 0,
+        }
+    }
+
+    /// `HGET key field` (0 for missing).
+    pub fn hget(&self, key: &str, field: u64) -> i64 {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        if !shard.check_live(key, now) {
+            return 0;
+        }
+        match shard.map.get(key) {
+            Some(Entry {
+                value: KvValue::Hash(h),
+                ..
+            }) => h.get(&field).copied().unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// `HGETALL key` — snapshot of all non-zero fields.
+    pub fn hgetall(&self, key: &str) -> Vec<(u64, i64)> {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        if !shard.check_live(key, now) {
+            return Vec::new();
+        }
+        match shard.map.get(key) {
+            Some(Entry {
+                value: KvValue::Hash(h),
+                ..
+            }) => h.iter().map(|(&k, &v)| (k, v)).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    // ---- lists (message queues) ----------------------------------------
+
+    /// `LPUSH key value` — enqueue; returns the new length.
+    pub fn lpush(&self, key: &str, value: impl Into<Bytes>) -> usize {
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        shard.check_live(key, now);
+        let entry = shard.map.entry(key.to_owned()).or_insert(Entry {
+            value: KvValue::List(VecDeque::new()),
+            expires_at: None,
+        });
+        match &mut entry.value {
+            KvValue::List(q) => {
+                q.push_front(value.into());
+                q.len()
+            }
+            _ => 0,
+        }
+    }
+
+    /// `RPOP key` — dequeue the oldest element.
+    pub fn rpop(&self, key: &str) -> Option<Bytes> {
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        if !shard.check_live(key, now) {
+            return None;
+        }
+        match &mut shard.map.get_mut(key)?.value {
+            KvValue::List(q) => q.pop_back(),
+            _ => None,
+        }
+    }
+
+    /// `LLEN key`.
+    pub fn llen(&self, key: &str) -> usize {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let mut shard = self.shard(key).lock();
+        if !shard.check_live(key, now) {
+            return 0;
+        }
+        match shard.map.get(key) {
+            Some(Entry {
+                value: KvValue::List(q),
+                ..
+            }) => q.len(),
+            _ => 0,
+        }
+    }
+
+    // ---- maintenance -----------------------------------------------------
+
+    /// Active-expiry sweep: drop every expired key. Redis runs this
+    /// probabilistically; tests and the simulator call it explicitly.
+    pub fn sweep_expired(&self) -> usize {
+        let now = self.now();
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let before = shard.map.len();
+            shard
+                .map
+                .retain(|_, e| !e.expires_at.is_some_and(|d| d <= now));
+            removed += before - shard.map.len();
+        }
+        removed
+    }
+
+    /// Number of live keys (expired-but-unswept keys excluded).
+    pub fn len(&self) -> usize {
+        let now = self.now();
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .map
+                    .values()
+                    .filter(|e| !e.expires_at.is_some_and(|d| d <= now))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// True if no live keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove everything (FLUSHALL).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().map.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_common::ManualClock;
+
+    fn store() -> (Arc<KvStore>, Arc<ManualClock>) {
+        let clock = ManualClock::new();
+        (KvStore::with_clock(4, clock.clone()), clock)
+    }
+
+    #[test]
+    fn set_get_del() {
+        let (kv, _) = store();
+        kv.set("a", &b"hello"[..], None);
+        assert_eq!(kv.get("a").unwrap(), Bytes::from_static(b"hello"));
+        assert!(kv.del("a"));
+        assert!(kv.get("a").is_none());
+        assert!(!kv.del("a"));
+    }
+
+    #[test]
+    fn keys_expire() {
+        let (kv, clock) = store();
+        kv.set("a", &b"x"[..], Some(100));
+        assert!(kv.exists("a"));
+        assert_eq!(kv.ttl("a"), Some(100));
+        clock.advance(99);
+        assert!(kv.exists("a"));
+        clock.advance(1);
+        assert!(!kv.exists("a"));
+        assert!(kv.get("a").is_none());
+    }
+
+    #[test]
+    fn expire_extends_life() {
+        let (kv, clock) = store();
+        kv.set("a", &b"x"[..], Some(50));
+        clock.advance(40);
+        assert!(kv.expire("a", 100));
+        clock.advance(60);
+        assert!(kv.exists("a"), "expiry was extended");
+        assert!(!kv.expire("missing", 10));
+    }
+
+    #[test]
+    fn counters_are_atomic_across_threads() {
+        let (kv, _) = store();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        kv.incr_by("ctr", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.get_int("ctr"), 8000);
+    }
+
+    #[test]
+    fn hash_counters_clamp_at_zero() {
+        let (kv, _) = store();
+        assert_eq!(kv.hincr_clamped("cbf", 7, 2), 2);
+        assert_eq!(kv.hincr_clamped("cbf", 7, -1), 1);
+        assert_eq!(kv.hincr_clamped("cbf", 7, -5), 0, "clamped");
+        assert_eq!(kv.hget("cbf", 7), 0);
+        assert!(kv.hgetall("cbf").is_empty(), "zero counters are removed");
+    }
+
+    #[test]
+    fn hgetall_snapshots_nonzero() {
+        let (kv, _) = store();
+        kv.hincr_clamped("cbf", 1, 3);
+        kv.hincr_clamped("cbf", 2, 1);
+        kv.hincr_clamped("cbf", 2, -1);
+        let mut all = kv.hgetall("cbf");
+        all.sort_unstable();
+        assert_eq!(all, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn list_is_fifo() {
+        let (kv, _) = store();
+        kv.lpush("q", &b"1"[..]);
+        kv.lpush("q", &b"2"[..]);
+        kv.lpush("q", &b"3"[..]);
+        assert_eq!(kv.llen("q"), 3);
+        assert_eq!(kv.rpop("q").unwrap(), Bytes::from_static(b"1"));
+        assert_eq!(kv.rpop("q").unwrap(), Bytes::from_static(b"2"));
+        assert_eq!(kv.rpop("q").unwrap(), Bytes::from_static(b"3"));
+        assert!(kv.rpop("q").is_none());
+    }
+
+    #[test]
+    fn sweep_removes_expired() {
+        let (kv, clock) = store();
+        for i in 0..10 {
+            kv.set(&format!("k{i}"), &b"x"[..], Some(10 + i));
+        }
+        kv.set("keep", &b"x"[..], None);
+        clock.advance(15);
+        let removed = kv.sweep_expired();
+        assert_eq!(removed, 6, "k0..k5 expired (deadlines 10..15)");
+        assert_eq!(kv.len(), 5);
+        assert!(kv.exists("keep"));
+    }
+
+    #[test]
+    fn stats_count_ops() {
+        let (kv, _) = store();
+        kv.set("a", &b"x"[..], None);
+        kv.get("a");
+        kv.get("b");
+        assert_eq!(kv.stats().writes(), 1);
+        assert_eq!(kv.stats().reads(), 2);
+        assert_eq!(kv.stats().total(), 3);
+    }
+
+    #[test]
+    fn clear_flushes() {
+        let (kv, _) = store();
+        kv.set("a", &b"x"[..], None);
+        kv.incr_by("b", 1);
+        kv.clear();
+        assert!(kv.is_empty());
+    }
+}

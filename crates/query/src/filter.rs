@@ -1,0 +1,340 @@
+//! The predicate AST and full query descriptions.
+
+use quaestor_document::{Path, Value};
+use serde::{Deserialize, Serialize};
+
+/// A comparison or array operator applied to one field path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Field equals value (array fields also match if any element equals,
+    /// like MongoDB's implicit `$elemMatch` for scalars).
+    Eq(Value),
+    /// Field does not equal value.
+    Ne(Value),
+    /// Strictly greater than.
+    Gt(Value),
+    /// Greater than or equal.
+    Gte(Value),
+    /// Strictly less than.
+    Lt(Value),
+    /// Less than or equal.
+    Lte(Value),
+    /// Field value is one of the listed values.
+    In(Vec<Value>),
+    /// Field value is none of the listed values.
+    Nin(Vec<Value>),
+    /// Array field contains the value (the paper's running example:
+    /// `WHERE tags CONTAINS 'example'`).
+    Contains(Value),
+    /// Array field contains **all** listed values (`$all`).
+    All(Vec<Value>),
+    /// Field exists (or, with `false`, does not exist).
+    Exists(bool),
+    /// Array length equals n (`$size`).
+    Size(usize),
+    /// String field starts with the given prefix. A decidable, stateless
+    /// stand-in for MongoDB's anchored regex `/^prefix/`.
+    StartsWith(String),
+}
+
+impl Op {
+    /// Operator mnemonic used in canonical query strings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Eq(_) => "$eq",
+            Op::Ne(_) => "$ne",
+            Op::Gt(_) => "$gt",
+            Op::Gte(_) => "$gte",
+            Op::Lt(_) => "$lt",
+            Op::Lte(_) => "$lte",
+            Op::In(_) => "$in",
+            Op::Nin(_) => "$nin",
+            Op::Contains(_) => "$contains",
+            Op::All(_) => "$all",
+            Op::Exists(_) => "$exists",
+            Op::Size(_) => "$size",
+            Op::StartsWith(_) => "$startsWith",
+        }
+    }
+}
+
+/// A boolean predicate tree over document fields.
+///
+/// All predicates are **stateless** in the sense of §4.1: whether a single
+/// document matches depends only on that document. (Statefulness enters
+/// only through sorting/offset, handled in [`Query`] and InvaliDB's sorted
+/// processing layer.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Filter {
+    /// Matches every document.
+    True,
+    /// One field predicate.
+    Cmp(Path, Op),
+    /// All sub-filters match.
+    And(Vec<Filter>),
+    /// At least one sub-filter matches.
+    Or(Vec<Filter>),
+    /// No sub-filter matches.
+    Nor(Vec<Filter>),
+    /// The sub-filter does not match.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// `field == value`.
+    pub fn eq(path: impl Into<Path>, v: impl Into<Value>) -> Filter {
+        Filter::Cmp(path.into(), Op::Eq(v.into()))
+    }
+
+    /// `field != value`.
+    pub fn ne(path: impl Into<Path>, v: impl Into<Value>) -> Filter {
+        Filter::Cmp(path.into(), Op::Ne(v.into()))
+    }
+
+    /// `field > value`.
+    pub fn gt(path: impl Into<Path>, v: impl Into<Value>) -> Filter {
+        Filter::Cmp(path.into(), Op::Gt(v.into()))
+    }
+
+    /// `field >= value`.
+    pub fn gte(path: impl Into<Path>, v: impl Into<Value>) -> Filter {
+        Filter::Cmp(path.into(), Op::Gte(v.into()))
+    }
+
+    /// `field < value`.
+    pub fn lt(path: impl Into<Path>, v: impl Into<Value>) -> Filter {
+        Filter::Cmp(path.into(), Op::Lt(v.into()))
+    }
+
+    /// `field <= value`.
+    pub fn lte(path: impl Into<Path>, v: impl Into<Value>) -> Filter {
+        Filter::Cmp(path.into(), Op::Lte(v.into()))
+    }
+
+    /// `field CONTAINS value` — the paper's running example predicate.
+    pub fn contains(path: impl Into<Path>, v: impl Into<Value>) -> Filter {
+        Filter::Cmp(path.into(), Op::Contains(v.into()))
+    }
+
+    /// `field IN (values...)`.
+    pub fn is_in(path: impl Into<Path>, vs: impl IntoIterator<Item = Value>) -> Filter {
+        Filter::Cmp(path.into(), Op::In(vs.into_iter().collect()))
+    }
+
+    /// `field exists`.
+    pub fn exists(path: impl Into<Path>) -> Filter {
+        Filter::Cmp(path.into(), Op::Exists(true))
+    }
+
+    /// `field starts with prefix`.
+    pub fn starts_with(path: impl Into<Path>, prefix: impl Into<String>) -> Filter {
+        Filter::Cmp(path.into(), Op::StartsWith(prefix.into()))
+    }
+
+    /// Conjunction.
+    pub fn and(filters: impl IntoIterator<Item = Filter>) -> Filter {
+        Filter::And(filters.into_iter().collect())
+    }
+
+    /// Disjunction.
+    pub fn or(filters: impl IntoIterator<Item = Filter>) -> Filter {
+        Filter::Or(filters.into_iter().collect())
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(filter: Filter) -> Filter {
+        Filter::Not(Box::new(filter))
+    }
+
+    /// Number of leaf predicates; a proxy for matching cost used by the
+    /// capacity manager.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Filter::True => 0,
+            Filter::Cmp(..) => 1,
+            Filter::And(fs) | Filter::Or(fs) | Filter::Nor(fs) => {
+                fs.iter().map(Filter::leaf_count).sum()
+            }
+            Filter::Not(f) => f.leaf_count(),
+        }
+    }
+
+    /// The set of top-level field names this filter touches. Used for
+    /// index selection in the store.
+    pub fn touched_fields(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_fields(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_fields<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Filter::True => {}
+            Filter::Cmp(path, _) => out.push(path.head()),
+            Filter::And(fs) | Filter::Or(fs) | Filter::Nor(fs) => {
+                for f in fs {
+                    f.collect_fields(out);
+                }
+            }
+            Filter::Not(f) => f.collect_fields(out),
+        }
+    }
+
+    /// If this filter pins a field to a single equality value at top level
+    /// of a conjunction, return `(path, value)`. Used by the store to serve
+    /// the query from a hash index.
+    pub fn equality_binding(&self) -> Option<(&Path, &Value)> {
+        match self {
+            Filter::Cmp(p, Op::Eq(v)) => Some((p, v)),
+            Filter::And(fs) => fs.iter().find_map(Filter::equality_binding),
+            _ => None,
+        }
+    }
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Order {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SortKey {
+    /// Field path to sort on.
+    pub path: Path,
+    /// Direction.
+    pub order: Order,
+}
+
+/// A complete query: table, predicate, optional ordering and pagination.
+///
+/// "With additional ORDER BY, LIMIT or OFFSET clauses ... a formerly
+/// stateless query becomes stateful" (§4.1) — [`Query::is_stateful`]
+/// captures exactly that distinction; InvaliDB routes stateful queries
+/// through its order-maintaining layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Table (collection) name.
+    pub table: String,
+    /// The predicate.
+    pub filter: Filter,
+    /// ORDER BY keys (ties broken by `_id` for determinism).
+    pub sort: Vec<SortKey>,
+    /// Maximum result size.
+    pub limit: Option<usize>,
+    /// Number of leading matches to skip.
+    pub offset: usize,
+}
+
+impl Query {
+    /// A full-table query.
+    pub fn table(table: impl Into<String>) -> Query {
+        Query {
+            table: table.into(),
+            filter: Filter::True,
+            sort: Vec::new(),
+            limit: None,
+            offset: 0,
+        }
+    }
+
+    /// Replace the filter.
+    pub fn filter(mut self, filter: Filter) -> Query {
+        self.filter = filter;
+        self
+    }
+
+    /// Append a sort key.
+    pub fn sort_by(mut self, path: impl Into<Path>, order: Order) -> Query {
+        self.sort.push(SortKey {
+            path: path.into(),
+            order,
+        });
+        self
+    }
+
+    /// Set LIMIT.
+    pub fn limit(mut self, n: usize) -> Query {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Set OFFSET.
+    pub fn offset(mut self, n: usize) -> Query {
+        self.offset = n;
+        self
+    }
+
+    /// True if result membership of one record can depend on other records
+    /// (ORDER BY + LIMIT/OFFSET semantics).
+    pub fn is_stateful(&self) -> bool {
+        !self.sort.is_empty() || self.limit.is_some() || self.offset > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_document::varray;
+
+    #[test]
+    fn builders_compose() {
+        let q = Query::table("posts")
+            .filter(Filter::and([
+                Filter::contains("tags", "example"),
+                Filter::gt("likes", 10),
+            ]))
+            .sort_by("likes", Order::Desc)
+            .limit(20)
+            .offset(5);
+        assert_eq!(q.table, "posts");
+        assert_eq!(q.filter.leaf_count(), 2);
+        assert!(q.is_stateful());
+    }
+
+    #[test]
+    fn stateless_query_detection() {
+        let q = Query::table("posts").filter(Filter::eq("topic", "db"));
+        assert!(!q.is_stateful());
+        assert!(Query::table("posts").limit(1).is_stateful());
+        assert!(Query::table("posts").offset(1).is_stateful());
+        assert!(Query::table("posts")
+            .sort_by("x", Order::Asc)
+            .is_stateful());
+    }
+
+    #[test]
+    fn touched_fields_deduped_and_sorted() {
+        let f = Filter::or([
+            Filter::eq("b.x", 1),
+            Filter::eq("a", 2),
+            Filter::not(Filter::eq("b.y", 3)),
+        ]);
+        assert_eq!(f.touched_fields(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn equality_binding_found_through_and() {
+        let f = Filter::and([Filter::gt("likes", 3), Filter::eq("topic", "db")]);
+        let (p, v) = f.equality_binding().unwrap();
+        assert_eq!(p.as_str(), "topic");
+        assert_eq!(v, &Value::str("db"));
+        assert!(Filter::or([Filter::eq("a", 1)]).equality_binding().is_none());
+    }
+
+    #[test]
+    fn leaf_count_counts_nested() {
+        let f = Filter::and([
+            Filter::or([Filter::eq("a", 1), Filter::eq("b", 2)]),
+            Filter::not(Filter::is_in("c", varray![1, 2, 3].as_array().unwrap().to_vec())),
+        ]);
+        assert_eq!(f.leaf_count(), 3);
+    }
+}

@@ -1,0 +1,25 @@
+//! MongoDB-style query language over documents.
+//!
+//! "We assume ... queries that express any boolean expression over
+//! predicates on documents within a single table. As a concrete
+//! representative, we employ the popular MongoDB query language" (§2).
+//!
+//! The three components here correspond to three needs of Quaestor:
+//!
+//! * [`filter`] — the predicate AST (`Filter`) with boolean combinators and
+//!   comparison/array operators, plus ORDER BY / LIMIT / OFFSET in
+//!   [`Query`].
+//! * [`normalize`] — **canonical query strings**. Web caches address
+//!   resources purely by URL, so the normalized query string is the cache
+//!   key; it must be deterministic and identify structurally equal queries.
+//! * [`matcher`] — predicate evaluation against single documents. This is
+//!   the hot path of InvaliDB: every after-image is matched against every
+//!   registered query in its partition.
+
+pub mod filter;
+pub mod matcher;
+pub mod normalize;
+
+pub use filter::{Filter, Op, Order, Query, SortKey};
+pub use matcher::matches;
+pub use normalize::QueryKey;

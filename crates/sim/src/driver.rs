@@ -1,0 +1,555 @@
+//! The closed-loop discrete-event driver.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use quaestor_client::{ClientConfig, QuaestorClient};
+use quaestor_common::{Histogram, ManualClock, Timestamp};
+use quaestor_core::{QuaestorServer, ServerConfig};
+use quaestor_store::Database;
+use quaestor_webcache::{InvalidationCache, ServedBy};
+use quaestor_workload::{Operation, WorkloadConfig, WorkloadGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::latency::LatencyModel;
+
+/// Which system is simulated — the four lines of Figures 8a–8c.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemVariant {
+    /// Full Quaestor: browser caches + EBF + CDN with InvaliDB.
+    Quaestor,
+    /// "EBF only": browser caches + EBF, no CDN.
+    EbfOnly,
+    /// "CDN only": CDN with InvaliDB purges, no browser caches, no EBF.
+    CdnOnly,
+    /// Uncached baseline (the Orestes-style DBaaS without web caching).
+    Uncached,
+}
+
+impl SystemVariant {
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemVariant::Quaestor => "Quaestor",
+            SystemVariant::EbfOnly => "EBF only",
+            SystemVariant::CdnOnly => "CDN only",
+            SystemVariant::Uncached => "Uncached",
+        }
+    }
+
+    /// All four variants in the paper's legend order.
+    pub fn all() -> [SystemVariant; 4] {
+        [
+            SystemVariant::Quaestor,
+            SystemVariant::EbfOnly,
+            SystemVariant::CdnOnly,
+            SystemVariant::Uncached,
+        ]
+    }
+
+    fn has_cdn(&self) -> bool {
+        matches!(self, SystemVariant::Quaestor | SystemVariant::CdnOnly)
+    }
+
+    fn has_browser(&self) -> bool {
+        matches!(self, SystemVariant::Quaestor | SystemVariant::EbfOnly)
+    }
+
+    fn has_ebf(&self) -> bool {
+        matches!(self, SystemVariant::Quaestor | SystemVariant::EbfOnly)
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// System under test.
+    pub variant: SystemVariant,
+    /// Dataset and request mix.
+    pub workload: WorkloadConfig,
+    /// Number of client instances (each with its own browser cache and
+    /// session).
+    pub clients: usize,
+    /// Parallel connections per client (a browser opens ~6; the load
+    /// generator used up to 300).
+    pub connections_per_client: usize,
+    /// EBF refresh interval Δ in ms.
+    pub ebf_refresh_ms: u64,
+    /// Virtual measurement duration.
+    pub duration_ms: u64,
+    /// Virtual warm-up excluded from metrics.
+    pub warmup_ms: u64,
+    /// Latency profile.
+    pub latency: LatencyModel,
+    /// RNG seed (everything is deterministic given the seed).
+    pub seed: u64,
+    /// Verify every read against ground truth (costly; used by Fig. 10).
+    pub measure_staleness: bool,
+    /// Origin service capacity in ops/s (None = infinite). Models the
+    /// paper's server tier saturating: uncached throughput plateaus and
+    /// latency climbs once the origin queue builds (Figures 8a–8c).
+    pub origin_capacity_ops_per_sec: Option<f64>,
+    /// Per-client-instance capacity in ops/s (None = infinite). Models
+    /// the workload-generator machines: "3000 asynchronous connections
+    /// delivered by 10 client instances".
+    pub client_capacity_ops_per_sec: Option<f64>,
+    /// Server tunables.
+    pub server: ServerConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            variant: SystemVariant::Quaestor,
+            workload: WorkloadConfig::default(),
+            clients: 10,
+            connections_per_client: 30,
+            ebf_refresh_ms: 1_000,
+            duration_ms: 60_000,
+            warmup_ms: 5_000,
+            latency: LatencyModel::default(),
+            seed: 42,
+            measure_staleness: false,
+            origin_capacity_ops_per_sec: Some(15_000.0),
+            client_capacity_ops_per_sec: Some(15_000.0),
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Variant simulated.
+    pub variant: SystemVariant,
+    /// Operations completed in the measurement window.
+    pub ops_completed: u64,
+    /// Completed ops per (virtual) second.
+    pub throughput_ops_per_sec: f64,
+    /// Record-read latency (ms).
+    pub read_latency_ms: Histogram,
+    /// Query latency (ms).
+    pub query_latency_ms: Histogram,
+    /// Write latency (ms).
+    pub write_latency_ms: Histogram,
+    /// Query client-cache hit rate.
+    pub query_client_hit_rate: f64,
+    /// Query CDN hit rate.
+    pub query_cdn_hit_rate: f64,
+    /// Record client-cache hit rate.
+    pub record_client_hit_rate: f64,
+    /// Record CDN hit rate.
+    pub record_cdn_hit_rate: f64,
+    /// Stale record reads observed / record reads checked.
+    pub stale_reads: (u64, u64),
+    /// Stale query reads observed / queries checked.
+    pub stale_queries: (u64, u64),
+    /// Total origin reads the server performed.
+    pub origin_reads: u64,
+}
+
+impl SimReport {
+    /// Record staleness rate.
+    pub fn record_staleness_rate(&self) -> f64 {
+        ratio(self.stale_reads)
+    }
+
+    /// Query staleness rate.
+    pub fn query_staleness_rate(&self) -> f64 {
+        ratio(self.stale_queries)
+    }
+}
+
+fn ratio((num, den): (u64, u64)) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+struct Conn {
+    client: usize,
+    gen: WorkloadGenerator,
+    rng: StdRng,
+}
+
+#[derive(Default)]
+struct Tally {
+    query_hits: [u64; 3],  // [client, cdn, origin]
+    record_hits: [u64; 3],
+}
+
+impl Tally {
+    fn count(&mut self, is_query: bool, served: ServedBy, has_browser: bool) {
+        let idx = match (served, has_browser) {
+            (ServedBy::Layer(0), true) => 0,
+            (ServedBy::Layer(_), _) => 1,
+            (ServedBy::Origin, _) => 2,
+        };
+        if is_query {
+            self.query_hits[idx] += 1;
+        } else {
+            self.record_hits[idx] += 1;
+        }
+    }
+}
+
+/// A configured, runnable simulation.
+pub struct Simulation {
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Prepare a simulation.
+    pub fn new(config: SimConfig) -> Simulation {
+        assert!(config.clients > 0 && config.connections_per_client > 0);
+        assert!(config.warmup_ms < config.duration_ms);
+        Simulation { config }
+    }
+
+    /// Total simulated connections.
+    pub fn connections(&self) -> usize {
+        self.config.clients * self.config.connections_per_client
+    }
+
+    /// Run to completion and report.
+    pub fn run(&self) -> SimReport {
+        let cfg = &self.config;
+        let clock = ManualClock::new();
+        let db = Database::with_clock(clock.clone());
+
+        // Populate the dataset; index the queried field so origin query
+        // evaluation is O(result), as a production MongoDB would be.
+        let mut seed_rng = StdRng::seed_from_u64(cfg.seed);
+        let gen0 = WorkloadGenerator::new(cfg.workload);
+        for (table, id, doc) in gen0.dataset(&mut seed_rng) {
+            db.create_table(&table).insert(&id, doc).unwrap();
+        }
+        for t in 0..cfg.workload.tables {
+            db.create_table(&WorkloadConfig::table_name(t))
+                .create_index("category");
+        }
+
+        let server = QuaestorServer::new(db, cfg.server, clock.clone());
+        let cdn = Arc::new(InvalidationCache::new("cdn", 1_000_000));
+        let cdn_layers: Vec<Arc<InvalidationCache>> = if cfg.variant.has_cdn() {
+            server.register_cdn(cdn.clone());
+            vec![cdn.clone()]
+        } else {
+            Vec::new()
+        };
+
+        let client_config = ClientConfig {
+            ebf_refresh_ms: cfg.ebf_refresh_ms,
+            browser_cache_capacity: 100_000,
+            consistency: quaestor_client::Consistency::DeltaAtomic,
+            use_browser_cache: cfg.variant.has_browser(),
+            use_ebf: cfg.variant.has_ebf(),
+            per_table_ebf: false,
+        };
+        let clients: Vec<Arc<QuaestorClient>> = (0..cfg.clients)
+            .map(|_| {
+                Arc::new(QuaestorClient::connect(
+                    server.clone(),
+                    &cdn_layers,
+                    client_config,
+                    clock.clone(),
+                ))
+            })
+            .collect();
+
+        // One generator + RNG per connection; staggered start.
+        let mut conns: Vec<Conn> = (0..self.connections())
+            .map(|i| Conn {
+                client: i % cfg.clients,
+                gen: WorkloadGenerator::new(cfg.workload),
+                rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(1 + i as u64 * 0x9e3779b9)),
+            })
+            .collect();
+
+        let mut heap: BinaryHeap<Reverse<(Timestamp, usize)>> = (0..conns.len())
+            .map(|i| Reverse((Timestamp::from_millis((i % 16) as u64), i)))
+            .collect();
+
+        let mut read_latency = Histogram::new();
+        let mut query_latency = Histogram::new();
+        let mut write_latency = Histogram::new();
+        let mut tally = Tally::default();
+        let mut ops_completed = 0u64;
+        let mut stale_reads = (0u64, 0u64);
+        let mut stale_queries = (0u64, 0u64);
+        // FCFS queue models: next instant each resource is free, in
+        // microseconds of virtual time for sub-ms service times.
+        let origin_service_us = cfg
+            .origin_capacity_ops_per_sec
+            .map(|c| (1_000_000.0 / c) as u64);
+        let client_service_us = cfg
+            .client_capacity_ops_per_sec
+            .map(|c| (1_000_000.0 / c) as u64);
+        let mut origin_free_us = 0u64;
+        let mut client_free_us = vec![0u64; cfg.clients];
+        let warmup = Timestamp::from_millis(cfg.warmup_ms);
+        let end = Timestamp::from_millis(cfg.duration_ms);
+        let has_browser = cfg.variant.has_browser();
+
+        while let Some(Reverse((t, conn_id))) = heap.pop() {
+            if t >= end {
+                break;
+            }
+            clock.set(t);
+            let measured = t >= warmup;
+            let conn = &mut conns[conn_id];
+            let client = &clients[conn.client];
+            let op = conn.gen.next_op(&mut conn.rng);
+            let mut touched_origin = matches!(
+                op,
+                Operation::Insert { .. } | Operation::Update { .. } | Operation::Delete { .. }
+            );
+            let latency_ms = match op {
+                Operation::Read { table, id } => match client.read_record(&table, &id) {
+                    Ok(outcome) => {
+                        touched_origin |= outcome.served_by == ServedBy::Origin;
+                        let lat = self.lat(&mut conn.rng, outcome.served_by);
+                        if measured {
+                            read_latency.record(lat);
+                            tally.count(false, outcome.served_by, has_browser);
+                            if cfg.measure_staleness {
+                                stale_reads.1 += 1;
+                                let truth = server
+                                    .database()
+                                    .table(&table)
+                                    .ok()
+                                    .and_then(|t| t.get(&id))
+                                    .map(|r| r.version)
+                                    .unwrap_or(0);
+                                if outcome.version < truth {
+                                    stale_reads.0 += 1;
+                                }
+                            }
+                        }
+                        lat
+                    }
+                    Err(_) => {
+                        touched_origin = true;
+                        self.config.latency.origin_ms // 404 still costs an RTT
+                    }
+                },
+                Operation::Query(q) => match client.query(&q) {
+                    Ok(outcome) => {
+                        touched_origin |= outcome.served_by == ServedBy::Origin
+                            || outcome.record_fetches.contains(&ServedBy::Origin);
+                        let mut lat = self.lat(&mut conn.rng, outcome.served_by);
+                        for &sb in &outcome.record_fetches {
+                            lat += self.lat(&mut conn.rng, sb);
+                        }
+                        if measured {
+                            query_latency.record(lat);
+                            tally.count(true, outcome.served_by, has_browser);
+                            if cfg.measure_staleness {
+                                stale_queries.1 += 1;
+                                if let Ok(truth) = server.current_query_etag(&q) {
+                                    if outcome.etag != truth {
+                                        stale_queries.0 += 1;
+                                    }
+                                }
+                            }
+                        }
+                        lat
+                    }
+                    Err(_) => {
+                        touched_origin = true;
+                        self.config.latency.origin_ms
+                    }
+                },
+                Operation::Insert {
+                    table,
+                    id,
+                    document,
+                } => {
+                    let _ = client.insert(&table, &id, document);
+                    let lat = self.origin_lat(&mut conn.rng);
+                    if measured {
+                        write_latency.record(lat);
+                    }
+                    lat
+                }
+                Operation::Update { table, id, update } => {
+                    let _ = client.update(&table, &id, &update);
+                    let lat = self.origin_lat(&mut conn.rng);
+                    if measured {
+                        write_latency.record(lat);
+                    }
+                    lat
+                }
+                Operation::Delete { table, id } => {
+                    let _ = client.delete(&table, &id);
+                    let lat = self.origin_lat(&mut conn.rng);
+                    if measured {
+                        write_latency.record(lat);
+                    }
+                    lat
+                }
+            };
+            if measured {
+                ops_completed += 1;
+            }
+            // Resource queueing: every op occupies its client instance for
+            // one service slot; ops that reached the origin also occupy
+            // the origin for one slot. Closed loop: the next op starts
+            // when this one completes (min 1 ms so a 0-latency cache hit
+            // still advances virtual time).
+            let mut total_ms = latency_ms;
+            let now_us = t.as_millis() * 1_000;
+            if let Some(service) = client_service_us {
+                let start = now_us.max(client_free_us[conn.client]);
+                client_free_us[conn.client] = start + service;
+                total_ms += (start + service - now_us) / 1_000;
+            }
+            if touched_origin {
+                if let Some(service) = origin_service_us {
+                    let start = now_us.max(origin_free_us);
+                    origin_free_us = start + service;
+                    total_ms += (start + service - now_us) / 1_000;
+                }
+            }
+            heap.push(Reverse((t.plus(total_ms.max(1)), conn_id)));
+        }
+
+        let span_s = (cfg.duration_ms - cfg.warmup_ms) as f64 / 1_000.0;
+        let q_total: u64 = tally.query_hits.iter().sum();
+        let r_total: u64 = tally.record_hits.iter().sum();
+        SimReport {
+            variant: cfg.variant,
+            ops_completed,
+            throughput_ops_per_sec: ops_completed as f64 / span_s,
+            read_latency_ms: read_latency,
+            query_latency_ms: query_latency,
+            write_latency_ms: write_latency,
+            query_client_hit_rate: ratio((tally.query_hits[0], q_total)),
+            query_cdn_hit_rate: ratio((tally.query_hits[1], q_total)),
+            record_client_hit_rate: ratio((tally.record_hits[0], r_total)),
+            record_cdn_hit_rate: ratio((tally.record_hits[1], r_total)),
+            stale_reads,
+            stale_queries,
+            origin_reads: server.metrics().origin_reads(),
+        }
+    }
+
+    fn lat(&self, rng: &mut StdRng, served: ServedBy) -> u64 {
+        if self.config.variant.has_browser() {
+            self.config.latency.sample(rng, served)
+        } else {
+            self.config.latency.sample_no_browser(rng, served)
+        }
+    }
+
+    fn origin_lat(&self, rng: &mut StdRng) -> u64 {
+        self.config.latency.sample(rng, ServedBy::Origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(variant: SystemVariant) -> SimConfig {
+        SimConfig {
+            variant,
+            workload: WorkloadConfig {
+                tables: 2,
+                docs_per_table: 500,
+                queries_per_table: 20,
+                ..Default::default()
+            },
+            clients: 4,
+            connections_per_client: 5,
+            duration_ms: 8_000,
+            warmup_ms: 1_000,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn quaestor_beats_uncached_on_read_heavy() {
+        let q = Simulation::new(small(SystemVariant::Quaestor)).run();
+        let u = Simulation::new(small(SystemVariant::Uncached)).run();
+        assert!(
+            q.throughput_ops_per_sec > u.throughput_ops_per_sec * 2.0,
+            "Quaestor {} vs uncached {} ops/s — expected a clear win",
+            q.throughput_ops_per_sec,
+            u.throughput_ops_per_sec
+        );
+        assert!(
+            q.query_latency_ms.mean() < u.query_latency_ms.mean() / 2.0,
+            "query latency {} vs {}",
+            q.query_latency_ms.mean(),
+            u.query_latency_ms.mean()
+        );
+    }
+
+    #[test]
+    fn uncached_latency_is_wan_rtt() {
+        let u = Simulation::new(small(SystemVariant::Uncached)).run();
+        let mean = u.query_latency_ms.mean();
+        assert!(
+            (130.0..170.0).contains(&mean),
+            "uncached queries must cost ~145 ms, got {mean}"
+        );
+        assert_eq!(u.query_client_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn cdn_only_sits_between() {
+        let q = Simulation::new(small(SystemVariant::Quaestor)).run();
+        let c = Simulation::new(small(SystemVariant::CdnOnly)).run();
+        let u = Simulation::new(small(SystemVariant::Uncached)).run();
+        assert!(c.throughput_ops_per_sec > u.throughput_ops_per_sec);
+        assert!(q.throughput_ops_per_sec > c.throughput_ops_per_sec);
+        assert_eq!(c.query_client_hit_rate, 0.0, "no browser cache");
+        assert!(c.query_cdn_hit_rate > 0.3, "CDN absorbs the load");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = Simulation::new(small(SystemVariant::Quaestor)).run();
+        let b = Simulation::new(small(SystemVariant::Quaestor)).run();
+        assert_eq!(a.ops_completed, b.ops_completed);
+        assert_eq!(a.query_client_hit_rate, b.query_client_hit_rate);
+        assert_eq!(a.stale_queries, b.stale_queries);
+    }
+
+    #[test]
+    fn staleness_is_low_with_tight_refresh() {
+        let mut cfg = small(SystemVariant::Quaestor);
+        cfg.measure_staleness = true;
+        cfg.ebf_refresh_ms = 1_000;
+        let r = Simulation::new(cfg).run();
+        assert!(r.stale_queries.1 > 0, "queries were checked");
+        assert!(
+            r.query_staleness_rate() < 0.2,
+            "staleness {} too high for a 1 s refresh",
+            r.query_staleness_rate()
+        );
+    }
+
+    #[test]
+    fn longer_refresh_not_less_stale() {
+        let mut tight = small(SystemVariant::Quaestor);
+        tight.measure_staleness = true;
+        tight.ebf_refresh_ms = 500;
+        let mut loose = tight.clone();
+        loose.ebf_refresh_ms = 6_000;
+        let rt = Simulation::new(tight).run();
+        let rl = Simulation::new(loose).run();
+        assert!(
+            rl.query_staleness_rate() >= rt.query_staleness_rate(),
+            "loose Δ ({}) must not beat tight Δ ({})",
+            rl.query_staleness_rate(),
+            rt.query_staleness_rate()
+        );
+    }
+}

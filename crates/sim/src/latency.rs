@@ -1,0 +1,101 @@
+//! Round-trip latency modelling.
+
+use quaestor_webcache::ServedBy;
+use rand::Rng;
+
+/// Per-hop round-trip times in ms, defaulting to the paper's measured
+/// values: "Mean round-trip latency between client instances and Quaestor
+/// was 145 ms", "Fastly was used (round-trip latency 4 ms)", client cache
+/// hits "with no latency" (§6.1–6.2).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// RTT for a browser-cache hit (effectively zero).
+    pub client_hit_ms: u64,
+    /// RTT to the nearest CDN edge.
+    pub cdn_ms: u64,
+    /// RTT to the origin (WAN).
+    pub origin_ms: u64,
+    /// Uniform jitter fraction applied to each sample (0.0 = none).
+    pub jitter: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            client_hit_ms: 0,
+            cdn_ms: 4,
+            origin_ms: 145,
+            jitter: 0.05,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Sample the RTT for a response served by `served_by`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, served_by: ServedBy) -> u64 {
+        let base = match served_by {
+            ServedBy::Layer(0) => self.client_hit_ms,
+            ServedBy::Layer(_) => self.cdn_ms,
+            ServedBy::Origin => self.origin_ms,
+        };
+        self.jittered(rng, base)
+    }
+
+    /// Sample the RTT when the first layer is *not* a browser cache (the
+    /// CDN-only variant: layer 0 is the CDN).
+    pub fn sample_no_browser<R: Rng + ?Sized>(&self, rng: &mut R, served_by: ServedBy) -> u64 {
+        let base = match served_by {
+            ServedBy::Layer(_) => self.cdn_ms,
+            ServedBy::Origin => self.origin_ms,
+        };
+        self.jittered(rng, base)
+    }
+
+    fn jittered<R: Rng + ?Sized>(&self, rng: &mut R, base: u64) -> u64 {
+        if self.jitter <= 0.0 || base == 0 {
+            return base;
+        }
+        let f = 1.0 + rng.gen_range(-self.jitter..self.jitter);
+        (base as f64 * f).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn defaults_match_paper_measurements() {
+        let m = LatencyModel::default();
+        assert_eq!(m.cdn_ms, 4);
+        assert_eq!(m.origin_ms, 145);
+        assert_eq!(m.client_hit_ms, 0);
+    }
+
+    #[test]
+    fn served_by_maps_to_hops() {
+        let m = LatencyModel {
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(m.sample(&mut rng, ServedBy::Layer(0)), 0);
+        assert_eq!(m.sample(&mut rng, ServedBy::Layer(1)), 4);
+        assert_eq!(m.sample(&mut rng, ServedBy::Origin), 145);
+        assert_eq!(m.sample_no_browser(&mut rng, ServedBy::Layer(0)), 4);
+    }
+
+    #[test]
+    fn jitter_stays_bounded() {
+        let m = LatencyModel {
+            jitter: 0.1,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            let v = m.sample(&mut rng, ServedBy::Origin);
+            assert!((130..=160).contains(&v), "{v} out of 145±10%");
+        }
+    }
+}

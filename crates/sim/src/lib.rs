@@ -1,0 +1,27 @@
+//! The Monte Carlo simulation framework (§6.1).
+//!
+//! "We also implemented a Monte Carlo simulation framework of our caching
+//! model that simulates interactions of concurrent clients with client
+//! and CDN caches as well as Quaestor. Simulation is the most reliable
+//! method to analyze properties like staleness as it provides globally
+//! ordered event time stamps for each operation and does not rely on
+//! error-prone clock synchronization."
+//!
+//! The simulator is a closed-loop discrete-event driver over **virtual
+//! time** (a shared [`ManualClock`](quaestor_common::ManualClock)): every
+//! connection issues its next operation the moment its previous one
+//! completes, and an operation's completion time is its dispatch time
+//! plus the round-trip latency of whoever served it ([`LatencyModel`]).
+//! Because all components observe the same virtual clock, staleness is
+//! measured against globally ordered ground truth, exactly as the paper
+//! prescribes.
+
+pub mod driver;
+pub mod latency;
+pub mod scenario;
+pub mod ttl_cdf;
+
+pub use driver::{SimConfig, SimReport, Simulation, SystemVariant};
+pub use latency::LatencyModel;
+pub use scenario::{flash_sale, page_load, FlashSaleReport, PageLoadReport, Region};
+pub use ttl_cdf::{ttl_estimation_cdf, TtlCdfReport};

@@ -1,0 +1,227 @@
+//! End-to-end scenarios: the Figure 1 page-load comparison and the §6.2
+//! "Thinks" flash-sale production anecdote.
+
+use std::sync::Arc;
+
+use quaestor_client::{ClientConfig, QuaestorClient};
+use quaestor_common::ManualClock;
+use quaestor_core::QuaestorServer;
+use quaestor_document::doc;
+use quaestor_query::{Filter, Query};
+use quaestor_webcache::InvalidationCache;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+
+/// A client region with its RTT profile to the CDN edge and to the
+/// (single, Ireland-like) origin region.
+#[derive(Debug, Clone, Copy)]
+pub struct Region {
+    /// Region label.
+    pub name: &'static str,
+    /// RTT to the nearest CDN edge (ms) — CDNs are everywhere, so this is
+    /// small and roughly constant.
+    pub cdn_rtt_ms: u64,
+    /// RTT to the origin region (ms) — grows with distance.
+    pub origin_rtt_ms: u64,
+}
+
+impl Region {
+    /// The four regions of Figure 1 with plausible WAN RTTs to an
+    /// EU-hosted origin.
+    pub fn figure1() -> [Region; 4] {
+        [
+            Region { name: "Frankfurt", cdn_rtt_ms: 4, origin_rtt_ms: 20 },
+            Region { name: "California", cdn_rtt_ms: 4, origin_rtt_ms: 150 },
+            Region { name: "Sydney", cdn_rtt_ms: 4, origin_rtt_ms: 300 },
+            Region { name: "Tokyo", cdn_rtt_ms: 4, origin_rtt_ms: 250 },
+        ]
+    }
+}
+
+/// Result of one page-load measurement.
+#[derive(Debug, Clone)]
+pub struct PageLoadReport {
+    /// Region measured.
+    pub region: &'static str,
+    /// First-load latency with Quaestor (cold browser cache, warm CDN).
+    pub quaestor_ms: u64,
+    /// First-load latency for an uncached DBaaS in the origin region.
+    pub uncached_ms: u64,
+}
+
+/// Simulate Figure 1: a news-site first load (1 query + `records` record
+/// fetches over `parallelism` connections) from each region, with a cold
+/// browser cache and a warm CDN, against an uncached competitor.
+pub fn page_load(records: usize, parallelism: usize) -> Vec<PageLoadReport> {
+    Region::figure1()
+        .into_iter()
+        .map(|region| {
+            let clock = ManualClock::new();
+            let server = QuaestorServer::with_defaults(clock.clone());
+            for i in 0..records {
+                server
+                    .insert("articles", &format!("a{i}"), doc! {
+                        "section" => "frontpage",
+                        "headline" => format!("headline {i}")
+                    })
+                    .unwrap();
+            }
+            let cdn = Arc::new(InvalidationCache::new("edge", 10_000));
+            server.register_cdn(cdn.clone());
+            let q = Query::table("articles").filter(Filter::eq("section", "frontpage"));
+
+            // Warm the CDN (previous visitors anywhere in the world).
+            let warmer = QuaestorClient::connect(
+                server.clone(),
+                &[cdn.clone()],
+                ClientConfig {
+                    use_browser_cache: false,
+                    ..Default::default()
+                },
+                clock.clone(),
+            );
+            warmer.query(&q).unwrap();
+            for i in 0..records {
+                warmer.read_record("articles", &format!("a{i}")).unwrap();
+            }
+
+            // Cold visitor in `region`: every fetch hits the CDN edge.
+            let visitor = QuaestorClient::connect(
+                server.clone(),
+                &[cdn.clone()],
+                ClientConfig::default(),
+                clock.clone(),
+            );
+            let out = visitor.query(&q).unwrap();
+            assert_eq!(out.docs.len(), records);
+            // The page needs 1 query + `records` record fetches; with
+            // `parallelism` connections the critical path is the number
+            // of sequential rounds times the per-fetch RTT.
+            let rounds = 1 + records.div_ceil(parallelism);
+            let quaestor_ms = rounds as u64 * region.cdn_rtt_ms;
+            let uncached_ms = rounds as u64 * region.origin_rtt_ms;
+            PageLoadReport {
+                region: region.name,
+                quaestor_ms,
+                uncached_ms,
+            }
+        })
+        .collect()
+}
+
+/// Result of the flash-sale scenario.
+#[derive(Debug, Clone)]
+pub struct FlashSaleReport {
+    /// Requests issued by the crowd.
+    pub requests: u64,
+    /// Requests absorbed by the CDN.
+    pub cdn_hits: u64,
+    /// Requests that reached the origin.
+    pub origin_requests: u64,
+    /// CDN hit rate.
+    pub cdn_hit_rate: f64,
+}
+
+/// Simulate the §6.2 production anecdote: a TV-spot flash crowd hammers a
+/// product page ("articles with stock counters") while the shop keeps
+/// updating stock. The paper reports a 98% CDN hit rate letting 2 DBaaS
+/// servers survive >20k req/s.
+pub fn flash_sale(visitors: usize, requests_per_visitor: usize, stock_updates: usize) -> FlashSaleReport {
+    let clock = ManualClock::new();
+    let server = QuaestorServer::with_defaults(clock.clone());
+    for p in 0..20 {
+        server
+            .insert("products", &format!("p{p}"), doc! {
+                "name" => format!("product {p}"),
+                "stock" => 1_000,
+                "featured" => true
+            })
+            .unwrap();
+    }
+    let cdn = Arc::new(InvalidationCache::new("edge", 100_000));
+    server.register_cdn(cdn.clone());
+    let q = Query::table("products").filter(Filter::eq("featured", true));
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut requests = 0u64;
+    let origin_before = server.metrics().origin_reads();
+    // Visitors arrive over time; stock updates interleave.
+    let update_every = (visitors * requests_per_visitor / stock_updates.max(1)).max(1);
+    let mut op_count = 0usize;
+    for v in 0..visitors {
+        let visitor = QuaestorClient::connect(
+            server.clone(),
+            std::slice::from_ref(&cdn),
+            ClientConfig::default(),
+            clock.clone(),
+        );
+        for _ in 0..requests_per_visitor {
+            let _ = visitor.query(&q);
+            requests += 1;
+            op_count += 1;
+            if op_count % update_every == 0 {
+                use rand::Rng;
+                let p = rng.gen_range(0..20);
+                let _ = server.update(
+                    "products",
+                    &format!("p{p}"),
+                    &quaestor_document::Update::new().inc("stock", -1.0),
+                );
+            }
+            clock.advance(1);
+        }
+        let _ = v;
+    }
+    let origin_requests = server.metrics().origin_reads() - origin_before;
+    let cdn_stats = cdn.stats();
+    FlashSaleReport {
+        requests,
+        cdn_hits: cdn_stats.hits,
+        origin_requests,
+        cdn_hit_rate: cdn_stats.hit_rate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_load_shape_matches_figure_1() {
+        let reports = page_load(20, 6);
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert!(
+                r.quaestor_ms * 3 < r.uncached_ms,
+                "{}: Quaestor {} ms must be far below uncached {} ms",
+                r.region,
+                r.quaestor_ms,
+                r.uncached_ms
+            );
+        }
+        // The gap grows with distance from the origin region.
+        let frankfurt = &reports[0];
+        let sydney = &reports[2];
+        assert!(sydney.uncached_ms > frankfurt.uncached_ms * 5);
+        // Quaestor is nearly flat across regions (CDN is everywhere).
+        assert_eq!(reports[0].quaestor_ms, reports[2].quaestor_ms);
+    }
+
+    #[test]
+    fn flash_sale_mostly_absorbed_by_cdn() {
+        let r = flash_sale(500, 10, 10);
+        assert_eq!(r.requests, 5_000);
+        assert!(
+            r.cdn_hit_rate > 0.95,
+            "CDN hit rate {} should approach the reported 98%",
+            r.cdn_hit_rate
+        );
+        assert!(
+            r.origin_requests < r.requests / 5,
+            "origin saw {}/{} requests",
+            r.origin_requests,
+            r.requests
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! The change stream of write after-images.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use quaestor_common::{Timestamp, Version};
+use quaestor_document::Document;
+
+/// Kind of write that produced an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// New record created.
+    Insert,
+    /// Existing record modified (partial update or full replace).
+    Update,
+    /// Record removed.
+    Delete,
+}
+
+/// One write operation with its after-image.
+///
+/// For deletes the after-image is the *before*-image (the last state of
+/// the record) so that InvaliDB can determine which query results the
+/// record used to belong to.
+#[derive(Debug, Clone)]
+pub struct WriteEvent {
+    /// Table the write hit.
+    pub table: String,
+    /// Primary key.
+    pub id: String,
+    /// Insert / update / delete.
+    pub kind: WriteKind,
+    /// Full document state after the write (before-image for deletes).
+    pub image: Arc<Document>,
+    /// Version the write produced.
+    pub version: Version,
+    /// Per-table global sequence number: totally orders all writes on the
+    /// table, giving the "global order of all writes" monotonic-writes
+    /// relies on.
+    pub seq: u64,
+    /// Database timestamp of the write.
+    pub at: Timestamp,
+}
+
+struct Tap {
+    tx: Sender<WriteEvent>,
+    alive: Arc<AtomicBool>,
+}
+
+/// A fan-out broadcast of [`WriteEvent`]s.
+///
+/// Unlike the byte-level `quaestor_kv::PubSub`, the change stream is typed
+/// and table-scoped: InvaliDB's changestream-ingestion tasks subscribe
+/// here ("every instance ... transactionally pulls newly arrived data
+/// items from the source", §4.1).
+#[derive(Default)]
+pub struct ChangeStream {
+    taps: Mutex<Vec<Tap>>,
+}
+
+impl std::fmt::Debug for ChangeStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChangeStream")
+            .field("subscribers", &self.taps.lock().len())
+            .finish()
+    }
+}
+
+/// Reader half of a change-stream subscription.
+#[derive(Debug)]
+pub struct ChangeSubscription {
+    rx: Receiver<WriteEvent>,
+    alive: Arc<AtomicBool>,
+}
+
+impl Drop for ChangeSubscription {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
+impl ChangeSubscription {
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Option<WriteEvent> {
+        match self.rx.try_recv() {
+            Ok(e) => Some(e),
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Option<WriteEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocking receive with timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<WriteEvent> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drain everything currently buffered.
+    pub fn drain(&self) -> Vec<WriteEvent> {
+        let mut out = Vec::new();
+        while let Some(e) = self.try_recv() {
+            out.push(e);
+        }
+        out
+    }
+}
+
+impl ChangeStream {
+    /// New, subscriber-less stream.
+    pub fn new() -> ChangeStream {
+        ChangeStream::default()
+    }
+
+    /// Subscribe; events published after this call are delivered.
+    pub fn subscribe(&self) -> ChangeSubscription {
+        let (tx, rx) = unbounded();
+        let alive = Arc::new(AtomicBool::new(true));
+        self.taps.lock().push(Tap {
+            tx,
+            alive: alive.clone(),
+        });
+        ChangeSubscription { rx, alive }
+    }
+
+    /// Publish an event to all live subscribers.
+    pub fn publish(&self, event: WriteEvent) {
+        let mut taps = self.taps.lock();
+        taps.retain(|t| t.alive.load(Ordering::Acquire) && t.tx.send(event.clone()).is_ok());
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.taps.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_document::doc;
+
+    fn ev(id: &str, seq: u64) -> WriteEvent {
+        WriteEvent {
+            table: "posts".into(),
+            id: id.into(),
+            kind: WriteKind::Insert,
+            image: Arc::new(doc! { "_id" => id }),
+            version: 1,
+            seq,
+            at: Timestamp::ZERO,
+        }
+    }
+
+    #[test]
+    fn events_fan_out_in_order() {
+        let stream = ChangeStream::new();
+        let sub = stream.subscribe();
+        stream.publish(ev("a", 1));
+        stream.publish(ev("b", 2));
+        let got = sub.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].id, "a");
+        assert_eq!(got[1].id, "b");
+        assert!(got[0].seq < got[1].seq);
+    }
+
+    #[test]
+    fn late_subscriber_misses_earlier_events() {
+        let stream = ChangeStream::new();
+        stream.publish(ev("a", 1));
+        let sub = stream.subscribe();
+        assert!(sub.try_recv().is_none());
+        stream.publish(ev("b", 2));
+        assert_eq!(sub.try_recv().unwrap().id, "b");
+    }
+
+    #[test]
+    fn dropped_subscriber_pruned_on_publish() {
+        let stream = ChangeStream::new();
+        let s1 = stream.subscribe();
+        let s2 = stream.subscribe();
+        assert_eq!(stream.subscriber_count(), 2);
+        drop(s2);
+        stream.publish(ev("a", 1));
+        assert_eq!(stream.subscriber_count(), 1);
+        assert_eq!(s1.drain().len(), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! The database: a set of named tables sharing one change stream.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use quaestor_common::{ClockRef, Error, FxHashMap, Result, SystemClock};
+use quaestor_query::Query;
+
+use crate::changes::{ChangeStream, ChangeSubscription};
+use crate::table::Table;
+
+/// A multi-table document database.
+///
+/// All tables publish their writes into one [`ChangeStream`], which is
+/// what InvaliDB's changestream-ingestion tasks subscribe to.
+pub struct Database {
+    tables: RwLock<FxHashMap<String, Arc<Table>>>,
+    changes: Arc<ChangeStream>,
+    clock: ClockRef,
+    shards_per_table: usize,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables.read().len())
+            .finish()
+    }
+}
+
+impl Database {
+    /// A database on the system clock with the default shard count.
+    pub fn new() -> Arc<Database> {
+        Self::with_clock(SystemClock::shared())
+    }
+
+    /// A database on an explicit clock (virtual time in the simulator).
+    pub fn with_clock(clock: ClockRef) -> Arc<Database> {
+        Self::with_config(clock, 8)
+    }
+
+    /// Full configuration: clock and per-table shard count ("2 shard
+    /// servers" in the paper's MongoDB deployment).
+    pub fn with_config(clock: ClockRef, shards_per_table: usize) -> Arc<Database> {
+        Arc::new(Database {
+            tables: RwLock::new(FxHashMap::default()),
+            changes: Arc::new(ChangeStream::new()),
+            clock,
+            shards_per_table,
+        })
+    }
+
+    /// Create (or return the existing) table named `name`.
+    pub fn create_table(&self, name: &str) -> Arc<Table> {
+        if let Some(t) = self.tables.read().get(name) {
+            return t.clone();
+        }
+        let mut tables = self.tables.write();
+        tables
+            .entry(name.to_owned())
+            .or_insert_with(|| {
+                Arc::new(Table::new(
+                    name.to_owned(),
+                    self.shards_per_table,
+                    self.changes.clone(),
+                    self.clock.clone(),
+                ))
+            })
+            .clone()
+    }
+
+    /// Look up an existing table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::UnknownTable(name.to_owned()))
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Execute a query against its table.
+    pub fn query(&self, query: &Query) -> Result<Vec<Arc<quaestor_document::Document>>> {
+        Ok(self.table(&query.table)?.query(query))
+    }
+
+    /// Subscribe to the global change stream (all tables).
+    pub fn subscribe_changes(&self) -> ChangeSubscription {
+        self.changes.subscribe()
+    }
+
+    /// The shared change stream handle.
+    pub fn change_stream(&self) -> &Arc<ChangeStream> {
+        &self.changes
+    }
+
+    /// Total record count across tables.
+    pub fn total_records(&self) -> usize {
+        self.tables.read().values().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_document::doc;
+    use quaestor_query::Filter;
+
+    #[test]
+    fn create_table_is_idempotent() {
+        let db = Database::new();
+        let t1 = db.create_table("posts");
+        let t2 = db.create_table("posts");
+        assert!(Arc::ptr_eq(&t1, &t2));
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let db = Database::new();
+        assert!(matches!(db.table("nope"), Err(Error::UnknownTable(_))));
+        let q = Query::table("nope");
+        assert!(db.query(&q).is_err());
+    }
+
+    #[test]
+    fn change_stream_spans_tables() {
+        let db = Database::new();
+        let sub = db.subscribe_changes();
+        db.create_table("a").insert("1", doc! { "x" => 1 }).unwrap();
+        db.create_table("b").insert("2", doc! { "x" => 2 }).unwrap();
+        let events = sub.drain();
+        assert_eq!(events.len(), 2);
+        let tables: Vec<&str> = events.iter().map(|e| e.table.as_str()).collect();
+        assert!(tables.contains(&"a") && tables.contains(&"b"));
+    }
+
+    #[test]
+    fn query_routes_to_table() {
+        let db = Database::new();
+        let t = db.create_table("posts");
+        t.insert("p1", doc! { "topic" => "db" }).unwrap();
+        t.insert("p2", doc! { "topic" => "ml" }).unwrap();
+        let r = db
+            .query(&Query::table("posts").filter(Filter::eq("topic", "db")))
+            .unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn total_records_sums_tables() {
+        let db = Database::new();
+        db.create_table("a").insert("1", doc! {"x" => 1}).unwrap();
+        db.create_table("b").insert("2", doc! {"x" => 1}).unwrap();
+        db.create_table("b").insert("3", doc! {"x" => 1}).unwrap();
+        assert_eq!(db.total_records(), 3);
+        assert_eq!(db.table_names().len(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Hash indexes for equality predicates.
+//!
+//! The evaluation's generated queries are selective equality predicates
+//! ("100 distinct queries per table were generated to initially return on
+//! average 10 documents", §6.1). A per-field hash index keeps initial
+//! query evaluation at registration time O(result) instead of O(table),
+//! which matters for the Table-1 sweep up to millions of documents.
+
+use quaestor_document::{Document, Path, Value};
+
+use quaestor_common::{FxHashMap, FxHashSet};
+
+/// A hash index from the value at one field path to the ids of documents
+/// holding that value. Array fields index every element (multikey index,
+/// as in MongoDB) so that `Contains` predicates can be served too.
+#[derive(Debug)]
+pub struct HashIndex {
+    path: Path,
+    map: FxHashMap<Value, FxHashSet<String>>,
+}
+
+impl HashIndex {
+    /// New index over `path`.
+    pub fn new(path: impl Into<Path>) -> HashIndex {
+        HashIndex {
+            path: path.into(),
+            map: FxHashMap::default(),
+        }
+    }
+
+    /// Indexed path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn keys_of(&self, doc: &Document) -> Vec<Value> {
+        let root = Value::Object(doc.clone());
+        match root.get_path(&self.path) {
+            Some(Value::Array(items)) => {
+                let mut keys: Vec<Value> = items.to_vec();
+                // The array itself is also a key so whole-array equality hits.
+                keys.push(Value::Array(items.to_vec()));
+                keys
+            }
+            Some(v) => vec![v.clone()],
+            None => Vec::new(),
+        }
+    }
+
+    /// Index a (new) document state.
+    pub fn insert(&mut self, id: &str, doc: &Document) {
+        for key in self.keys_of(doc) {
+            self.map.entry(key).or_default().insert(id.to_owned());
+        }
+    }
+
+    /// Remove a document state from the index.
+    pub fn remove(&mut self, id: &str, doc: &Document) {
+        for key in self.keys_of(doc) {
+            if let Some(set) = self.map.get_mut(&key) {
+                set.remove(id);
+                if set.is_empty() {
+                    self.map.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Replace old state with new state.
+    pub fn update(&mut self, id: &str, old: &Document, new: &Document) {
+        self.remove(id, old);
+        self.insert(id, new);
+    }
+
+    /// Ids of documents whose indexed field equals (or, for arrays,
+    /// contains) `value`.
+    pub fn lookup(&self, value: &Value) -> Option<&FxHashSet<String>> {
+        self.map.get(value)
+    }
+
+    /// Number of distinct indexed values.
+    pub fn cardinality(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_document::doc;
+
+    #[test]
+    fn scalar_index_lookup() {
+        let mut idx = HashIndex::new("topic");
+        idx.insert("p1", &doc! { "topic" => "db" });
+        idx.insert("p2", &doc! { "topic" => "db" });
+        idx.insert("p3", &doc! { "topic" => "ml" });
+        let hits = idx.lookup(&Value::str("db")).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains("p1") && hits.contains("p2"));
+        assert!(idx.lookup(&Value::str("none")).is_none());
+    }
+
+    #[test]
+    fn multikey_array_index() {
+        let mut idx = HashIndex::new("tags");
+        let d = doc! { "tags" => vec!["example", "music"] };
+        idx.insert("p1", &d);
+        assert!(idx.lookup(&Value::str("example")).unwrap().contains("p1"));
+        assert!(idx.lookup(&Value::str("music")).unwrap().contains("p1"));
+    }
+
+    #[test]
+    fn update_moves_entries() {
+        let mut idx = HashIndex::new("topic");
+        let old = doc! { "topic" => "db" };
+        let new = doc! { "topic" => "ml" };
+        idx.insert("p1", &old);
+        idx.update("p1", &old, &new);
+        assert!(idx.lookup(&Value::str("db")).is_none());
+        assert!(idx.lookup(&Value::str("ml")).unwrap().contains("p1"));
+    }
+
+    #[test]
+    fn remove_cleans_empty_buckets() {
+        let mut idx = HashIndex::new("topic");
+        let d = doc! { "topic" => "db" };
+        idx.insert("p1", &d);
+        idx.remove("p1", &d);
+        assert_eq!(idx.cardinality(), 0);
+    }
+
+    #[test]
+    fn nested_path_indexing() {
+        let mut idx = HashIndex::new("author.name");
+        idx.insert(
+            "p1",
+            &doc! { "author" => Value::Object(
+                [("name".to_string(), Value::str("ada"))].into_iter().collect()) },
+        );
+        assert!(idx.lookup(&Value::str("ada")).unwrap().contains("p1"));
+    }
+
+    #[test]
+    fn missing_field_not_indexed() {
+        let mut idx = HashIndex::new("topic");
+        idx.insert("p1", &doc! { "other" => 1 });
+        assert_eq!(idx.cardinality(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Sharded document store — the MongoDB substitute.
+//!
+//! Quaestor "is agnostic of its underlying database system" (§2); what it
+//! requires from the database is exactly what this crate provides:
+//!
+//! * **Tables of nested documents** with versioned CRUD and partial
+//!   updates (`quaestor_document::Update`), sharded by hashed primary key
+//!   like the paper's MongoDB cluster ("documents were sharded through
+//!   their hashed primary key", §6.1).
+//! * **Query execution** over single tables (the InvaliDB scope: no joins,
+//!   no aggregations), with optional hash indexes for equality predicates.
+//! * **Monotonic writes**: a per-record version sequence and a global
+//!   sequence number per table; "monotonic writes ... are assumed to be
+//!   given by the database" (§3.2).
+//! * A **change stream of after-images**: "InvaliDB continuously matches
+//!   record after-images provided with each incoming write operation"
+//!   (§4.1). Every insert/update/delete is published as a [`WriteEvent`]
+//!   carrying the full after-image.
+
+pub mod changes;
+pub mod database;
+pub mod index;
+pub mod table;
+
+pub use changes::{ChangeStream, WriteEvent, WriteKind};
+pub use database::Database;
+pub use table::{StoredRecord, Table};

@@ -1,0 +1,532 @@
+//! A single table (collection) of documents.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use quaestor_common::{fx_hash_str, ClockRef, Error, FxHashMap, Result, Timestamp, Version};
+use quaestor_document::{Document, Path, Update, Value};
+use quaestor_query::{matcher, Query};
+
+use crate::changes::{ChangeStream, WriteEvent, WriteKind};
+use crate::index::HashIndex;
+
+/// A stored record: the document plus its version and write timestamp.
+#[derive(Debug, Clone)]
+pub struct StoredRecord {
+    /// The document (shared, immutable snapshot).
+    pub doc: Arc<Document>,
+    /// Monotonically increasing per-record version; doubles as the ETag.
+    pub version: Version,
+    /// Time of the last write.
+    pub updated_at: Timestamp,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<String, StoredRecord>,
+}
+
+/// A table of documents, sharded by hashed primary key.
+///
+/// All mutation methods publish a [`WriteEvent`] with the after-image to
+/// the table's [`ChangeStream`], which InvaliDB ingests.
+pub struct Table {
+    name: String,
+    shards: Vec<RwLock<Shard>>,
+    indexes: RwLock<Vec<HashIndex>>,
+    seq: AtomicU64,
+    changes: Arc<ChangeStream>,
+    clock: ClockRef,
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Table {
+    pub(crate) fn new(
+        name: String,
+        shards: usize,
+        changes: Arc<ChangeStream>,
+        clock: ClockRef,
+    ) -> Table {
+        assert!(shards > 0);
+        Table {
+            name,
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            indexes: RwLock::new(Vec::new()),
+            seq: AtomicU64::new(0),
+            changes,
+            clock,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn shard(&self, id: &str) -> &RwLock<Shard> {
+        let idx = (fx_hash_str(id) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().map.len()).sum()
+    }
+
+    /// True if the table holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Declare a hash index over `path`. Existing records are indexed
+    /// immediately.
+    pub fn create_index(&self, path: impl Into<Path>) {
+        let mut idx = HashIndex::new(path);
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (id, rec) in &shard.map {
+                idx.insert(id, &rec.doc);
+            }
+        }
+        self.indexes.write().push(idx);
+    }
+
+    fn index_insert(&self, id: &str, doc: &Document) {
+        let mut idxs = self.indexes.write();
+        for idx in idxs.iter_mut() {
+            idx.insert(id, doc);
+        }
+    }
+
+    fn index_update(&self, id: &str, old: &Document, new: &Document) {
+        let mut idxs = self.indexes.write();
+        for idx in idxs.iter_mut() {
+            idx.update(id, old, new);
+        }
+    }
+
+    fn index_remove(&self, id: &str, doc: &Document) {
+        let mut idxs = self.indexes.write();
+        for idx in idxs.iter_mut() {
+            idx.remove(id, doc);
+        }
+    }
+
+    fn publish(
+        &self,
+        id: &str,
+        kind: WriteKind,
+        image: Arc<Document>,
+        version: Version,
+        at: Timestamp,
+    ) -> WriteEvent {
+        let event = WriteEvent {
+            table: self.name.clone(),
+            id: id.to_owned(),
+            kind,
+            image,
+            version,
+            seq: self.next_seq(),
+            at,
+        };
+        self.changes.publish(event.clone());
+        event
+    }
+
+    /// Insert a new record. The document gets an `_id` field set to `id`.
+    /// Fails with [`Error::AlreadyExists`] on duplicate primary keys.
+    pub fn insert(&self, id: &str, mut doc: Document) -> Result<WriteEvent> {
+        doc.insert("_id".to_owned(), Value::str(id));
+        let now = self.clock.now();
+        let arc = Arc::new(doc);
+        {
+            let mut shard = self.shard(id).write();
+            if shard.map.contains_key(id) {
+                return Err(Error::AlreadyExists {
+                    table: self.name.clone(),
+                    id: id.to_owned(),
+                });
+            }
+            shard.map.insert(
+                id.to_owned(),
+                StoredRecord {
+                    doc: arc.clone(),
+                    version: 1,
+                    updated_at: now,
+                },
+            );
+        }
+        self.index_insert(id, &arc);
+        Ok(self.publish(id, WriteKind::Insert, arc, 1, now))
+    }
+
+    /// Read a record.
+    pub fn get(&self, id: &str) -> Option<StoredRecord> {
+        self.shard(id).read().map.get(id).cloned()
+    }
+
+    /// Apply a partial [`Update`]; returns the event with the after-image.
+    /// `expected_version` enables optimistic concurrency (None = last
+    /// writer wins).
+    pub fn update(
+        &self,
+        id: &str,
+        update: &Update,
+        expected_version: Option<Version>,
+    ) -> Result<WriteEvent> {
+        let now = self.clock.now();
+        let (old, new, version) = {
+            let mut shard = self.shard(id).write();
+            let rec = shard.map.get_mut(id).ok_or_else(|| Error::NotFound {
+                table: self.name.clone(),
+                id: id.to_owned(),
+            })?;
+            if let Some(expected) = expected_version {
+                if rec.version != expected {
+                    return Err(Error::VersionMismatch {
+                        table: self.name.clone(),
+                        id: id.to_owned(),
+                        expected,
+                        actual: rec.version,
+                    });
+                }
+            }
+            // Apply to a clone so a failed operator leaves the record
+            // untouched (atomicity of the update batch).
+            let mut doc = (*rec.doc).clone();
+            update.apply(&mut doc)?;
+            doc.insert("_id".to_owned(), Value::str(id));
+            let old = rec.doc.clone();
+            let new = Arc::new(doc);
+            rec.doc = new.clone();
+            rec.version += 1;
+            rec.updated_at = now;
+            (old, new, rec.version)
+        };
+        self.index_update(id, &old, &new);
+        Ok(self.publish(id, WriteKind::Update, new, version, now))
+    }
+
+    /// Replace the whole document (upsert = false).
+    pub fn replace(
+        &self,
+        id: &str,
+        mut doc: Document,
+        expected_version: Option<Version>,
+    ) -> Result<WriteEvent> {
+        doc.insert("_id".to_owned(), Value::str(id));
+        let now = self.clock.now();
+        let arc = Arc::new(doc);
+        let (old, version) = {
+            let mut shard = self.shard(id).write();
+            let rec = shard.map.get_mut(id).ok_or_else(|| Error::NotFound {
+                table: self.name.clone(),
+                id: id.to_owned(),
+            })?;
+            if let Some(expected) = expected_version {
+                if rec.version != expected {
+                    return Err(Error::VersionMismatch {
+                        table: self.name.clone(),
+                        id: id.to_owned(),
+                        expected,
+                        actual: rec.version,
+                    });
+                }
+            }
+            let old = rec.doc.clone();
+            rec.doc = arc.clone();
+            rec.version += 1;
+            rec.updated_at = now;
+            (old, rec.version)
+        };
+        self.index_update(id, &old, &arc);
+        Ok(self.publish(id, WriteKind::Update, arc, version, now))
+    }
+
+    /// Delete a record. The event carries the before-image.
+    pub fn delete(&self, id: &str, expected_version: Option<Version>) -> Result<WriteEvent> {
+        let now = self.clock.now();
+        let (old, version) = {
+            let mut shard = self.shard(id).write();
+            let rec = shard.map.get(id).ok_or_else(|| Error::NotFound {
+                table: self.name.clone(),
+                id: id.to_owned(),
+            })?;
+            if let Some(expected) = expected_version {
+                if rec.version != expected {
+                    return Err(Error::VersionMismatch {
+                        table: self.name.clone(),
+                        id: id.to_owned(),
+                        expected,
+                        actual: rec.version,
+                    });
+                }
+            }
+            let rec = shard.map.remove(id).unwrap();
+            (rec.doc, rec.version)
+        };
+        self.index_remove(id, &old);
+        Ok(self.publish(id, WriteKind::Delete, old, version, now))
+    }
+
+    /// Execute a query. Uses a hash index when the filter pins an indexed
+    /// field with an equality, otherwise scans.
+    pub fn query(&self, query: &Query) -> Vec<Arc<Document>> {
+        debug_assert_eq!(query.table, self.name);
+        let candidates: Option<Vec<String>> = {
+            let idxs = self.indexes.read();
+            query.filter.equality_binding().and_then(|(path, value)| {
+                idxs.iter()
+                    .find(|i| i.path() == path)
+                    .map(|i| match i.lookup(value) {
+                        Some(ids) => ids.iter().cloned().collect(),
+                        None => Vec::new(),
+                    })
+            })
+        };
+        let mut hits: Vec<Arc<Document>> = match candidates {
+            Some(ids) => ids
+                .iter()
+                .filter_map(|id| self.get(id))
+                .filter(|rec| matcher::matches(&query.filter, &rec.doc))
+                .map(|rec| rec.doc)
+                .collect(),
+            None => {
+                let mut out = Vec::new();
+                for shard in &self.shards {
+                    let shard = shard.read();
+                    out.extend(
+                        shard
+                            .map
+                            .values()
+                            .filter(|rec| matcher::matches(&query.filter, &rec.doc))
+                            .map(|rec| rec.doc.clone()),
+                    );
+                }
+                out
+            }
+        };
+        hits.sort_by(|a, b| matcher::compare_docs(a, b, &query.sort));
+        let start = query.offset.min(hits.len());
+        let end = match query.limit {
+            Some(l) => (start + l).min(hits.len()),
+            None => hits.len(),
+        };
+        hits.drain(..start);
+        hits.truncate(end - start);
+        hits
+    }
+
+    /// Ids of all records matching a query (the id-list representation).
+    pub fn query_ids(&self, query: &Query) -> Vec<String> {
+        self.query(query)
+            .iter()
+            .filter_map(|d| d.get("_id").and_then(Value::as_str).map(str::to_owned))
+            .collect()
+    }
+
+    /// Iterate a snapshot of all records (used for index builds and tests).
+    pub fn snapshot(&self) -> Vec<(String, StoredRecord)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.read();
+            out.extend(shard.map.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_common::ManualClock;
+    use quaestor_document::doc;
+    use quaestor_query::{Filter, Order};
+
+    fn table() -> (Table, Arc<ChangeStream>) {
+        let changes = Arc::new(ChangeStream::new());
+        let clock = ManualClock::new();
+        (
+            Table::new("posts".into(), 4, changes.clone(), clock),
+            changes,
+        )
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let (t, _) = table();
+        t.insert("p1", doc! { "title" => "hello" }).unwrap();
+        let rec = t.get("p1").unwrap();
+        assert_eq!(rec.version, 1);
+        assert_eq!(rec.doc["title"], Value::str("hello"));
+        assert_eq!(rec.doc["_id"], Value::str("p1"), "_id is set");
+    }
+
+    #[test]
+    fn duplicate_insert_fails() {
+        let (t, _) = table();
+        t.insert("p1", doc! {"a" => 1}).unwrap();
+        let err = t.insert("p1", doc! {"a" => 2}).unwrap_err();
+        assert_eq!(err.status_code(), 409);
+    }
+
+    #[test]
+    fn update_bumps_version_and_publishes_after_image() {
+        let (t, changes) = table();
+        let sub = changes.subscribe();
+        t.insert("p1", doc! { "likes" => 1 }).unwrap();
+        let ev = t
+            .update("p1", &Update::new().inc("likes", 1.0), None)
+            .unwrap();
+        assert_eq!(ev.version, 2);
+        assert_eq!(ev.image["likes"], Value::Int(2));
+        let events = sub.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].kind, WriteKind::Update);
+        assert!(events[0].seq < events[1].seq, "sequence is monotonic");
+    }
+
+    #[test]
+    fn occ_version_check() {
+        let (t, _) = table();
+        t.insert("p1", doc! { "a" => 1 }).unwrap();
+        t.update("p1", &Update::new().set("a", 2), Some(1)).unwrap();
+        let err = t
+            .update("p1", &Update::new().set("a", 3), Some(1))
+            .unwrap_err();
+        assert!(matches!(err, Error::VersionMismatch { actual: 2, .. }));
+    }
+
+    #[test]
+    fn failed_update_leaves_record_untouched() {
+        let (t, _) = table();
+        t.insert("p1", doc! { "title" => "post" }).unwrap();
+        // $inc on a string fails after... batch containing a valid set too.
+        let bad = Update::new().set("x", 1).inc("title", 1.0);
+        assert!(t.update("p1", &bad, None).is_err());
+        let rec = t.get("p1").unwrap();
+        assert_eq!(rec.version, 1);
+        assert!(!rec.doc.contains_key("x"), "no partial application");
+    }
+
+    #[test]
+    fn delete_publishes_before_image() {
+        let (t, changes) = table();
+        let sub = changes.subscribe();
+        t.insert("p1", doc! { "title" => "bye" }).unwrap();
+        let ev = t.delete("p1", None).unwrap();
+        assert_eq!(ev.kind, WriteKind::Delete);
+        assert_eq!(ev.image["title"], Value::str("bye"));
+        assert!(t.get("p1").is_none());
+        assert_eq!(sub.drain().len(), 2);
+        assert!(t.delete("p1", None).is_err());
+    }
+
+    #[test]
+    fn query_scan_filters_and_sorts() {
+        let (t, _) = table();
+        for (id, likes) in [("a", 3), ("b", 1), ("c", 2)] {
+            t.insert(id, doc! { "likes" => likes }).unwrap();
+        }
+        let q = Query::table("posts")
+            .filter(Filter::gt("likes", 1))
+            .sort_by("likes", Order::Desc);
+        let r = t.query(&q);
+        let likes: Vec<i64> = r.iter().map(|d| d["likes"].as_i64().unwrap()).collect();
+        assert_eq!(likes, vec![3, 2]);
+    }
+
+    #[test]
+    fn query_uses_index_consistently_with_scan() {
+        let (t, _) = table();
+        for i in 0..100 {
+            let topic = if i % 3 == 0 { "db" } else { "ml" };
+            t.insert(&format!("p{i}"), doc! { "topic" => topic, "n" => i })
+                .unwrap();
+        }
+        let q = Query::table("posts").filter(Filter::and([
+            Filter::eq("topic", "db"),
+            Filter::gt("n", 50),
+        ]));
+        let scanned = t.query(&q);
+        t.create_index("topic");
+        let indexed = t.query(&q);
+        assert_eq!(scanned.len(), indexed.len());
+        let ids = |v: &Vec<Arc<Document>>| -> Vec<String> {
+            v.iter()
+                .map(|d| d["_id"].as_str().unwrap().to_owned())
+                .collect()
+        };
+        assert_eq!(ids(&scanned), ids(&indexed));
+    }
+
+    #[test]
+    fn index_stays_fresh_across_updates_and_deletes() {
+        let (t, _) = table();
+        t.create_index("topic");
+        t.insert("p1", doc! { "topic" => "db" }).unwrap();
+        t.update("p1", &Update::new().set("topic", "ml"), None)
+            .unwrap();
+        let q_db = Query::table("posts").filter(Filter::eq("topic", "db"));
+        let q_ml = Query::table("posts").filter(Filter::eq("topic", "ml"));
+        assert!(t.query(&q_db).is_empty());
+        assert_eq!(t.query(&q_ml).len(), 1);
+        t.delete("p1", None).unwrap();
+        assert!(t.query(&q_ml).is_empty());
+    }
+
+    #[test]
+    fn query_ids_returns_primary_keys() {
+        let (t, _) = table();
+        t.insert("a", doc! { "x" => 1 }).unwrap();
+        t.insert("b", doc! { "x" => 1 }).unwrap();
+        let ids = t.query_ids(&Query::table("posts").filter(Filter::eq("x", 1)));
+        assert_eq!(ids, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn offset_limit_pagination() {
+        let (t, _) = table();
+        for i in 0..10 {
+            t.insert(&format!("p{i:02}"), doc! { "n" => i }).unwrap();
+        }
+        let q = Query::table("posts")
+            .sort_by("n", Order::Asc)
+            .offset(3)
+            .limit(4);
+        let r = t.query(&q);
+        let ns: Vec<i64> = r.iter().map(|d| d["n"].as_i64().unwrap()).collect();
+        assert_eq!(ns, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_safe() {
+        let (t, _) = table();
+        let t = Arc::new(t);
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..250 {
+                        t.insert(&format!("w{w}-{i}"), doc! { "w" => w as i64 })
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 1000);
+    }
+}

@@ -1,0 +1,144 @@
+//! The Alex protocol — the classic TTL baseline (§7).
+//!
+//! "A popular and widely used TTL estimation strategy is the Alex
+//! protocol that originates from the Alex FTP cache. It calculates the
+//! TTL as a percentage of the time since the last modification, capped by
+//! an upper TTL bound. This is similar to Quaestor's TTL update strategy
+//! for queries but has the downside of neither converging to the actual
+//! TTL nor being able to give estimates for new queries." (§7)
+//!
+//! Implemented here as the comparison baseline for the TTL-strategy
+//! ablation: `TTL = factor × (now − last_modified)`, clamped.
+
+use quaestor_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Alex-protocol parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AlexConfig {
+    /// Fraction of the age since last modification granted as TTL.
+    /// Squid's classic default is 20%.
+    pub factor: f64,
+    /// TTL floor (ms).
+    pub min_ttl_ms: u64,
+    /// TTL cap (ms) — "capped by an upper TTL bound".
+    pub max_ttl_ms: u64,
+}
+
+impl Default for AlexConfig {
+    fn default() -> Self {
+        AlexConfig {
+            factor: 0.2,
+            min_ttl_ms: 1_000,
+            max_ttl_ms: 600_000,
+        }
+    }
+}
+
+/// Stateless Alex TTL computation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlexEstimator {
+    config: AlexConfig,
+}
+
+impl AlexEstimator {
+    /// An estimator with the given parameters.
+    pub fn new(config: AlexConfig) -> AlexEstimator {
+        assert!(config.factor > 0.0);
+        assert!(config.min_ttl_ms <= config.max_ttl_ms);
+        AlexEstimator { config }
+    }
+
+    /// The parameters.
+    pub fn config(&self) -> AlexConfig {
+        self.config
+    }
+
+    /// `TTL = factor × age`, clamped. For never-modified resources
+    /// (`last_modified == None`) Alex has no signal — it falls back to
+    /// the *floor*, the conservative choice (the paper's criticism:
+    /// "[not] being able to give estimates for new queries").
+    pub fn ttl(&self, now: Timestamp, last_modified: Option<Timestamp>) -> u64 {
+        match last_modified {
+            Some(lm) => {
+                let age = now.since(lm) as f64;
+                let ttl = (age * self.config.factor) as u64;
+                ttl.clamp(self.config.min_ttl_ms, self.config.max_ttl_ms)
+            }
+            None => self.config.min_ttl_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn ttl_is_fraction_of_age() {
+        let alex = AlexEstimator::new(AlexConfig {
+            factor: 0.2,
+            min_ttl_ms: 0,
+            max_ttl_ms: u64::MAX / 2,
+        });
+        // Modified 100 s ago => 20 s TTL.
+        assert_eq!(alex.ttl(ts(200_000), Some(ts(100_000))), 20_000);
+    }
+
+    #[test]
+    fn cap_and_floor_apply() {
+        let alex = AlexEstimator::new(AlexConfig {
+            factor: 0.2,
+            min_ttl_ms: 5_000,
+            max_ttl_ms: 30_000,
+        });
+        assert_eq!(alex.ttl(ts(1_000), Some(ts(900))), 5_000, "floor");
+        assert_eq!(
+            alex.ttl(ts(10_000_000), Some(ts(0))),
+            30_000,
+            "upper bound"
+        );
+    }
+
+    #[test]
+    fn new_resources_get_the_floor() {
+        let alex = AlexEstimator::new(AlexConfig::default());
+        assert_eq!(alex.ttl(ts(50_000), None), 1_000);
+    }
+
+    #[test]
+    fn alex_does_not_converge_unlike_ewma() {
+        // The §7 criticism, demonstrated: a resource written every 10 s
+        // gets an Alex TTL proportional to *time since last write*, not
+        // to the inter-write gap — right after each write the estimate
+        // collapses, long after it balloons. Quaestor's EWMA converges.
+        let alex = AlexEstimator::new(AlexConfig {
+            factor: 0.5,
+            min_ttl_ms: 0,
+            max_ttl_ms: u64::MAX / 2,
+        });
+        let just_after = alex.ttl(ts(100_100), Some(ts(100_000)));
+        let long_after = alex.ttl(ts(109_900), Some(ts(100_000)));
+        assert!(just_after < 100);
+        assert!(long_after > 4_000);
+
+        let quaestor = crate::TtlEstimator::new(crate::EstimatorConfig {
+            min_ttl_ms: 0,
+            max_ttl_ms: u64::MAX / 2,
+            alpha: 0.5,
+            quantile: 0.8,
+        });
+        let mut est = 100_000u64;
+        for _ in 0..20 {
+            est = quaestor.refine_query_ttl(est, 10_000);
+        }
+        assert!(
+            (est as i64 - 10_000).unsigned_abs() < 100,
+            "EWMA converges to the 10 s truth, Alex never does"
+        );
+    }
+}

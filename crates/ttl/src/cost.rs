@@ -1,0 +1,177 @@
+//! The id-list vs object-list representation decision.
+//!
+//! "A cached query can either be served as a list of record URLs
+//! (id-list) or as a full result set (object-list). Id-lists are more
+//! space-efficient and yield higher per-record cache hit rates but
+//! require more round-trips to assemble the result ... Quaestor employs a
+//! cost-based decision model in order to weigh fewer invalidations
+//! against fewer round-trips." (§4.2)
+//!
+//! The paper omits the concrete formula; the model here prices both
+//! representations per unit time and picks the cheaper one:
+//!
+//! * an **object-list** is invalidated on `add`, `remove` *and* `change`
+//!   events (§4.1), so its maintenance cost is
+//!   `change_rate_total × invalidation_cost`;
+//! * an **id-list** is only invalidated on membership changes
+//!   (`add`/`remove`), but every query read must fetch the member records
+//!   individually: the latency cost is
+//!   `read_rate × n × (1 − record_hit_rate) × round_trip_cost`
+//!   (record fetches that miss their own cache entry pay a round-trip).
+
+use serde::{Deserialize, Serialize};
+
+/// How a cached query result is represented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Representation {
+    /// Full result set cached under the query URL.
+    ObjectList,
+    /// Only record ids cached; records fetched individually (and cached
+    /// individually, raising per-record hit rates).
+    IdList,
+}
+
+/// Workload observations feeding one decision.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryWorkload {
+    /// Query reads per second.
+    pub read_rate: f64,
+    /// Result-membership changes (add/remove) per second.
+    pub membership_change_rate: f64,
+    /// In-place result mutations (change events) per second.
+    pub change_rate: f64,
+    /// Result cardinality.
+    pub result_size: usize,
+    /// Measured cache hit rate of individual records (0..1).
+    pub record_hit_rate: f64,
+}
+
+/// Relative prices of the two bad outcomes.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of purging + refilling one cached result (server work plus the
+    /// extra miss it causes downstream).
+    pub invalidation_cost: f64,
+    /// Cost of one extra client round-trip to fetch a missing record.
+    pub round_trip_cost: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // With HTTP/1.1, round-trips dominate: fetching a record that
+        // missed costs a full WAN RTT, while an invalidation is an
+        // origin-side purge. §7 notes HTTP/2 push would let Quaestor
+        // "always favor id-lists without any performance downsides" —
+        // modelled by setting round_trip_cost → 0.
+        CostModel {
+            invalidation_cost: 1.0,
+            round_trip_cost: 3.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Expected cost per second of serving this query as an object-list.
+    pub fn object_list_cost(&self, w: &QueryWorkload) -> f64 {
+        (w.membership_change_rate + w.change_rate) * self.invalidation_cost
+    }
+
+    /// Expected cost per second of serving this query as an id-list.
+    pub fn id_list_cost(&self, w: &QueryWorkload) -> f64 {
+        let misses_per_read = w.result_size as f64 * (1.0 - w.record_hit_rate).clamp(0.0, 1.0);
+        w.membership_change_rate * self.invalidation_cost
+            + w.read_rate * misses_per_read * self.round_trip_cost
+    }
+
+    /// Pick the cheaper representation (ties go to object-list, which
+    /// saves round-trips).
+    pub fn choose(&self, w: &QueryWorkload) -> Representation {
+        if self.id_list_cost(w) < self.object_list_cost(w) {
+            Representation::IdList
+        } else {
+            Representation::ObjectList
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> QueryWorkload {
+        QueryWorkload {
+            read_rate: 10.0,
+            membership_change_rate: 0.1,
+            change_rate: 0.1,
+            result_size: 10,
+            record_hit_rate: 0.9,
+        }
+    }
+
+    #[test]
+    fn read_heavy_stable_results_prefer_object_lists() {
+        // Few changes, many reads, moderate record hit rate: fetching 10
+        // records per read would be madness.
+        let w = QueryWorkload {
+            record_hit_rate: 0.5,
+            ..base()
+        };
+        assert_eq!(CostModel::default().choose(&w), Representation::ObjectList);
+    }
+
+    #[test]
+    fn churny_results_with_hot_records_prefer_id_lists() {
+        // Records mutate in place constantly (change events) but
+        // membership is stable and records are almost always cached:
+        // id-lists dodge all those change invalidations.
+        let w = QueryWorkload {
+            change_rate: 50.0,
+            membership_change_rate: 0.01,
+            record_hit_rate: 0.999,
+            read_rate: 1.0,
+            result_size: 10,
+        };
+        assert_eq!(CostModel::default().choose(&w), Representation::IdList);
+    }
+
+    #[test]
+    fn http2_push_zero_rt_cost_always_id_list_under_changes() {
+        let model = CostModel {
+            invalidation_cost: 1.0,
+            round_trip_cost: 0.0,
+        };
+        let w = base(); // has change_rate > 0
+        assert_eq!(model.choose(&w), Representation::IdList);
+    }
+
+    #[test]
+    fn id_list_cost_scales_with_misses() {
+        let model = CostModel::default();
+        let cold = QueryWorkload {
+            record_hit_rate: 0.0,
+            ..base()
+        };
+        let warm = QueryWorkload {
+            record_hit_rate: 1.0,
+            ..base()
+        };
+        assert!(model.id_list_cost(&cold) > model.id_list_cost(&warm));
+        // With perfectly hot records the only id-list cost is membership
+        // invalidations.
+        assert!(
+            (model.id_list_cost(&warm) - 0.1 * model.invalidation_cost).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn change_events_never_charge_id_lists() {
+        let model = CostModel::default();
+        let calm = base();
+        let churny = QueryWorkload {
+            change_rate: 1_000.0,
+            ..base()
+        };
+        assert_eq!(model.id_list_cost(&calm), model.id_list_cost(&churny));
+        assert!(model.object_list_cost(&churny) > model.object_list_cost(&calm));
+    }
+}

@@ -1,0 +1,223 @@
+//! The dual TTL estimation strategy (§4.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the estimator.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Quantile `p` of Eq. 1: the estimated TTL has probability `p` of
+    /// seeing a write before it expires. Lower `p` → shorter TTLs → fewer
+    /// invalidations but lower hit rates. ("By varying the quantile,
+    /// higher/lower TTLs and thus cache hit rates can be traded off
+    /// against more or fewer invalidations.")
+    pub quantile: f64,
+    /// EWMA weight `α` of Eq. 2 on the *old* estimate.
+    pub alpha: f64,
+    /// TTL floor in ms (a result must be worth caching at all).
+    pub min_ttl_ms: u64,
+    /// TTL ceiling in ms, also the default for keys with no write history.
+    pub max_ttl_ms: u64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            quantile: 0.8,
+            alpha: 0.5,
+            min_ttl_ms: 1_000,
+            max_ttl_ms: 600_000, // 10 min, the paper's experiment horizon
+        }
+    }
+}
+
+/// Stateless TTL maths; state (rates, per-query estimates) lives in
+/// [`crate::WriteRateSampler`] and [`crate::ActiveList`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TtlEstimator {
+    config: EstimatorConfig,
+}
+
+impl TtlEstimator {
+    /// An estimator with the given tunables.
+    pub fn new(config: EstimatorConfig) -> TtlEstimator {
+        assert!((0.0..1.0).contains(&config.quantile) && config.quantile > 0.0);
+        assert!((0.0..=1.0).contains(&config.alpha));
+        assert!(config.min_ttl_ms <= config.max_ttl_ms);
+        TtlEstimator { config }
+    }
+
+    /// The tunables.
+    pub fn config(&self) -> EstimatorConfig {
+        self.config
+    }
+
+    /// Eq. 1: `F⁻¹(p, λ) = −ln(1−p)/λ` — the TTL such that with
+    /// probability `p` the next write arrives before expiry. `rate` is in
+    /// writes/ms; `None` (no history) yields the maximum TTL.
+    pub fn record_ttl(&self, rate: Option<f64>) -> u64 {
+        match rate {
+            Some(lambda) if lambda > 0.0 => {
+                let ttl = -(1.0 - self.config.quantile).ln() / lambda;
+                self.clamp(ttl)
+            }
+            _ => self.config.max_ttl_ms,
+        }
+    }
+
+    /// Initial query TTL from the summed write rates of its result set
+    /// (`λ_min = λ_w1 + … + λ_wn`; the min of exponentials is exponential
+    /// with the summed rate).
+    pub fn initial_query_ttl(&self, combined_rate: f64) -> u64 {
+        if combined_rate > 0.0 {
+            let ttl = -(1.0 - self.config.quantile).ln() / combined_rate;
+            self.clamp(ttl)
+        } else {
+            self.config.max_ttl_ms
+        }
+    }
+
+    /// Eq. 2: EWMA refinement after an observed invalidation.
+    /// `actual_ttl_ms` is "the difference between the invalidation time
+    /// stamp and the previous read time stamp".
+    pub fn refine_query_ttl(&self, old_ttl_ms: u64, actual_ttl_ms: u64) -> u64 {
+        let blended = self.config.alpha * old_ttl_ms as f64
+            + (1.0 - self.config.alpha) * actual_ttl_ms as f64;
+        self.clamp(blended)
+    }
+
+    /// Alternative estimate: expected time to next write, `1/λ` ("always
+    /// using the observed mean TTL, but ... does not allow fine-grained
+    /// adjustments").
+    pub fn mean_ttl(&self, rate: Option<f64>) -> u64 {
+        match rate {
+            Some(lambda) if lambda > 0.0 => self.clamp(1.0 / lambda),
+            _ => self.config.max_ttl_ms,
+        }
+    }
+
+    fn clamp(&self, ttl_ms: f64) -> u64 {
+        if !ttl_ms.is_finite() {
+            return self.config.max_ttl_ms;
+        }
+        (ttl_ms as u64)
+            .max(self.config.min_ttl_ms)
+            .min(self.config.max_ttl_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn est(q: f64) -> TtlEstimator {
+        TtlEstimator::new(EstimatorConfig {
+            quantile: q,
+            alpha: 0.5,
+            min_ttl_ms: 1,
+            max_ttl_ms: 1_000_000,
+        })
+    }
+
+    #[test]
+    fn quantile_formula_matches_closed_form() {
+        // λ = 0.001 w/ms (one write per second), p = 0.8
+        // F⁻¹ = -ln(0.2)/0.001 ≈ 1609.4 ms
+        let ttl = est(0.8).record_ttl(Some(0.001));
+        assert!((ttl as f64 - 1609.4).abs() < 2.0, "got {ttl}");
+    }
+
+    #[test]
+    fn higher_quantile_longer_ttl() {
+        let lo = est(0.5).record_ttl(Some(0.001));
+        let hi = est(0.95).record_ttl(Some(0.001));
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn no_history_gets_max_ttl() {
+        let e = est(0.8);
+        assert_eq!(e.record_ttl(None), 1_000_000);
+        assert_eq!(e.record_ttl(Some(0.0)), 1_000_000);
+        assert_eq!(e.initial_query_ttl(0.0), 1_000_000);
+    }
+
+    #[test]
+    fn hotter_result_sets_expire_sooner() {
+        let e = est(0.8);
+        // A query over 10 records each written at 0.001 w/ms behaves like
+        // λ_min = 0.01 → 10x shorter TTL than a single such record.
+        let one = e.initial_query_ttl(0.001);
+        let ten = e.initial_query_ttl(0.01);
+        assert!((one as f64 / ten as f64 - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn ewma_converges_to_actual() {
+        let e = est(0.8);
+        let mut ttl = 100_000u64;
+        for _ in 0..32 {
+            ttl = e.refine_query_ttl(ttl, 2_000);
+        }
+        assert!(
+            (ttl as i64 - 2_000).unsigned_abs() < 50,
+            "EWMA must converge to the true TTL, got {ttl}"
+        );
+    }
+
+    #[test]
+    fn ewma_single_step_blend() {
+        let e = est(0.8); // alpha = 0.5
+        assert_eq!(e.refine_query_ttl(1_000, 3_000), 2_000);
+    }
+
+    #[test]
+    fn mean_ttl_is_inverse_rate() {
+        let e = est(0.8);
+        assert_eq!(e.mean_ttl(Some(0.001)), 1_000);
+        assert_eq!(e.mean_ttl(None), 1_000_000);
+    }
+
+    #[test]
+    fn clamping_respects_bounds() {
+        let e = TtlEstimator::new(EstimatorConfig {
+            quantile: 0.8,
+            alpha: 0.5,
+            min_ttl_ms: 500,
+            max_ttl_ms: 2_000,
+        });
+        assert_eq!(e.record_ttl(Some(100.0)), 500, "floor");
+        assert_eq!(e.record_ttl(Some(1e-9)), 2_000, "ceiling");
+    }
+
+    proptest! {
+        #[test]
+        fn ttl_always_within_bounds(rate in 0.0f64..10.0, q in 0.01f64..0.99) {
+            let e = TtlEstimator::new(EstimatorConfig {
+                quantile: q, alpha: 0.5, min_ttl_ms: 10, max_ttl_ms: 10_000,
+            });
+            let r = if rate > 0.0 { Some(rate) } else { None };
+            let ttl = e.record_ttl(r);
+            prop_assert!((10..=10_000).contains(&ttl));
+        }
+
+        #[test]
+        fn ewma_is_between_old_and_actual(old in 0u64..100_000, actual in 0u64..100_000,
+                                          alpha in 0.0f64..=1.0) {
+            let e = TtlEstimator::new(EstimatorConfig {
+                quantile: 0.8, alpha, min_ttl_ms: 0, max_ttl_ms: u64::MAX / 2,
+            });
+            let blended = e.refine_query_ttl(old, actual);
+            let (lo, hi) = (old.min(actual), old.max(actual));
+            prop_assert!(blended >= lo && blended <= hi);
+        }
+
+        #[test]
+        fn record_ttl_monotone_in_rate(r1 in 0.0001f64..1.0, r2 in 0.0001f64..1.0) {
+            let e = est(0.8);
+            let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+            prop_assert!(e.record_ttl(Some(lo)) >= e.record_ttl(Some(hi)),
+                "faster-written records must get shorter TTLs");
+        }
+    }
+}

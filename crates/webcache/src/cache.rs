@@ -1,0 +1,277 @@
+//! The two cache classes.
+
+use parking_lot::Mutex;
+use quaestor_common::Timestamp;
+
+use crate::entry::CacheEntry;
+use crate::lru::LruCache;
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from this cache.
+    pub hits: u64,
+    /// Requests forwarded upstream.
+    pub misses: u64,
+    /// Entries purged by the origin (invalidation caches only).
+    pub purges: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// hits / (hits + misses), 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An expiration-based cache (browser cache, forward/ISP proxy).
+///
+/// Honours TTLs; **cannot be purged by the origin** — that asymmetry is
+/// the whole reason the EBF exists. Expired entries are dropped lazily on
+/// access.
+#[derive(Debug)]
+pub struct ExpirationCache {
+    name: String,
+    entries: Mutex<LruCache<CacheEntry>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl ExpirationCache {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(name: impl Into<String>, capacity: usize) -> ExpirationCache {
+        ExpirationCache {
+            name: name.into(),
+            entries: Mutex::new(LruCache::new(capacity)),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// Cache name (for metrics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Look up a fresh copy at time `now`.
+    pub fn get(&self, key: &str, now: Timestamp) -> Option<CacheEntry> {
+        let mut entries = self.entries.lock();
+        let fresh = match entries.get(key) {
+            Some(e) if e.is_fresh(now) => Some(e.clone()),
+            Some(_) => {
+                entries.remove(key);
+                None
+            }
+            None => None,
+        };
+        let mut stats = self.stats.lock();
+        if fresh.is_some() {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+        fresh
+    }
+
+    /// Store a response copy.
+    pub fn put(&self, key: &str, entry: CacheEntry) {
+        if entry.ttl_ms == 0 {
+            return; // uncacheable
+        }
+        let evicted = self.entries.lock().insert(key.to_owned(), entry);
+        if evicted.is_some() {
+            self.stats.lock().evictions += 1;
+        }
+    }
+
+    /// Drop one entry locally (a *client's own* eviction — e.g. after its
+    /// own write, for read-your-writes; not an origin purge).
+    pub fn evict(&self, key: &str) -> bool {
+        self.entries.lock().remove(key).is_some()
+    }
+
+    /// Peek without counting a hit or touching recency.
+    pub fn peek(&self, key: &str, now: Timestamp) -> Option<CacheEntry> {
+        self.entries
+            .lock()
+            .peek(key)
+            .filter(|e| e.is_fresh(now))
+            .cloned()
+    }
+
+    /// Live entry count (expired entries may linger until touched).
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Drop everything (a cold cache).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+/// An invalidation-based cache (CDN edge, reverse proxy).
+///
+/// Same read path as [`ExpirationCache`] plus an origin-driven
+/// [`purge`](InvalidationCache::purge): "the DBaaS pro-actively purges
+/// stale results from invalidation-based caches" (§1).
+#[derive(Debug)]
+pub struct InvalidationCache {
+    inner: ExpirationCache,
+}
+
+impl InvalidationCache {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(name: impl Into<String>, capacity: usize) -> InvalidationCache {
+        InvalidationCache {
+            inner: ExpirationCache::new(name, capacity),
+        }
+    }
+
+    /// Cache name.
+    pub fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    /// Look up a fresh copy.
+    pub fn get(&self, key: &str, now: Timestamp) -> Option<CacheEntry> {
+        self.inner.get(key, now)
+    }
+
+    /// Store a copy. Invalidation-based caches may receive a dedicated,
+    /// typically longer TTL (§2: "invalidation-based caches support
+    /// dedicated TTLs") — the caller passes it in the entry.
+    pub fn put(&self, key: &str, entry: CacheEntry) {
+        self.inner.put(key, entry);
+    }
+
+    /// Origin-driven purge of a stale entry.
+    pub fn purge(&self, key: &str) -> bool {
+        let removed = self.inner.evict(key);
+        if removed {
+            self.inner.stats.lock().purges += 1;
+        }
+        removed
+    }
+
+    /// Peek without metrics.
+    pub fn peek(&self, key: &str, now: Timestamp) -> Option<CacheEntry> {
+        self.inner.peek(key, now)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.inner.clear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(etag: u64, stored: u64, ttl: u64) -> CacheEntry {
+        CacheEntry::new(&b"body"[..], etag, Timestamp::from_millis(stored), ttl)
+    }
+
+    #[test]
+    fn fresh_hit_expired_miss() {
+        let c = ExpirationCache::new("browser", 16);
+        c.put("k", entry(1, 0, 100));
+        assert!(c.get("k", Timestamp::from_millis(50)).is_some());
+        assert!(c.get("k", Timestamp::from_millis(150)).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn expired_entries_are_dropped_on_access() {
+        let c = ExpirationCache::new("browser", 16);
+        c.put("k", entry(1, 0, 10));
+        assert_eq!(c.len(), 1);
+        c.get("k", Timestamp::from_millis(20));
+        assert_eq!(c.len(), 0, "lazy expiry removed it");
+    }
+
+    #[test]
+    fn zero_ttl_is_uncacheable() {
+        let c = ExpirationCache::new("browser", 16);
+        c.put("k", entry(1, 0, 0));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts() {
+        let c = ExpirationCache::new("tiny", 2);
+        c.put("a", entry(1, 0, 1000));
+        c.put("b", entry(1, 0, 1000));
+        c.put("c", entry(1, 0, 1000));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn purge_removes_and_counts() {
+        let c = InvalidationCache::new("cdn", 16);
+        c.put("k", entry(1, 0, 1000));
+        assert!(c.purge("k"));
+        assert!(!c.purge("k"), "already gone");
+        assert!(c.get("k", Timestamp::from_millis(1)).is_none());
+        assert_eq!(c.stats().purges, 1);
+    }
+
+    #[test]
+    fn client_evict_supports_read_your_writes() {
+        let c = ExpirationCache::new("browser", 16);
+        c.put("k", entry(1, 0, 1000));
+        assert!(c.evict("k"));
+        assert!(c.get("k", Timestamp::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let c = ExpirationCache::new("b", 4);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.put("k", entry(1, 0, 100));
+        c.get("k", Timestamp::from_millis(1));
+        c.get("nope", Timestamp::from_millis(1));
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peek_is_metric_free() {
+        let c = InvalidationCache::new("cdn", 4);
+        c.put("k", entry(1, 0, 100));
+        assert!(c.peek("k", Timestamp::from_millis(1)).is_some());
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+    }
+}

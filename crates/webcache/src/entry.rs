@@ -1,0 +1,75 @@
+//! Cached HTTP responses.
+
+use bytes::Bytes;
+use quaestor_common::{Timestamp, Version};
+
+/// One cached response: body, validator and freshness lifetime.
+///
+/// Mirrors the HTTP caching model of §2: a TTL assigned by the origin
+/// (`Cache-Control: max-age`), a version validator (`ETag`) used for
+/// revalidation, and the storage instant from which age is computed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// Response body (a serialized query result or record).
+    pub body: Bytes,
+    /// Version validator; revalidation compares this against the origin.
+    pub etag: Version,
+    /// When this copy was stored at the cache.
+    pub stored_at: Timestamp,
+    /// Freshness lifetime granted by the origin, in ms.
+    pub ttl_ms: u64,
+}
+
+impl CacheEntry {
+    /// A new entry stored now.
+    pub fn new(body: impl Into<Bytes>, etag: Version, stored_at: Timestamp, ttl_ms: u64) -> Self {
+        CacheEntry {
+            body: body.into(),
+            etag,
+            stored_at,
+            ttl_ms,
+        }
+    }
+
+    /// Absolute expiry instant.
+    pub fn expires_at(&self) -> Timestamp {
+        self.stored_at.plus(self.ttl_ms)
+    }
+
+    /// Is the copy still fresh at `now`? (HTTP: `age < max-age`.)
+    pub fn is_fresh(&self, now: Timestamp) -> bool {
+        now < self.expires_at()
+    }
+
+    /// Age of the copy at `now`, in ms.
+    pub fn age(&self, now: Timestamp) -> u64 {
+        now.since(self.stored_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freshness_window() {
+        let e = CacheEntry::new(&b"body"[..], 3, Timestamp::from_millis(100), 50);
+        assert!(e.is_fresh(Timestamp::from_millis(100)));
+        assert!(e.is_fresh(Timestamp::from_millis(149)));
+        assert!(!e.is_fresh(Timestamp::from_millis(150)), "expiry is exclusive");
+        assert_eq!(e.expires_at(), Timestamp::from_millis(150));
+    }
+
+    #[test]
+    fn age_computation() {
+        let e = CacheEntry::new(&b""[..], 1, Timestamp::from_millis(100), 50);
+        assert_eq!(e.age(Timestamp::from_millis(130)), 30);
+        assert_eq!(e.age(Timestamp::from_millis(90)), 0, "clock skew clamps");
+    }
+
+    #[test]
+    fn zero_ttl_never_fresh() {
+        let e = CacheEntry::new(&b""[..], 1, Timestamp::from_millis(100), 0);
+        assert!(!e.is_fresh(Timestamp::from_millis(100)));
+    }
+}

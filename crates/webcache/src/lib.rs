@@ -1,0 +1,31 @@
+//! The web-caching substrate: HTTP-model caches.
+//!
+//! Quaestor leverages "the web's infrastructure consisting of caches, load
+//! balancers, routers, firewalls and other middleboxes" (§1) without
+//! modifying it. Two cache classes matter (§2):
+//!
+//! * **Expiration-based caches** (browser caches, forward/ISP proxies):
+//!   honour a TTL, serve any non-expired copy by URL, and *cannot be
+//!   invalidated by the server* — only client-triggered revalidations
+//!   refresh them. Modelled by [`ExpirationCache`].
+//! * **Invalidation-based caches** (CDNs, reverse proxies): additionally
+//!   accept asynchronous purges from the origin. Modelled by
+//!   [`InvalidationCache`].
+//!
+//! [`CacheHierarchy`] chains them client → origin the way a real request
+//! traverses browser cache → ISP proxy → CDN edge, implementing HTTP
+//! semantics: fresh copies are served locally, misses are forwarded and
+//! responses are stored at every level on the way back, and revalidations
+//! bypass expiration-based levels (Cache-Control: max-age=0) while still
+//! being answerable by invalidation-based levels — the optimization §3.2
+//! describes for offloading the origin.
+
+pub mod cache;
+pub mod entry;
+pub mod hierarchy;
+pub mod lru;
+
+pub use cache::{CacheStats, ExpirationCache, InvalidationCache};
+pub use entry::CacheEntry;
+pub use hierarchy::{CacheHierarchy, FetchMode, FetchOutcome, LayerKind, ServedBy};
+pub use lru::LruCache;

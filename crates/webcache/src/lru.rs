@@ -1,0 +1,377 @@
+//! A string-keyed LRU map with O(1) touch/insert/evict.
+//!
+//! Web caches have bounded storage; Breslau et al.'s Zipf analysis (cited
+//! in §7) is exactly about how Zipf-distributed requests interact with
+//! bounded caches, so the capacity bound must be real. Implemented as a
+//! slab of doubly-linked nodes plus a key → slot map. Node values are
+//! `Option<V>` so they can be moved out on removal/eviction without a
+//! `Default` bound.
+
+use quaestor_common::FxHashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Node<V> {
+    key: String,
+    value: Option<V>,
+    prev: usize,
+    next: usize,
+}
+
+/// Least-recently-used map with a fixed capacity.
+pub struct LruCache<V> {
+    map: FxHashMap<String, usize>,
+    slab: Vec<Node<V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl<V> std::fmt::Debug for LruCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl<V> LruCache<V> {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> LruCache<V> {
+        assert!(capacity > 0, "capacity must be positive");
+        LruCache {
+            map: FxHashMap::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn release(&mut self, idx: usize) -> V {
+        self.detach(idx);
+        self.slab[idx].key = String::new();
+        self.free.push(idx);
+        self.slab[idx].value.take().expect("live node has a value")
+    }
+
+    /// Get and mark as most-recently-used.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        self.slab[idx].value.as_ref()
+    }
+
+    /// Mutable access; also touches recency.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut V> {
+        let idx = *self.map.get(key)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        self.slab[idx].value.as_mut()
+    }
+
+    /// Get without touching recency (used for metrics peeks).
+    pub fn peek(&self, key: &str) -> Option<&V> {
+        self.map
+            .get(key)
+            .and_then(|&idx| self.slab[idx].value.as_ref())
+    }
+
+    /// Insert or replace; evicts the LRU entry when full. Returns the
+    /// evicted `(key, value)` if any.
+    pub fn insert(&mut self, key: String, value: V) -> Option<(String, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = Some(value);
+            self.detach(idx);
+            self.attach_front(idx);
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "full cache must have a tail");
+            let old_key = self.slab[lru].key.clone();
+            self.map.remove(&old_key);
+            let old_value = self.release(lru);
+            evicted = Some((old_key, old_value));
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i].key = key.clone();
+                self.slab[i].value = Some(value);
+                i
+            }
+            None => {
+                self.slab.push(Node {
+                    key: key.clone(),
+                    value: Some(value),
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        evicted
+    }
+
+    /// Remove an entry, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        Some(self.release(idx))
+    }
+
+    /// True if the key is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Remove every entry for which `pred` returns false.
+    pub fn retain(&mut self, mut pred: impl FnMut(&str, &V) -> bool) {
+        let doomed: Vec<String> = self
+            .map
+            .iter()
+            .filter(|(k, &idx)| {
+                let v = self.slab[idx].value.as_ref().expect("live node");
+                !pred(k, v)
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in doomed {
+            self.remove(&k);
+        }
+    }
+
+    /// Clear everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Keys from most- to least-recently used (test/diagnostic helper).
+    pub fn keys_mru(&self) -> Vec<&str> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.slab[cur].key.as_str());
+            cur = self.slab[cur].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        assert_eq!(lru.get("a"), Some(&1));
+        assert_eq!(lru.get("b"), Some(&2));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn eviction_is_lru_order() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        lru.get("a"); // a is now MRU
+        let evicted = lru.insert("c".into(), 3);
+        assert_eq!(evicted, Some(("b".to_string(), 2)));
+        assert!(lru.contains("a") && lru.contains("c") && !lru.contains("b"));
+    }
+
+    #[test]
+    fn replace_does_not_evict() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        assert!(lru.insert("a".into(), 10).is_none());
+        assert_eq!(lru.get("a"), Some(&10));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_touch() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        lru.peek("a");
+        lru.insert("c".into(), 3);
+        assert!(!lru.contains("a"), "peek must not refresh recency");
+    }
+
+    #[test]
+    fn remove_returns_value() {
+        let mut lru = LruCache::new(3);
+        lru.insert("a".into(), 7);
+        assert_eq!(lru.remove("a"), Some(7));
+        assert_eq!(lru.remove("a"), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut lru = LruCache::new(10);
+        for i in 0..10 {
+            lru.insert(format!("k{i}"), i);
+        }
+        lru.retain(|_, v| v % 2 == 0);
+        assert_eq!(lru.len(), 5);
+        assert!(lru.contains("k4") && !lru.contains("k5"));
+    }
+
+    #[test]
+    fn slots_are_reused_after_retain() {
+        let mut lru = LruCache::new(4);
+        for i in 0..4 {
+            lru.insert(format!("k{i}"), i);
+        }
+        lru.retain(|_, _| false);
+        assert!(lru.is_empty());
+        for i in 10..14 {
+            lru.insert(format!("k{i}"), i);
+        }
+        assert_eq!(lru.len(), 4);
+        assert_eq!(lru.get("k12"), Some(&12));
+    }
+
+    #[test]
+    fn mru_order_tracks_access() {
+        let mut lru = LruCache::new(3);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        lru.insert("c".into(), 3);
+        lru.get("a");
+        assert_eq!(lru.keys_mru(), vec!["a", "c", "b"]);
+    }
+
+    #[test]
+    fn heavy_churn_is_consistent() {
+        let mut lru = LruCache::new(64);
+        for round in 0..1000 {
+            lru.insert(format!("k{}", round % 100), round);
+            assert!(lru.len() <= 64);
+        }
+        assert_eq!(lru.len(), 64);
+    }
+
+    /// Reference-model property test: the LRU must behave exactly like a
+    /// naive Vec-based model under arbitrary op sequences.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u8, u32),
+        Get(u8),
+        Remove(u8),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u8>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 16, v)),
+            any::<u8>().prop_map(|k| Op::Get(k % 16)),
+            any::<u8>().prop_map(|k| Op::Remove(k % 16)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+            const CAP: usize = 4;
+            let mut lru = LruCache::new(CAP);
+            // model: Vec of (key, value), front = MRU
+            let mut model: Vec<(String, u32)> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        let key = format!("k{k}");
+                        if let Some(pos) = model.iter().position(|(mk, _)| *mk == key) {
+                            model.remove(pos);
+                        } else if model.len() >= CAP {
+                            model.pop();
+                        }
+                        model.insert(0, (key.clone(), v));
+                        lru.insert(key, v);
+                    }
+                    Op::Get(k) => {
+                        let key = format!("k{k}");
+                        let got = lru.get(&key).copied();
+                        let want = model.iter().position(|(mk, _)| *mk == key).map(|pos| {
+                            let e = model.remove(pos);
+                            let v = e.1;
+                            model.insert(0, e);
+                            v
+                        });
+                        prop_assert_eq!(got, want);
+                    }
+                    Op::Remove(k) => {
+                        let key = format!("k{k}");
+                        let got = lru.remove(&key);
+                        let want = model
+                            .iter()
+                            .position(|(mk, _)| *mk == key)
+                            .map(|pos| model.remove(pos).1);
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                prop_assert_eq!(lru.len(), model.len());
+                let mru: Vec<String> = lru.keys_mru().iter().map(|s| s.to_string()).collect();
+                let model_keys: Vec<String> = model.iter().map(|(k, _)| k.clone()).collect();
+                prop_assert_eq!(mru, model_keys);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The discrete operation-type distribution.
+
+use rand::Rng;
+
+/// Operation classes of the benchmark (§6.1: "reads, queries, inserts,
+/// partial updates, and deletes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Key-based record read.
+    Read,
+    /// Query execution.
+    Query,
+    /// Insert of a new record.
+    Insert,
+    /// Partial update of an existing record.
+    Update,
+    /// Delete of an existing record.
+    Delete,
+}
+
+/// Relative weights of the operation classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperationMix {
+    /// Weight of record reads.
+    pub read: f64,
+    /// Weight of queries.
+    pub query: f64,
+    /// Weight of inserts.
+    pub insert: f64,
+    /// Weight of partial updates.
+    pub update: f64,
+    /// Weight of deletes.
+    pub delete: f64,
+}
+
+impl OperationMix {
+    /// The paper's read-heavy workload: "99% queries and reads (equally
+    /// weighted) and 1% writes" (writes split between inserts and
+    /// updates).
+    pub fn read_heavy() -> OperationMix {
+        OperationMix {
+            read: 0.495,
+            query: 0.495,
+            insert: 0.002,
+            update: 0.008,
+            delete: 0.0,
+        }
+    }
+
+    /// A parameterized mix: equal read and query rates, `update_rate`
+    /// going to partial updates (the Figure 9 sweep "increasing update
+    /// rates (keeping equal read and query rates)").
+    pub fn with_update_rate(update_rate: f64) -> OperationMix {
+        assert!((0.0..1.0).contains(&update_rate));
+        let rest = 1.0 - update_rate;
+        OperationMix {
+            read: rest / 2.0,
+            query: rest / 2.0,
+            insert: 0.0,
+            update: update_rate,
+            delete: 0.0,
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.read + self.query + self.insert + self.update + self.delete
+    }
+
+    /// Sample an operation class.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> OpKind {
+        let mut x: f64 = rng.gen::<f64>() * self.total();
+        for (kind, w) in [
+            (OpKind::Read, self.read),
+            (OpKind::Query, self.query),
+            (OpKind::Insert, self.insert),
+            (OpKind::Update, self.update),
+        ] {
+            if x < w {
+                return kind;
+            }
+            x -= w;
+        }
+        OpKind::Delete
+    }
+
+    /// Fraction of operations that are writes.
+    pub fn write_fraction(&self) -> f64 {
+        (self.insert + self.update + self.delete) / self.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn read_heavy_is_one_percent_writes() {
+        let m = OperationMix::read_heavy();
+        assert!((m.write_fraction() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_respects_weights() {
+        let m = OperationMix::with_update_rate(0.2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut updates = 0;
+        let n = 100_000;
+        for _ in 0..n {
+            if m.sample(&mut rng) == OpKind::Update {
+                updates += 1;
+            }
+        }
+        let frac = updates as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let m = OperationMix::with_update_rate(0.1); // insert & delete are 0
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..50_000 {
+            let k = m.sample(&mut rng);
+            assert!(k != OpKind::Insert && k != OpKind::Delete);
+        }
+    }
+}

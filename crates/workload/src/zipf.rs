@@ -1,0 +1,157 @@
+//! Bounded Zipfian sampling (the YCSB generator).
+
+use rand::Rng;
+
+/// Zipfian distribution over `0..n` with skew `theta`, using the
+/// rejection-free closed-form sampler from Gray et al., "Quickly
+/// Generating Billion-Record Synthetic Databases" (the algorithm YCSB
+/// uses). Rank 0 is the most popular item.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    scramble: bool,
+}
+
+fn zeta(n: usize, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl Zipfian {
+    /// A Zipfian over `0..n` with skew `theta` (YCSB default 0.99; the
+    /// paper uses 0.99 for Table 1 and a more moderate skew elsewhere).
+    pub fn new(n: usize, theta: f64) -> Zipfian {
+        assert!(n > 0, "empty domain");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            scramble: false,
+        }
+    }
+
+    /// Scrambled variant: ranks are hashed onto the key space so that the
+    /// hot items are spread out instead of clustered at low ids (YCSB's
+    /// `ScrambledZipfianGenerator`).
+    pub fn scrambled(n: usize, theta: f64) -> Zipfian {
+        let mut z = Self::new(n, theta);
+        z.scramble = true;
+        z
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sample a value in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        let rank = if uz < 1.0 {
+            0
+        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+            1
+        } else {
+            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize
+        };
+        let rank = rank.min(self.n - 1);
+        if self.scramble {
+            (quaestor_common::fx_hash_bytes(&rank.to_le_bytes()) % self.n as u64) as usize
+        } else {
+            rank
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(z: &Zipfian, samples: usize, seed: u64) -> Vec<usize> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; z.n()];
+        for _ in 0..samples {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn all_samples_in_range() {
+        let z = Zipfian::new(100, 0.8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let z = Zipfian::new(1_000, 0.99);
+        let counts = histogram(&z, 100_000, 2);
+        let max = counts.iter().max().unwrap();
+        assert_eq!(counts[0], *max, "rank 0 must be the most frequent");
+        // Strong skew: the head item should take several percent.
+        assert!(counts[0] as f64 / 100_000.0 > 0.03);
+    }
+
+    #[test]
+    fn low_theta_is_flatter() {
+        let skewed = histogram(&Zipfian::new(100, 0.99), 50_000, 3);
+        let flat = histogram(&Zipfian::new(100, 0.1), 50_000, 3);
+        assert!(
+            skewed[0] > flat[0] * 2,
+            "theta 0.99 head ({}) must dominate theta 0.1 head ({})",
+            skewed[0],
+            flat[0]
+        );
+    }
+
+    #[test]
+    fn scrambled_moves_the_head() {
+        let z = Zipfian::scrambled(1_000, 0.99);
+        let counts = histogram(&z, 100_000, 4);
+        let (hottest, _) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .unwrap();
+        // The hottest key must be exactly where the hash sent rank 0.
+        let expected =
+            (quaestor_common::fx_hash_bytes(&0usize.to_le_bytes()) % 1_000) as usize;
+        assert_eq!(hottest, expected, "scrambling maps rank 0 via the hash");
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 100_000);
+    }
+
+    #[test]
+    fn zipf_mass_concentrates_in_head() {
+        let z = Zipfian::new(10_000, 0.99);
+        let counts = histogram(&z, 200_000, 5);
+        let head: usize = counts[..100].iter().sum();
+        let frac = head as f64 / 200_000.0;
+        assert!(
+            frac > 0.3,
+            "top 1% of a 0.99-Zipf should carry >30% of mass, got {frac}"
+        );
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let z = Zipfian::new(1, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! The paper's motivating scenario: a social blogging platform.
+//!
+//! Walks the Figure 5 notification sequence (`add` → `change` → `remove`),
+//! demonstrates every consistency level of Figure 4, sorted top-N queries
+//! with `changeIndex` semantics, and the real-time subscription API.
+//!
+//! ```sh
+//! cargo run --example blog_platform
+//! ```
+
+use quaestor::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let clock = ManualClock::new();
+    let server = QuaestorServer::with_defaults(clock.clone());
+    let cdn = Arc::new(InvalidationCache::new("cdn", 100_000));
+    server.register_cdn(cdn.clone());
+    let client = QuaestorClient::connect(
+        server.clone(),
+        std::slice::from_ref(&cdn),
+        ClientConfig::default(),
+        clock.clone(),
+    );
+
+    println!("== figure 5: a post wanders through a tag query's result ==");
+    let by_tag = Query::table("posts").filter(Filter::contains("tags", "example"));
+    client.query(&by_tag).unwrap(); // register the query for matching
+    let stream = client.subscribe(&by_tag); // websocket-style change stream
+
+    client
+        .insert("posts", "post1", doc! { "title" => "untagged draft", "score" => 1 })
+        .unwrap();
+    clock.advance(10);
+    server
+        .update("posts", "post1", &Update::new().push("tags", "example"))
+        .unwrap(); // -> add
+    server
+        .update("posts", "post1", &Update::new().push("tags", "music"))
+        .unwrap(); // -> change
+    server
+        .update("posts", "post1", &Update::new().pull("tags", "example"))
+        .unwrap(); // -> remove
+    for msg in stream.drain() {
+        println!("  notification: {}", String::from_utf8_lossy(&msg));
+    }
+
+    println!("\n== sorted top-3 leaderboard (stateful query) ==");
+    for (id, score) in [("a", 50), ("b", 40), ("c", 30), ("d", 20)] {
+        client
+            .insert("posts", id, doc! { "score" => score, "tags" => vec!["ranked"] })
+            .unwrap();
+    }
+    let top3 = Query::table("posts")
+        .filter(Filter::contains("tags", "ranked"))
+        .sort_by("score", Order::Desc)
+        .limit(3);
+    let r = client.query(&top3).unwrap();
+    let titles: Vec<String> = r
+        .docs
+        .iter()
+        .map(|d| d["_id"].as_str().unwrap().to_string())
+        .collect();
+    println!("  top3 = {titles:?}");
+    // d overtakes everyone; the cached window changes and is invalidated.
+    clock.advance(100);
+    server
+        .update("posts", "d", &Update::new().set("score", 99))
+        .unwrap();
+    clock.advance(1_000);
+    let r = client.query(&top3).unwrap();
+    let titles: Vec<String> = r
+        .docs
+        .iter()
+        .map(|d| d["_id"].as_str().unwrap().to_string())
+        .collect();
+    println!("  after d's surge: top3 = {titles:?} (revalidated={})", r.revalidated);
+    assert_eq!(titles[0], "d");
+
+    println!("\n== consistency levels (figure 4) ==");
+    // Read-your-writes: own writes visible immediately, from the local cache.
+    client
+        .update("posts", "a", &Update::new().inc("score", 1.0))
+        .unwrap();
+    let own = client.read_record("posts", "a").unwrap();
+    println!(
+        "  read-your-writes: score={} served_by={:?}",
+        own.doc["score"], own.served_by
+    );
+    assert_eq!(own.served_by, ServedBy::Layer(0));
+
+    // Δ-atomicity: within Δ the client may serve cached (possibly stale)
+    // data; never older than Δ.
+    let delta_read = client.read_record("posts", "b").unwrap();
+    println!(
+        "  Δ-atomic default read: served_by={:?} (staleness bounded by Δ=1s)",
+        delta_read.served_by
+    );
+
+    // Strong consistency: explicit revalidation, cache miss at all levels.
+    let strong = client
+        .read_record_with("posts", "b", Consistency::Strong)
+        .unwrap();
+    println!("  strong read: served_by={:?}", strong.served_by);
+    assert_eq!(strong.served_by, ServedBy::Origin);
+
+    // Causal: after observing fresh data, reads revalidate until the next
+    // EBF refresh.
+    let causal = client
+        .read_record_with("posts", "c", Consistency::Causal)
+        .unwrap();
+    println!(
+        "  causal read after fresh data: revalidated={}",
+        causal.revalidated
+    );
+
+    println!("\n== optimistic transaction (§3.2) ==");
+    let before = client.read_record("posts", "a").unwrap();
+    let mut tx = Transaction::new();
+    tx.observe("posts", "a", before.version);
+    tx.update("posts", "a", Update::new().inc("score", 10.0));
+    match server.commit(tx) {
+        Ok(()) => println!("  committed: read set validated at commit time"),
+        Err(e) => println!("  aborted: {e}"),
+    }
+    // A conflicting transaction aborts instead of clobbering.
+    let mut tx2 = Transaction::new();
+    tx2.observe("posts", "a", before.version); // stale observation!
+    tx2.update("posts", "a", Update::new().inc("score", 100.0));
+    match server.commit(tx2) {
+        Ok(()) => println!("  unexpected commit"),
+        Err(e) => println!("  stale transaction correctly aborted: {e}"),
+    }
+}

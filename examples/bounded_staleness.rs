@@ -1,0 +1,48 @@
+//! The latency/staleness dial: sweep the EBF refresh interval Δ and watch
+//! Δ-atomicity trade staleness against cache effectiveness — the essence
+//! of Figures 9 and 10.
+//!
+//! ```sh
+//! cargo run --release --example bounded_staleness
+//! ```
+
+use quaestor::sim::{SimConfig, Simulation, SystemVariant};
+use quaestor::workload::{OperationMix, WorkloadConfig};
+
+fn main() {
+    println!("Δ (s)  query hit rate  query staleness  mean query latency (ms)");
+    println!("----------------------------------------------------------------");
+    for refresh_s in [1u64, 5, 20, 60] {
+        let cfg = SimConfig {
+            variant: SystemVariant::Quaestor,
+            workload: WorkloadConfig {
+                tables: 4,
+                docs_per_table: 1_000,
+                queries_per_table: 50,
+                mix: OperationMix::with_update_rate(0.05),
+                ..Default::default()
+            },
+            clients: 10,
+            connections_per_client: 6,
+            ebf_refresh_ms: refresh_s * 1_000,
+            duration_ms: 60_000,
+            warmup_ms: 10_000,
+            measure_staleness: true,
+            seed: 1,
+            ..Default::default()
+        };
+        let report = Simulation::new(cfg).run();
+        println!(
+            "{refresh_s:>5}  {:>14.3}  {:>15.4}  {:>23.1}",
+            report.query_client_hit_rate,
+            report.query_staleness_rate(),
+            report.query_latency_ms.mean(),
+        );
+    }
+    println!();
+    println!(
+        "clients pick Δ freely: small Δ = near-fresh reads at slightly \
+         lower hit rates; large Δ = maximum cache leverage with bounded, \
+         known staleness (Theorem 1)."
+    );
+}

@@ -1,0 +1,89 @@
+//! # Quaestor — query web caching for Database-as-a-Service providers
+//!
+//! A from-scratch Rust reproduction of *Gessert, Schaarschmidt, Wingerath,
+//! Witt, Yoneki, Ritter: "Quaestor: Query Web Caching for
+//! Database-as-a-Service Providers", VLDB 2017 (PVLDB 10(12))*.
+//!
+//! Quaestor caches **dynamic query results and records in ordinary HTTP
+//! web caches** — browser caches, ISP proxies, CDNs — with tunable
+//! consistency guarantees, using three mechanisms:
+//!
+//! 1. an **Expiring Bloom Filter** ([`bloom`]) that tells clients which
+//!    cached entries are potentially stale,
+//! 2. **InvaliDB** ([`invalidb`]), a partitioned real-time matching
+//!    pipeline that detects when writes change cached query results, and
+//! 3. a **statistical TTL estimator** ([`ttl`]) that predicts how long a
+//!    result will stay fresh.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quaestor::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Virtual time makes everything deterministic; use SystemClock::shared()
+//! // in real deployments.
+//! let clock = ManualClock::new();
+//! let server = QuaestorServer::with_defaults(clock.clone());
+//! let cdn = Arc::new(InvalidationCache::new("cdn-edge", 100_000));
+//! server.register_cdn(cdn.clone());
+//!
+//! // A client with a private browser cache behind the shared CDN.
+//! let client = QuaestorClient::connect(
+//!     server.clone(), &[cdn], ClientConfig::default(), clock.clone());
+//!
+//! client.insert("posts", "p1", doc! {
+//!     "title" => "First Post", "tags" => vec!["example", "music"]
+//! }).unwrap();
+//!
+//! // SELECT * FROM posts WHERE tags CONTAINS 'example'
+//! let q = Query::table("posts").filter(Filter::contains("tags", "example"));
+//! let first = client.query(&q).unwrap();   // origin (cache miss)
+//! let second = client.query(&q).unwrap();  // browser cache hit
+//! assert_eq!(second.docs.len(), 1);
+//! assert_eq!(second.served_by, ServedBy::Layer(0));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | the Quaestor middleware server (origin) |
+//! | [`client`] | the client SDK: EBF usage, session consistency |
+//! | [`bloom`] | Bloom / Counting / **Expiring** Bloom filters |
+//! | [`invalidb`] | the real-time query invalidation pipeline |
+//! | [`ttl`] | TTL estimation, active list, capacity, cost model |
+//! | [`webcache`] | expiration & invalidation web-cache substrate |
+//! | [`store`] | document store substrate (MongoDB stand-in) |
+//! | [`kv`] | key-value store substrate (Redis stand-in) |
+//! | [`query`] | MongoDB-style query language + normalization |
+//! | [`document`] | nested document model + update operators |
+//! | [`sim`] | Monte Carlo simulation of the whole stack |
+//! | [`workload`] | YCSB-style workload generation |
+
+pub use quaestor_bloom as bloom;
+pub use quaestor_client as client;
+pub use quaestor_common as common;
+pub use quaestor_core as core;
+pub use quaestor_document as document;
+pub use quaestor_invalidb as invalidb;
+pub use quaestor_kv as kv;
+pub use quaestor_query as query;
+pub use quaestor_sim as sim;
+pub use quaestor_store as store;
+pub use quaestor_ttl as ttl;
+pub use quaestor_webcache as webcache;
+pub use quaestor_workload as workload;
+
+pub use quaestor_document::{doc, varray};
+
+/// The common imports for applications built on Quaestor.
+pub mod prelude {
+    pub use quaestor_bloom::{BloomFilter, BloomParams, ExpiringBloomFilter};
+    pub use quaestor_client::{ClientConfig, Consistency, QuaestorClient};
+    pub use quaestor_common::{Clock, ManualClock, SystemClock, Timestamp};
+    pub use quaestor_core::{QuaestorServer, ServerConfig, Transaction};
+    pub use quaestor_document::{doc, varray, Document, Update, Value};
+    pub use quaestor_query::{Filter, Order, Query, QueryKey};
+    pub use quaestor_webcache::{ExpirationCache, InvalidationCache, ServedBy};
+}

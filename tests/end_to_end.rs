@@ -1,0 +1,290 @@
+//! End-to-end integration tests spanning the whole stack: client SDK →
+//! cache hierarchy → origin server → InvaliDB → EBF → back to the client.
+
+use quaestor::prelude::*;
+use std::sync::Arc;
+
+struct World {
+    clock: Arc<ManualClock>,
+    server: Arc<QuaestorServer>,
+    cdn: Arc<InvalidationCache>,
+}
+
+impl World {
+    fn new() -> World {
+        let clock = ManualClock::new();
+        let server = QuaestorServer::with_defaults(clock.clone());
+        let cdn = Arc::new(InvalidationCache::new("cdn", 100_000));
+        server.register_cdn(cdn.clone());
+        World { clock, server, cdn }
+    }
+
+    fn client(&self) -> QuaestorClient {
+        QuaestorClient::connect(
+            self.server.clone(),
+            std::slice::from_ref(&self.cdn),
+            ClientConfig::default(),
+            self.clock.clone(),
+        )
+    }
+}
+
+#[test]
+fn end_to_end_example_of_figure_7() {
+    // Reproduces the end-to-end example of §5 / Figure 7 step by step.
+    let w = World::new();
+    let client = w.client();
+
+    // Data: two queries q1 (fresh) and q2 (will become stale).
+    client
+        .insert("posts", "a", doc! { "topic" => "q1", "n" => 1 })
+        .unwrap();
+    client
+        .insert("posts", "b", doc! { "topic" => "q2", "n" => 2 })
+        .unwrap();
+    let q1 = Query::table("posts").filter(Filter::eq("topic", "q1"));
+    let q2 = Query::table("posts").filter(Filter::eq("topic", "q2"));
+
+    // Cache both queries, then make q2 stale via a foreign write.
+    client.query(&q1).unwrap();
+    client.query(&q2).unwrap();
+    w.clock.advance(50);
+    w.server
+        .update("posts", "b", &Update::new().set("topic", "other"))
+        .unwrap();
+
+    // (1) The client connects and retrieves a Bloom filter containing q2.
+    let fresh_client = w.client();
+    let (ebf, _) = w.server.ebf_snapshot();
+    assert!(ebf.contains(QueryKey::of(&q2).as_str().as_bytes()));
+    assert!(!ebf.contains(QueryKey::of(&q1).as_str().as_bytes()));
+
+    // (2) Loading q2 triggers a revalidation...
+    let r2 = fresh_client.query(&q2).unwrap();
+    assert!(r2.revalidated);
+    assert_eq!(r2.docs.len(), 0, "the fresh q2 result is empty");
+
+    // (3) ...while q1, not in the filter, is served from the cache.
+    let r1 = fresh_client.query(&q1).unwrap();
+    assert!(!r1.revalidated);
+    assert_eq!(
+        r1.served_by,
+        ServedBy::Layer(1),
+        "q1 comes from the CDN warmed by the first client"
+    );
+
+    // (4) An update to a record in q1's result triggers matching,
+    // invalidation and a CDN purge.
+    w.clock.advance(50);
+    w.server
+        .update("posts", "a", &Update::new().inc("n", 1.0))
+        .unwrap();
+    let (ebf, _) = w.server.ebf_snapshot();
+    assert!(
+        ebf.contains(QueryKey::of(&q1).as_str().as_bytes()),
+        "q1 must now be flagged stale"
+    );
+    // The CDN no longer holds q1 (purged), so a revalidation goes to the
+    // origin and returns the updated result.
+    w.clock.advance(1_000);
+    let r1b = fresh_client.query(&q1).unwrap();
+    assert!(r1b.revalidated);
+    assert_eq!(r1b.docs[0]["n"], Value::Int(2));
+}
+
+#[test]
+fn delta_atomicity_holds_across_many_clients() {
+    // Theorem 1: a client using an EBF of age Δ never observes data more
+    // than Δ stale. We drive writes and verify that reads served from
+    // caches are never older than the client's EBF generation allows.
+    let w = World::new();
+    let writer = w.client();
+    writer
+        .insert("posts", "x", doc! { "v" => 0 })
+        .unwrap();
+
+    let reader = w.client();
+    let q = Query::table("posts").filter(Filter::exists("v"));
+    reader.query(&q).unwrap();
+
+    for round in 1..=20i64 {
+        w.clock.advance(500);
+        writer
+            .update("posts", "x", &Update::new().set("v", round))
+            .unwrap();
+        w.clock.advance(600); // > Δ = 1s total since last refresh
+        let out = reader.query(&q).unwrap();
+        let seen = out.docs[0]["v"].as_i64().unwrap();
+        // After more than Δ has passed since the write, the client must
+        // see it (staleness bound): the previous round's value at minimum.
+        assert!(
+            seen >= round - 1,
+            "round {round}: saw v={seen}, violating the Δ bound"
+        );
+    }
+}
+
+#[test]
+fn session_guarantees_hold_together() {
+    let w = World::new();
+    let c = w.client();
+    c.insert("posts", "mine", doc! { "drafts" => 0 }).unwrap();
+
+    // Read-your-writes + monotonic reads interleaved with foreign writes.
+    for i in 1..=10 {
+        c.update("posts", "mine", &Update::new().inc("drafts", 1.0))
+            .unwrap();
+        let r = c.read_record("posts", "mine").unwrap();
+        assert_eq!(r.doc["drafts"], Value::Int(i), "read-your-writes");
+    }
+    let final_version = c.read_record("posts", "mine").unwrap().version;
+    // Monotonic reads: repeated reads never regress.
+    for _ in 0..5 {
+        let v = c.read_record("posts", "mine").unwrap().version;
+        assert!(v >= final_version);
+    }
+}
+
+#[test]
+fn id_list_and_object_list_roundtrip_identically() {
+    // Force each representation via the cost model and verify clients
+    // assemble identical results.
+    use quaestor::core::ServerConfig;
+    use quaestor::store::Database;
+    use quaestor::ttl::CostModel;
+
+    let run = |rt_cost: f64| -> Vec<String> {
+        let clock = ManualClock::new();
+        let db = Database::with_clock(clock.clone());
+        let mut cfg = ServerConfig::default();
+        cfg.cost = CostModel {
+            invalidation_cost: 1.0,
+            round_trip_cost: rt_cost,
+        };
+        let server = QuaestorServer::new(db, cfg, clock.clone());
+        let cdn = Arc::new(InvalidationCache::new("cdn", 10_000));
+        server.register_cdn(cdn.clone());
+        let client = QuaestorClient::connect(
+            server.clone(),
+            std::slice::from_ref(&cdn),
+            ClientConfig::default(),
+            clock.clone(),
+        );
+        for i in 0..5 {
+            client
+                .insert("t", &format!("r{i}"), doc! { "g" => 1, "i" => i })
+                .unwrap();
+        }
+        let q = Query::table("t").filter(Filter::eq("g", 1));
+        // Prime state, mutate, re-query several times so the cost model
+        // has signal; then read from a second client through the caches.
+        for _ in 0..3 {
+            client.query(&q).unwrap();
+            clock.advance(200);
+            server
+                .update("t", "r0", &Update::new().inc("i", 10.0))
+                .unwrap();
+            clock.advance(900);
+        }
+        let reader = QuaestorClient::connect(
+            server,
+            std::slice::from_ref(&cdn),
+            ClientConfig::default(),
+            clock.clone(),
+        );
+        let out = reader.query(&q).unwrap();
+        out.docs
+            .iter()
+            .map(|d| d["_id"].as_str().unwrap().to_string())
+            .collect()
+    };
+    let obj = run(1e9); // object-lists forced
+    let idl = run(0.0); // id-lists forced
+    assert_eq!(obj, idl, "representations must be semantically identical");
+    assert_eq!(obj.len(), 5);
+}
+
+#[test]
+fn concurrent_clients_under_real_threads() {
+    // The whole stack is thread-safe: hammer one server from 8 OS threads
+    // through separate clients with mixed reads/writes.
+    let clock = SystemClock::shared();
+    let server = QuaestorServer::with_defaults(clock.clone());
+    let cdn = Arc::new(InvalidationCache::new("cdn", 100_000));
+    server.register_cdn(cdn.clone());
+    for i in 0..50 {
+        server
+            .insert("t", &format!("r{i}"), doc! { "g" => (i % 5) as i64, "n" => 0 })
+            .unwrap();
+    }
+    std::thread::scope(|s| {
+        for w in 0..8 {
+            let server = server.clone();
+            let cdn = cdn.clone();
+            let clock = clock.clone();
+            s.spawn(move || {
+                let client = QuaestorClient::connect(
+                    server,
+                    std::slice::from_ref(&cdn),
+                    ClientConfig::default(),
+                    clock,
+                );
+                for i in 0..200 {
+                    let g = (i % 5) as i64;
+                    let q = Query::table("t").filter(Filter::eq("g", g));
+                    let out = client.query(&q).unwrap();
+                    assert_eq!(out.docs.len(), 10);
+                    if i % 10 == w {
+                        client
+                            .update("t", &format!("r{}", i % 50), &Update::new().inc("n", 1.0))
+                            .unwrap();
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn ebf_false_positives_only_cost_latency_not_correctness() {
+    // Shrink the EBF so false positives are common; every FP causes an
+    // unnecessary revalidation but results stay correct.
+    use quaestor::bloom::BloomParams;
+    use quaestor::core::ServerConfig;
+    use quaestor::store::Database;
+
+    let clock = ManualClock::new();
+    let db = Database::with_clock(clock.clone());
+    let mut cfg = ServerConfig::default();
+    cfg.bloom = BloomParams { m_bits: 256, k: 2 }; // tiny: high FPR
+    let server = QuaestorServer::new(db, cfg, clock.clone());
+    let cdn = Arc::new(InvalidationCache::new("cdn", 10_000));
+    server.register_cdn(cdn.clone());
+    let client = QuaestorClient::connect(
+        server.clone(),
+        std::slice::from_ref(&cdn),
+        ClientConfig::default(),
+        clock.clone(),
+    );
+    for i in 0..50 {
+        client
+            .insert("t", &format!("r{i}"), doc! { "k" => i })
+            .unwrap();
+    }
+    // Make a bunch of keys genuinely stale to load the filter.
+    for i in 0..50 {
+        let _ = client.read_record("t", &format!("r{i}"));
+    }
+    for i in 0..25 {
+        server
+            .update("t", &format!("r{i}"), &Update::new().inc("k", 100.0))
+            .unwrap();
+    }
+    clock.advance(2_000);
+    // Every read still returns the correct current value.
+    for i in 0..50 {
+        let r = client.read_record("t", &format!("r{i}")).unwrap();
+        let expect = if i < 25 { i + 100 } else { i };
+        assert_eq!(r.doc["k"], Value::Int(expect), "record r{i}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based differential tests: the sharded store, the InvaliDB
+//! matcher and the reference query semantics must always agree, and the
+//! cache+EBF stack must never corrupt data.
+
+use proptest::prelude::*;
+use quaestor::document::{doc, Document, Update, Value};
+use quaestor::invalidb::{ClusterConfig, InvaliDbCluster, NotificationEvent};
+use quaestor::query::{matcher, Filter, Op, Order, Query};
+use quaestor::store::Database;
+use std::sync::Arc;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-20i64..20).prop_map(Value::Int),
+        "[a-c]{1,3}".prop_map(Value::Str),
+        Just(Value::Null),
+    ]
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    let leaf = prop_oneof![
+        ("[a-d]", arb_value()).prop_map(|(f, v)| Filter::Cmp(f.as_str().into(), Op::Eq(v))),
+        ("[a-d]", -20i64..20).prop_map(|(f, v)| Filter::gt(f.as_str(), v)),
+        ("[a-d]", -20i64..20).prop_map(|(f, v)| Filter::lte(f.as_str(), v)),
+        "[a-d]".prop_map(|f| Filter::exists(f.as_str())),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Filter::And),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Filter::Or),
+            inner.prop_map(Filter::not),
+        ]
+    })
+}
+
+fn arb_doc() -> impl Strategy<Value = Document> {
+    proptest::collection::btree_map("[a-d]", arb_value(), 0..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The store's (index-capable, sharded) query execution must agree
+    /// with the reference semantics `matcher::execute` for any documents,
+    /// filter and pagination.
+    #[test]
+    fn store_query_matches_reference(
+        docs in proptest::collection::vec(arb_doc(), 0..30),
+        filter in arb_filter(),
+        limit in proptest::option::of(0usize..10),
+        offset in 0usize..5,
+        desc in any::<bool>(),
+    ) {
+        let db = Database::new();
+        let table = db.create_table("t");
+        table.create_index("a");
+        let mut reference_docs = Vec::new();
+        for (i, d) in docs.iter().enumerate() {
+            let id = format!("r{i:03}");
+            table.insert(&id, d.clone()).unwrap();
+            let mut with_id = d.clone();
+            with_id.insert("_id".into(), Value::str(&id));
+            reference_docs.push(with_id);
+        }
+        let mut q = Query::table("t")
+            .filter(filter)
+            .sort_by("b", if desc { Order::Desc } else { Order::Asc })
+            .offset(offset);
+        q.limit = limit;
+        let got: Vec<String> = table
+            .query(&q)
+            .iter()
+            .map(|d| d["_id"].as_str().unwrap().to_owned())
+            .collect();
+        let want: Vec<String> = matcher::execute(&q, reference_docs.iter())
+            .iter()
+            .map(|d| d["_id"].as_str().unwrap().to_owned())
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// InvaliDB's incremental matching must agree with re-evaluating the
+    /// query from scratch after every write.
+    #[test]
+    fn invalidb_tracks_reference_result(
+        initial in proptest::collection::vec(arb_doc(), 0..10),
+        updates in proptest::collection::vec((0usize..10, arb_doc()), 1..20),
+        filter in arb_filter(),
+    ) {
+        let cluster = InvaliDbCluster::new(ClusterConfig {
+            query_partitions: 2,
+            object_partitions: 3,
+            max_queries: 16,
+            replay_buffer: 8,
+        });
+        let q = Query::table("t").filter(filter.clone());
+        // Seed state.
+        let mut current: Vec<Option<Document>> = vec![None; 10];
+        let mut seeded = Vec::new();
+        for (i, d) in initial.iter().enumerate() {
+            let mut with_id = d.clone();
+            with_id.insert("_id".into(), Value::str(format!("r{i}")));
+            if matcher::matches(&filter, &with_id) {
+                seeded.push(Arc::new(with_id.clone()));
+            }
+            current[i] = Some(with_id);
+        }
+        cluster.register_query(q, seeded, cluster.ingest_mark()).unwrap();
+
+        let mut seq = 100u64;
+        for (slot, newdoc) in updates {
+            seq += 1;
+            let id = format!("r{slot}");
+            let mut with_id = newdoc.clone();
+            with_id.insert("_id".into(), Value::str(&id));
+            let was = current[slot]
+                .as_ref()
+                .is_some_and(|d| matcher::matches(&filter, d));
+            let is = matcher::matches(&filter, &with_id);
+            let kind = if current[slot].is_some() {
+                quaestor::store::WriteKind::Update
+            } else {
+                quaestor::store::WriteKind::Insert
+            };
+            let event = quaestor::store::WriteEvent {
+                table: "t".into(),
+                id: id.clone(),
+                kind,
+                image: Arc::new(with_id.clone()),
+                version: seq,
+                seq,
+                at: quaestor::common::Timestamp::from_millis(seq),
+            };
+            let notes = cluster.on_write(&event);
+            current[slot] = Some(with_id);
+            match (was, is) {
+                (false, true) => {
+                    prop_assert_eq!(notes.len(), 1, "expected add for {}", id);
+                    prop_assert_eq!(notes[0].event, NotificationEvent::Add);
+                }
+                (true, false) => {
+                    prop_assert_eq!(notes.len(), 1, "expected remove for {}", id);
+                    prop_assert_eq!(notes[0].event, NotificationEvent::Remove);
+                }
+                (true, true) => {
+                    prop_assert_eq!(notes.len(), 1, "expected change for {}", id);
+                    prop_assert_eq!(notes[0].event, NotificationEvent::Change);
+                }
+                (false, false) => prop_assert!(notes.is_empty(), "expected silence for {}", id),
+            }
+        }
+    }
+
+    /// Round-tripping documents through the full client/cache/server
+    /// stack (serialize → cache → parse) never changes their content.
+    #[test]
+    fn cached_bodies_roundtrip_documents(
+        fields in proptest::collection::btree_map("[a-z]{1,6}", prop_oneof![
+            (-1_000_000i64..1_000_000).prop_map(Value::Int),
+            "[a-zA-Z0-9 _.-]{0,16}".prop_map(Value::Str),
+            any::<bool>().prop_map(Value::Bool),
+            Just(Value::Null),
+        ], 0..8)
+    ) {
+        use quaestor::prelude::*;
+        let clock = ManualClock::new();
+        let server = QuaestorServer::with_defaults(clock.clone());
+        let client = QuaestorClient::connect(
+            server.clone(), &[], ClientConfig::default(), clock.clone());
+        let document: Document = fields;
+        client.insert("t", "x", document.clone()).unwrap();
+        // First read fills the browser cache; second parses the cached body.
+        client.read_record("t", "x").unwrap();
+        let got = client.read_record("t", "x").unwrap();
+        prop_assert_eq!(got.served_by, ServedBy::Layer(0));
+        for (k, v) in &document {
+            prop_assert_eq!(got.doc.get(k.as_str()), Some(v), "field {}", k);
+        }
+    }
+
+    /// Updates applied through the server must equal updates applied to a
+    /// plain map (the store adds only `_id`).
+    #[test]
+    fn server_updates_match_plain_application(
+        base in arb_doc(),
+        incs in proptest::collection::vec(("[a-d]", -5.0f64..5.0), 1..6),
+    ) {
+        use quaestor::prelude::*;
+        let clock = ManualClock::new();
+        let server = QuaestorServer::with_defaults(clock.clone());
+        server.insert("t", "x", base.clone()).unwrap();
+        let mut expected = base.clone();
+        expected.insert("_id".into(), Value::str("x"));
+        for (field, delta) in incs {
+            let update = Update::new().inc(field.as_str(), delta);
+            let server_result = server.update("t", "x", &update);
+            let plain_result = update.apply(&mut expected);
+            prop_assert_eq!(server_result.is_ok(), plain_result.is_ok());
+        }
+        let current = server.get_record("t", "x").unwrap();
+        prop_assert_eq!((*current.doc).clone(), expected);
+    }
+}
