@@ -37,17 +37,13 @@ fn matching_scale(c: &mut Criterion) {
             node.register(query, key, vec![]);
         }
         group.throughput(Throughput::Elements(queries as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(queries),
-            &queries,
-            |b, _| {
-                let mut i = 0u64;
-                b.iter(|| {
-                    i += 1;
-                    node.process(&event(i))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(queries), &queries, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                node.process(&event(i))
+            })
+        });
     }
     group.finish();
 }

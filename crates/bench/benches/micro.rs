@@ -105,8 +105,11 @@ fn store_benches(c: &mut Criterion) {
     let t = db.create_table("posts");
     t.create_index("category");
     for i in 0..10_000 {
-        t.insert(&format!("p{i}"), doc! { "category" => (i % 1000) as i64, "n" => i })
-            .unwrap();
+        t.insert(
+            &format!("p{i}"),
+            doc! { "category" => (i % 1000) as i64, "n" => i },
+        )
+        .unwrap();
     }
     group.bench_function("get", |b| b.iter(|| t.get(black_box("p5000"))));
     group.bench_function("indexed_query", |b| {
@@ -126,5 +129,11 @@ fn store_benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bloom_benches, query_benches, lru_benches, store_benches);
+criterion_group!(
+    benches,
+    bloom_benches,
+    query_benches,
+    lru_benches,
+    store_benches
+);
 criterion_main!(benches);

@@ -19,9 +19,25 @@ fn main() {
         .collect();
     let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         vec![
-            "fig1", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig9", "fig10",
-            "fig11", "tab1", "fig12", "thinks", "ablation-ttl", "ablation-rep",
-            "ablation-quantile", "ablation-fpr",
+            "fig1",
+            "fig8a",
+            "fig8b",
+            "fig8c",
+            "fig8d",
+            "fig8e",
+            "fig8f",
+            "fig9",
+            "fig10",
+            "fig11",
+            "tab1",
+            "fig12",
+            "thinks",
+            "ablation-ttl",
+            "ablation-rep",
+            "ablation-quantile",
+            "ablation-fpr",
+            "batch",
+            "shards",
         ]
     } else {
         targets
@@ -45,6 +61,8 @@ fn main() {
             "ablation-rep" => run_ablation_rep(scale),
             "ablation-quantile" => run_ablation_quantile(scale),
             "ablation-fpr" => run_ablation_fpr(),
+            "batch" => run_batch(scale),
+            "shards" => run_shards(scale),
             other => {
                 eprintln!("unknown experiment '{other}' — see DESIGN.md for the index");
                 std::process::exit(2);
@@ -149,7 +167,12 @@ fn run_fig9(scale: Scale) {
 
 fn run_fig10(scale: Scale) {
     println!("== Figure 10: stale read/query rates vs EBF refresh interval ==");
-    let mut t = TableWriter::new(&["clients", "refresh (s)", "query staleness", "read staleness"]);
+    let mut t = TableWriter::new(&[
+        "clients",
+        "refresh (s)",
+        "query staleness",
+        "read staleness",
+    ]);
     for r in fig10_staleness(scale) {
         t.row(vec![
             r.clients.to_string(),
@@ -276,4 +299,41 @@ fn run_ablation_fpr() {
     }
     t.print();
     println!("(paper: 14.6 KB holds 20k stale queries at ~6% FPR in one TCP congestion window)");
+}
+
+fn run_batch(scale: Scale) {
+    println!("== Service layer: batch write amortization (N writes, simulated WAN) ==");
+    let mut t = TableWriter::new(&[
+        "mode",
+        "ops",
+        "round trips",
+        "network (ms)",
+        "server wall (us)",
+    ]);
+    for r in batch_write_amortization(scale) {
+        t.row(vec![
+            r.mode.into(),
+            r.ops.to_string(),
+            r.round_trips.to_string(),
+            r.simulated_network_ms.to_string(),
+            r.wall_us.to_string(),
+        ]);
+    }
+    t.print();
+    println!("(one Batch request = one wire round trip; the origin resolves each table once per run of writes)");
+}
+
+fn run_shards(scale: Scale) {
+    println!("== Service layer: shared-nothing scale-out via ShardRouter ==");
+    let mut t = TableWriter::new(&["shards", "ops", "wall (ms)", "throughput (ops/s)"]);
+    for r in sharded_scaleout(scale) {
+        t.row(vec![
+            r.shards.to_string(),
+            r.ops.to_string(),
+            r.wall_ms.to_string(),
+            format!("{:.0}", r.throughput_ops_s),
+        ]);
+    }
+    t.print();
+    println!("(identical client code per row; only the connect target changes)");
 }

@@ -367,8 +367,7 @@ pub fn fig12_invalidb_scaling(scale: Scale) -> Vec<Fig12Row> {
             rows.push(Fig12Row {
                 nodes,
                 active_queries: nodes * qpn,
-                throughput_ops_per_sec: report.match_evaluations as f64
-                    / report.wall.as_secs_f64(),
+                throughput_ops_per_sec: report.match_evaluations as f64 / report.wall.as_secs_f64(),
                 p99_latency_ms: report.latency_us.percentile(0.99) as f64 / 1_000.0,
             });
         }
@@ -407,11 +406,7 @@ pub struct AblationTtlRow {
 /// Ablation: static TTLs (short/long straw-men) vs estimated TTLs, with
 /// and without the EBF.
 pub fn ablation_ttl_strategies(scale: Scale) -> Vec<AblationTtlRow> {
-    let mk = |label: &'static str,
-              min_ttl: u64,
-              max_ttl: u64,
-              use_ebf: bool|
-     -> AblationTtlRow {
+    let mk = |label: &'static str, min_ttl: u64, max_ttl: u64, use_ebf: bool| -> AblationTtlRow {
         let mut cfg = base_sim(scale, 60);
         cfg.workload.mix = OperationMix::with_update_rate(0.05);
         cfg.measure_staleness = true;
@@ -552,6 +547,137 @@ pub fn ablation_fpr() -> Vec<AblationFprRow> {
         .collect()
 }
 
+// ------------------------------------------------- Service-layer experiments
+
+/// One row of the batch-write amortization experiment.
+#[derive(Debug, Clone)]
+pub struct BatchWriteRow {
+    /// "singleton" or "batched".
+    pub mode: &'static str,
+    /// Writes issued.
+    pub ops: usize,
+    /// Wire round trips charged by the latency model.
+    pub round_trips: u64,
+    /// Total simulated network time (ms).
+    pub simulated_network_ms: u64,
+    /// Wall-clock server-side execution time (µs) — shows the lock/lookup
+    /// amortization of the batch fast path, independent of the network.
+    pub wall_us: u128,
+}
+
+/// Write-path amortization: N singleton `Service::call` writes versus one
+/// `Request::Batch` of the same N writes, through the simulated-WAN
+/// middleware. Batching collapses N round trips into one and lets the
+/// server resolve the target table once per run of writes.
+pub fn batch_write_amortization(scale: Scale) -> Vec<BatchWriteRow> {
+    use quaestor_common::ManualClock;
+    use quaestor_core::{QuaestorServer, Request, ServiceExt};
+    use quaestor_document::doc;
+    use quaestor_sim::LatencyInjector;
+
+    let ops = match scale {
+        Scale::Quick => 2_000,
+        Scale::Full => 20_000,
+    };
+    let mut rows = Vec::new();
+    for (mode, batched) in [("singleton", false), ("batched", true)] {
+        let clock = ManualClock::new();
+        let server = QuaestorServer::with_defaults(clock.clone());
+        let svc = LatencyInjector::new(server, LatencyModel::default(), 7);
+        let start = std::time::Instant::now();
+        if batched {
+            let reqs = (0..ops)
+                .map(|i| Request::Insert {
+                    table: "t".into(),
+                    id: format!("r{i}"),
+                    doc: doc! { "n" => i as i64 },
+                })
+                .collect();
+            let results = svc.batch(reqs).expect("batch transport");
+            assert!(results.iter().all(Result::is_ok));
+        } else {
+            for i in 0..ops {
+                svc.insert("t", &format!("r{i}"), doc! { "n" => i as i64 })
+                    .expect("insert");
+            }
+        }
+        rows.push(BatchWriteRow {
+            mode,
+            ops,
+            round_trips: svc.observed().count(),
+            simulated_network_ms: svc.total_simulated_ms(),
+            wall_us: start.elapsed().as_micros(),
+        });
+    }
+    rows
+}
+
+/// One row of the shared-nothing scale-out experiment.
+#[derive(Debug, Clone)]
+pub struct ShardScaleRow {
+    /// Cluster size.
+    pub shards: usize,
+    /// Total operations driven.
+    pub ops: usize,
+    /// Wall-clock time (ms) for the whole run.
+    pub wall_ms: u128,
+    /// Operations per wall-clock second.
+    pub throughput_ops_s: f64,
+}
+
+/// Scale-out: the identical multi-threaded client workload against a
+/// 1-node "cluster" and sharded clusters — only the `connect` target
+/// changes, per the `Service` redesign. Tables are hash-partitioned, so
+/// shards share nothing and writes parallelize across nodes.
+pub fn sharded_scaleout(scale: Scale) -> Vec<ShardScaleRow> {
+    use quaestor_common::SystemClock;
+    use quaestor_core::{QuaestorServer, Service, ServiceExt, ShardRouter};
+    use quaestor_document::doc;
+    use quaestor_query::{Filter, Query};
+    use std::sync::Arc;
+
+    let (tables, ops_per_thread, threads) = match scale {
+        Scale::Quick => (16, 400, 4),
+        Scale::Full => (64, 2_000, 8),
+    };
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let clock = SystemClock::shared();
+        let nodes: Vec<Arc<dyn Service>> = (0..shards)
+            .map(|_| QuaestorServer::with_defaults(clock.clone()) as Arc<dyn Service>)
+            .collect();
+        let cluster = ShardRouter::new(nodes);
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..threads {
+                let cluster = cluster.clone();
+                s.spawn(move || {
+                    for i in 0..ops_per_thread {
+                        let table = format!("t{}", (w * ops_per_thread + i) % tables);
+                        let id = format!("w{w}-r{i}");
+                        cluster
+                            .insert(&table, &id, doc! { "w" => w as i64, "i" => i as i64 })
+                            .expect("insert");
+                        if i % 8 == 0 {
+                            let q = Query::table(&table).filter(Filter::eq("w", w as i64));
+                            cluster.query(&q).expect("query");
+                        }
+                    }
+                });
+            }
+        });
+        let wall = start.elapsed();
+        let ops = threads * ops_per_thread;
+        rows.push(ShardScaleRow {
+            shards,
+            ops,
+            wall_ms: wall.as_millis(),
+            throughput_ops_s: ops as f64 / wall.as_secs_f64(),
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,5 +727,30 @@ mod tests {
         let r = fig11_ttl_cdf(Scale::Quick);
         assert!(r.estimated.count() > 50);
         assert!(r.true_ttls.count() > 50);
+    }
+
+    #[test]
+    fn batching_collapses_round_trips() {
+        let rows = batch_write_amortization(Scale::Quick);
+        let by = |m: &str| rows.iter().find(|r| r.mode == m).unwrap().clone();
+        let single = by("singleton");
+        let batched = by("batched");
+        assert_eq!(single.round_trips, single.ops as u64);
+        assert_eq!(batched.round_trips, 1, "one wire round trip for the batch");
+        assert!(
+            batched.simulated_network_ms * 100 < single.simulated_network_ms,
+            "network time must collapse by ~N: {} vs {}",
+            batched.simulated_network_ms,
+            single.simulated_network_ms
+        );
+    }
+
+    #[test]
+    fn sharded_clusters_hold_the_same_data() {
+        // Correctness of scale-out (perf is environment-dependent; the
+        // reproduce binary reports it): every row completes its ops.
+        let rows = sharded_scaleout(Scale::Quick);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.ops > 0 && r.throughput_ops_s > 0.0));
     }
 }

@@ -95,12 +95,9 @@ impl ExpiringBloomFilter {
         let deadline = self.clock.now().plus(ttl_ms);
         let mut inner = self.inner.lock();
         inner.stats.reads_reported += 1;
-        let entry = inner
-            .ledger
-            .entry(key.to_owned())
-            .or_insert(KeyState {
-                expires_at: Timestamp::ZERO,
-            });
+        let entry = inner.ledger.entry(key.to_owned()).or_insert(KeyState {
+            expires_at: Timestamp::ZERO,
+        });
         entry.expires_at = entry.expires_at.max(deadline);
     }
 
@@ -118,9 +115,7 @@ impl ExpiringBloomFilter {
             }
         };
         inner.cbf.insert(key.as_bytes());
-        inner
-            .removals
-            .push(Reverse((deadline, key.to_owned())));
+        inner.removals.push(Reverse((deadline, key.to_owned())));
         inner.stats.inserted += 1;
         true
     }

@@ -236,10 +236,7 @@ mod tests {
         // "false positive rate of 6% when containing 20,000 distinct
         // stale queries"
         let fpr = p.expected_fpr(20_000);
-        assert!(
-            (fpr - 0.06).abs() < 0.005,
-            "expected ~6% FPR, got {fpr:.4}"
-        );
+        assert!((fpr - 0.06).abs() < 0.005, "expected ~6% FPR, got {fpr:.4}");
     }
 
     #[test]

@@ -233,12 +233,8 @@ mod tests {
     fn two_handles_share_state() {
         let (ebf_a, clock, kv) = setup();
         // A second "DBaaS server" attaching to the same namespace.
-        let ebf_b = KvExpiringBloomFilter::new(
-            kv,
-            "t1",
-            BloomParams::optimal(500, 0.001),
-            clock.clone(),
-        );
+        let ebf_b =
+            KvExpiringBloomFilter::new(kv, "t1", BloomParams::optimal(500, 0.001), clock.clone());
         ebf_a.report_read("q1", 1_000);
         assert!(ebf_b.invalidate("q1"), "server B sees server A's read");
         assert!(ebf_a.is_stale("q1"), "server A sees server B's insert");
@@ -307,11 +303,7 @@ mod tests {
             dist.sweep();
             for i in 0..10 {
                 let k = format!("k{i}");
-                assert_eq!(
-                    mem.is_stale(&k),
-                    dist.is_stale(&k),
-                    "step {step}, key {k}"
-                );
+                assert_eq!(mem.is_stale(&k), dist.is_stale(&k), "step {step}, key {k}");
             }
         }
     }

@@ -51,9 +51,7 @@ impl PartitionedEbf {
         let mut parts = self.partitions.write();
         parts
             .entry(table.to_owned())
-            .or_insert_with(|| {
-                Arc::new(ExpiringBloomFilter::new(self.params, self.clock.clone()))
-            })
+            .or_insert_with(|| Arc::new(ExpiringBloomFilter::new(self.params, self.clock.clone())))
             .clone()
     }
 
@@ -105,11 +103,7 @@ impl PartitionedEbf {
 
     /// Drive expiry on all partitions.
     pub fn tick(&self) -> usize {
-        self.partitions
-            .read()
-            .values()
-            .map(|e| e.tick())
-            .sum()
+        self.partitions.read().values().map(|e| e.tick()).sum()
     }
 
     /// Names of existing partitions.

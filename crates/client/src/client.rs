@@ -7,7 +7,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use quaestor_bloom::BloomFilter;
 use quaestor_common::{ClockRef, Error, Result, Timestamp};
-use quaestor_core::{QuaestorServer, QueryResponse, RecordResponse};
+use quaestor_core::{
+    QuaestorServer, QueryResponse, RecordResponse, Request, Response, Service, ServiceExt,
+};
 use quaestor_document::{Document, Update, Value};
 use quaestor_query::{Query, QueryKey};
 use quaestor_webcache::{
@@ -117,8 +119,14 @@ struct ClientInner {
 
 /// A connected Quaestor client: private browser cache + shared CDN layers
 /// + EBF-driven coherence.
+///
+/// The client speaks only the [`Service`] protocol: every data operation
+/// is a [`Request`] through [`Service::call`], so the same client runs
+/// unmodified against a single [`QuaestorServer`], a
+/// [`ShardRouter`](quaestor_core::ShardRouter) cluster, or any middleware
+/// stack (metrics, simulated latency, ...).
 pub struct QuaestorClient {
-    server: Arc<QuaestorServer>,
+    service: Arc<dyn Service>,
     browser: Arc<ExpirationCache>,
     hierarchy: CacheHierarchy,
     clock: ClockRef,
@@ -134,15 +142,47 @@ impl std::fmt::Debug for QuaestorClient {
 }
 
 impl QuaestorClient {
-    /// Connect: build the cache chain (private browser cache, then the
-    /// given shared CDN layers) and fetch the initial EBF — "upon
-    /// connection, the client gets a piggybacked EBF" (§3.1).
+    /// Connect to a single origin server. Convenience over
+    /// [`connect_service`](QuaestorClient::connect_service).
     pub fn connect(
         server: Arc<QuaestorServer>,
         cdns: &[Arc<InvalidationCache>],
         config: ClientConfig,
         clock: ClockRef,
     ) -> QuaestorClient {
+        Self::connect_service(server, cdns, config, clock)
+    }
+
+    /// Connect to any [`Service`] — a server, a shard router, or a
+    /// middleware stack: build the cache chain (private browser cache,
+    /// then the given shared CDN layers) and fetch the initial EBF —
+    /// "upon connection, the client gets a piggybacked EBF" (§3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial EBF fetch fails (e.g. a misconfigured
+    /// cluster with mismatched Bloom geometry). Use
+    /// [`try_connect_service`](QuaestorClient::try_connect_service) to
+    /// handle that as an error instead.
+    pub fn connect_service(
+        service: Arc<dyn Service>,
+        cdns: &[Arc<InvalidationCache>],
+        config: ClientConfig,
+        clock: ClockRef,
+    ) -> QuaestorClient {
+        Self::try_connect_service(service, cdns, config, clock)
+            .expect("initial EBF snapshot must succeed on connect")
+    }
+
+    /// Fallible [`connect_service`](QuaestorClient::connect_service):
+    /// surfaces an initial-EBF failure (a protocol or cluster
+    /// misconfiguration error) to the caller instead of panicking.
+    pub fn try_connect_service(
+        service: Arc<dyn Service>,
+        cdns: &[Arc<InvalidationCache>],
+        config: ClientConfig,
+        clock: ClockRef,
+    ) -> Result<QuaestorClient> {
         let browser = Arc::new(ExpirationCache::new(
             "browser",
             config.browser_cache_capacity,
@@ -154,9 +194,9 @@ impl QuaestorClient {
         for cdn in cdns {
             hierarchy = hierarchy.push_invalidation(cdn.clone());
         }
-        let (ebf, ebf_at) = server.ebf_snapshot();
-        QuaestorClient {
-            server,
+        let (ebf, ebf_at) = service.fetch_ebf()?;
+        Ok(QuaestorClient {
+            service,
             browser,
             hierarchy,
             clock,
@@ -168,7 +208,12 @@ impl QuaestorClient {
                 session: SessionState::default(),
             }),
             metrics: ClientMetrics::default(),
-        }
+        })
+    }
+
+    /// The service this client talks to.
+    pub fn service(&self) -> &Arc<dyn Service> {
+        &self.service
     }
 
     /// Per-layer hit counters.
@@ -188,32 +233,33 @@ impl QuaestorClient {
     }
 
     /// Force an EBF refresh (normally piggybacked automatically).
-    pub fn refresh_ebf(&self) {
+    pub fn refresh_ebf(&self) -> Result<()> {
         let mut inner = self.inner.lock();
-        self.refresh_ebf_locked(&mut inner);
+        self.refresh_ebf_locked(&mut inner)
     }
 
-    fn refresh_ebf_locked(&self, inner: &mut ClientInner) {
-        let (ebf, at) = self.server.ebf_snapshot();
+    fn refresh_ebf_locked(&self, inner: &mut ClientInner) -> Result<()> {
+        let (ebf, at) = self.service.fetch_ebf()?;
         inner.ebf = ebf;
         inner.ebf_at = at;
         inner.session.on_ebf_refresh();
         self.metrics.ebf_refreshes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
-    fn maybe_refresh_ebf(&self, inner: &mut ClientInner) {
-        if self.config.use_ebf
-            && self.clock.now().since(inner.ebf_at) >= self.config.ebf_refresh_ms
+    fn maybe_refresh_ebf(&self, inner: &mut ClientInner) -> Result<()> {
+        if self.config.use_ebf && self.clock.now().since(inner.ebf_at) >= self.config.ebf_refresh_ms
         {
-            self.refresh_ebf_locked(inner);
+            self.refresh_ebf_locked(inner)?;
         }
+        Ok(())
     }
 
     /// Probe the staleness filter for `key`, honouring the per-table-EBF
     /// option (each partition refreshes on its own Δ schedule).
-    fn filter_says_stale(&self, inner: &mut ClientInner, table: &str, key: &str) -> bool {
+    fn filter_says_stale(&self, inner: &mut ClientInner, table: &str, key: &str) -> Result<bool> {
         if !self.config.use_ebf {
-            return false;
+            return Ok(false);
         }
         if self.config.per_table_ebf {
             let now = self.clock.now();
@@ -222,16 +268,16 @@ impl QuaestorClient {
                 .get(table)
                 .is_none_or(|(_, at)| now.since(*at) >= self.config.ebf_refresh_ms);
             if needs_refresh {
-                let (flat, at) = self.server.ebf_partition_snapshot(table);
+                let (flat, at) = self.service.fetch_ebf_partition(table)?;
                 inner.table_ebfs.insert(table.to_owned(), (flat, at));
                 // Whitelist entries belong to the previous filter
                 // generation; clearing is conservative and safe.
                 inner.session.on_ebf_refresh();
                 self.metrics.ebf_refreshes.fetch_add(1, Ordering::Relaxed);
             }
-            inner.table_ebfs[table].0.contains(key.as_bytes())
+            Ok(inner.table_ebfs[table].0.contains(key.as_bytes()))
         } else {
-            inner.ebf.contains(key.as_bytes())
+            Ok(inner.ebf.contains(key.as_bytes()))
         }
     }
 
@@ -243,21 +289,21 @@ impl QuaestorClient {
         table: &str,
         key: &str,
         consistency: Consistency,
-    ) -> (FetchMode, bool) {
+    ) -> Result<(FetchMode, bool)> {
         if consistency == Consistency::Strong {
-            return (FetchMode::Bypass, true);
+            return Ok((FetchMode::Bypass, true));
         }
-        let stale = self.filter_says_stale(inner, table, key)
-            && !inner.session.whitelist.contains(key);
+        let stale =
+            self.filter_says_stale(inner, table, key)? && !inner.session.whitelist.contains(key);
         if stale {
-            return (FetchMode::Revalidate, true);
+            return Ok((FetchMode::Revalidate, true));
         }
         if consistency == Consistency::Causal && inner.session.read_newer_than_ebf {
             // "Every read happening before the next EBF refresh is turned
             // into a revalidation." (§3.2, option 2)
-            return (FetchMode::Revalidate, true);
+            return Ok((FetchMode::Revalidate, true));
         }
-        (FetchMode::CachedLoad, false)
+        Ok((FetchMode::CachedLoad, false))
     }
 
     fn note_freshness(&self, inner: &mut ClientInner, entry: &CacheEntry, revalidated: bool) {
@@ -283,8 +329,8 @@ impl QuaestorClient {
     ) -> Result<ReadOutcome> {
         let key = QueryKey::record(table, id);
         let mut inner = self.inner.lock();
-        self.maybe_refresh_ebf(&mut inner);
-        let (mode, revalidated) = self.decide_mode(&mut inner, table, key.as_str(), consistency);
+        self.maybe_refresh_ebf(&mut inner)?;
+        let (mode, revalidated) = self.decide_mode(&mut inner, table, key.as_str(), consistency)?;
         if revalidated {
             self.metrics.revalidations.fetch_add(1, Ordering::Relaxed);
         }
@@ -329,7 +375,7 @@ impl QuaestorClient {
         let now = self.clock.now();
         let captured: RefCell<Option<Result<RecordResponse>>> = RefCell::new(None);
         let outcome = self.hierarchy.fetch(key, now, mode, || {
-            let resp = self.server.get_record(table, id);
+            let resp = self.service.get_record(table, id);
             match resp {
                 Ok(r) => {
                     let entry = CacheEntry::new(r.body.clone(), r.etag, now, r.ttl_ms);
@@ -359,16 +405,16 @@ impl QuaestorClient {
     pub fn query_with(&self, query: &Query, consistency: Consistency) -> Result<QueryOutcome> {
         let key = QueryKey::of(query);
         let mut inner = self.inner.lock();
-        self.maybe_refresh_ebf(&mut inner);
+        self.maybe_refresh_ebf(&mut inner)?;
         let (mode, revalidated) =
-            self.decide_mode(&mut inner, &query.table, key.as_str(), consistency);
+            self.decide_mode(&mut inner, &query.table, key.as_str(), consistency)?;
         if revalidated {
             self.metrics.revalidations.fetch_add(1, Ordering::Relaxed);
         }
         let now = self.clock.now();
         let captured: RefCell<Option<Result<QueryResponse>>> = RefCell::new(None);
         let outcome = self.hierarchy.fetch(key.as_str(), now, mode, || {
-            let resp = self.server.query(query);
+            let resp = self.service.query(query);
             match resp {
                 Ok(r) => {
                     let entry = CacheEntry::new(r.body.clone(), r.etag, now, r.ttl_ms);
@@ -458,25 +504,81 @@ impl QuaestorClient {
 
     /// Insert a record; caches the result locally (read-your-writes).
     pub fn insert(&self, table: &str, id: &str, doc: Document) -> Result<()> {
-        let (version, image) = self.server.insert(table, id, doc)?;
+        let (version, image) = self.service.insert(table, id, doc)?;
         self.cache_own_write(table, id, version, &image);
         Ok(())
     }
 
     /// Partially update a record; caches the after-image locally.
     pub fn update(&self, table: &str, id: &str, update: &Update) -> Result<()> {
-        let (version, image) = self.server.update(table, id, update)?;
+        let (version, image) = self.service.update(table, id, update)?;
+        self.cache_own_write(table, id, version, &image);
+        Ok(())
+    }
+
+    /// Replace a record wholesale; caches the after-image locally.
+    pub fn replace(&self, table: &str, id: &str, doc: Document) -> Result<()> {
+        let (version, image) = self.service.replace(table, id, doc)?;
         self.cache_own_write(table, id, version, &image);
         Ok(())
     }
 
     /// Delete a record; evicts it locally.
     pub fn delete(&self, table: &str, id: &str) -> Result<()> {
-        self.server.delete(table, id)?;
+        self.service.delete(table, id)?;
+        self.after_own_delete(table, id);
+        Ok(())
+    }
+
+    fn after_own_delete(&self, table: &str, id: &str) {
         let key = QueryKey::record(table, id);
         self.browser.evict(key.as_str());
         let mut inner = self.inner.lock();
         inner.session.read_newer_than_ebf = true;
+    }
+
+    /// Execute several requests in one round trip. Results are reported
+    /// per-op, in order; successful writes — including writes inside
+    /// nested batches — are absorbed into the session exactly like their
+    /// singleton counterparts (read-your-writes holds across batches).
+    pub fn batch(&self, requests: Vec<Request>) -> Result<Vec<Result<Response>>> {
+        let identities: Vec<BatchIdentity> = requests.iter().map(BatchIdentity::of).collect();
+        let results = self.service.batch(requests)?;
+        self.absorb_batch_outcomes(&identities, &results)?;
+        Ok(results)
+    }
+
+    /// Fold successful batch writes into the session (own-write cache,
+    /// whitelist, monotonic versions), recursing into nested batches. A
+    /// result list whose shape disagrees with what was submitted is a
+    /// protocol violation — surfaced as an error rather than silently
+    /// dropping read-your-writes for the unmatched tail.
+    fn absorb_batch_outcomes(
+        &self,
+        identities: &[BatchIdentity],
+        results: &[Result<Response>],
+    ) -> Result<()> {
+        if identities.len() != results.len() {
+            return Err(Error::Internal(format!(
+                "protocol violation: batch returned {} results for {} requests",
+                results.len(),
+                identities.len()
+            )));
+        }
+        for (identity, result) in identities.iter().zip(results) {
+            match (identity, result) {
+                (BatchIdentity::Write(table, id), Ok(Response::Written { version, image })) => {
+                    self.cache_own_write(table, id, *version, image);
+                }
+                (BatchIdentity::Write(table, id), Ok(Response::Deleted { .. })) => {
+                    self.after_own_delete(table, id);
+                }
+                (BatchIdentity::Nested(inner), Ok(Response::Batch(inner_results))) => {
+                    self.absorb_batch_outcomes(inner, inner_results)?;
+                }
+                _ => {}
+            }
+        }
         Ok(())
     }
 
@@ -500,8 +602,34 @@ impl QuaestorClient {
 
     /// Subscribe to the real-time change stream of a query (§3.2's
     /// websocket alternative to EBF polling).
-    pub fn subscribe(&self, query: &Query) -> quaestor_kv::Subscription {
-        self.server.subscribe_query_stream(&QueryKey::of(query))
+    pub fn subscribe(&self, query: &Query) -> Result<quaestor_kv::Subscription> {
+        self.service.subscribe(&QueryKey::of(query))
+    }
+}
+
+/// The write-identity skeleton of a batch request, kept client-side so
+/// outcomes can be folded back into the session after dispatch.
+enum BatchIdentity {
+    /// A write op targeting `(table, id)`.
+    Write(String, String),
+    /// A nested batch.
+    Nested(Vec<BatchIdentity>),
+    /// Anything session-neutral (reads, queries, EBF snapshots...).
+    Other,
+}
+
+impl BatchIdentity {
+    fn of(req: &Request) -> BatchIdentity {
+        match req {
+            Request::Insert { table, id, .. }
+            | Request::Update { table, id, .. }
+            | Request::Replace { table, id, .. }
+            | Request::Delete { table, id } => BatchIdentity::Write(table.clone(), id.clone()),
+            Request::Batch(inner) => {
+                BatchIdentity::Nested(inner.iter().map(BatchIdentity::of).collect())
+            }
+            _ => BatchIdentity::Other,
+        }
     }
 }
 
@@ -529,9 +657,7 @@ fn parse_body(body: &[u8]) -> Result<ParsedBody> {
         .ok_or_else(|| Error::Internal("cached query body is not an array".into()))?;
     if arr.iter().all(|e| e.is_string()) && !arr.is_empty() {
         Ok(ParsedBody::Ids(
-            arr.iter()
-                .map(|e| e.as_str().unwrap().to_owned())
-                .collect(),
+            arr.iter().map(|e| e.as_str().unwrap().to_owned()).collect(),
         ))
     } else {
         let mut docs = Vec::with_capacity(arr.len());
@@ -681,7 +807,7 @@ mod tests {
         server.insert("posts", "p2", doc! { "n" => 2 }).unwrap();
         let c = client(&server, &cdn, &clock);
         c.read_record("posts", "p2").unwrap(); // warm p2
-        // Own write makes the session "newer than the EBF".
+                                               // Own write makes the session "newer than the EBF".
         c.update("posts", "p1", &Update::new().inc("n", 1.0))
             .unwrap();
         let r = c
@@ -708,9 +834,8 @@ mod tests {
         assert_eq!(r1.version, 2);
         // Poison the CDN with a stale v1 copy (as an out-of-date edge
         // might hold).
-        let stale_body = bytes::Bytes::from(
-            Value::Object(doc! { "_id" => "p1", "n" => 1 }).canonical(),
-        );
+        let stale_body =
+            bytes::Bytes::from(Value::Object(doc! { "_id" => "p1", "n" => 1 }).canonical());
         cdn.put(
             QueryKey::record("posts", "p1").as_str(),
             CacheEntry::new(stale_body, 1, clock.now(), 60_000),
@@ -743,7 +868,7 @@ mod tests {
         let c = client(&server, &cdn, &clock);
         let q = Query::table("posts").filter(Filter::eq("tag", "hot"));
         c.query(&q).unwrap(); // registers the query in InvaliDB
-        let sub = c.subscribe(&q);
+        let sub = c.subscribe(&q).unwrap();
         server
             .update("posts", "p1", &Update::new().set("tag", "cold"))
             .unwrap();
@@ -778,9 +903,13 @@ mod tests {
         server
             .insert("posts", "p1", doc! { "tag" => "hot" })
             .unwrap();
-        server.insert("users", "u1", doc! { "name" => "ada" }).unwrap();
-        let mut cfg = ClientConfig::default();
-        cfg.per_table_ebf = true;
+        server
+            .insert("users", "u1", doc! { "name" => "ada" })
+            .unwrap();
+        let cfg = ClientConfig {
+            per_table_ebf: true,
+            ..ClientConfig::default()
+        };
         let c = QuaestorClient::connect(
             server.clone(),
             std::slice::from_ref(&cdn),
@@ -804,6 +933,37 @@ mod tests {
         let u = c.read_record("users", "u1").unwrap();
         assert!(!u.revalidated);
         assert_eq!(u.served_by, ServedBy::Layer(0));
+    }
+
+    #[test]
+    fn nested_batch_writes_keep_read_your_writes() {
+        let (server, cdn, clock) = setup();
+        let c = client(&server, &cdn, &clock);
+        c.insert("posts", "p1", doc! { "n" => 1 }).unwrap();
+        c.read_record("posts", "p1").unwrap(); // warm the browser cache
+        let results = c
+            .batch(vec![Request::Batch(vec![
+                Request::Update {
+                    table: "posts".into(),
+                    id: "p1".into(),
+                    update: Update::new().inc("n", 1.0),
+                },
+                Request::Insert {
+                    table: "posts".into(),
+                    id: "p2".into(),
+                    doc: doc! { "n" => 9 },
+                },
+            ])])
+            .unwrap();
+        assert!(matches!(results[0], Ok(Response::Batch(_))));
+        // Both nested writes must be visible immediately from the own-
+        // write cache, not served stale from the pre-batch copy.
+        let r1 = c.read_record("posts", "p1").unwrap();
+        assert_eq!(r1.doc["n"], Value::Int(2), "nested update absorbed");
+        assert_eq!(r1.served_by, ServedBy::Layer(0));
+        let r2 = c.read_record("posts", "p2").unwrap();
+        assert_eq!(r2.doc["n"], Value::Int(9), "nested insert absorbed");
+        assert_eq!(r2.served_by, ServedBy::Layer(0));
     }
 
     #[test]

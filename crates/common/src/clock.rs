@@ -137,7 +137,11 @@ impl ManualClock {
     /// must never move time backwards or event ordering breaks.
     pub fn set(&self, t: Timestamp) {
         let prev = self.now_ms.swap(t.0, Ordering::SeqCst);
-        assert!(prev <= t.0, "ManualClock moved backwards: {prev} -> {}", t.0);
+        assert!(
+            prev <= t.0,
+            "ManualClock moved backwards: {prev} -> {}",
+            t.0
+        );
     }
 }
 

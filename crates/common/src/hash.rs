@@ -98,6 +98,16 @@ pub fn fx_hash_str(s: &str) -> u64 {
     fx_hash_bytes(s.as_bytes())
 }
 
+/// Stable bucket assignment: hash `key` and reduce to `buckets` with a
+/// full-avalanche finalizer first. `fx_hash_*` alone concentrates entropy
+/// in the high bits, so a bare `hash % n` degenerates — shard routers and
+/// other modulo consumers must go through this instead.
+#[inline]
+pub fn stable_bucket(key: &[u8], buckets: u64) -> u64 {
+    assert!(buckets > 0, "bucket count must be positive");
+    fmix64(fx_hash_bytes(key)) % buckets
+}
+
 /// MurmurHash3's 64-bit finalizer: full-avalanche bit mixing.
 #[inline]
 fn fmix64(mut h: u64) -> u64 {

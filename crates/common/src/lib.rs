@@ -20,7 +20,9 @@ pub mod histogram;
 
 pub use clock::{Clock, ClockRef, ManualClock, SystemClock, Timestamp};
 pub use error::{Error, Result};
-pub use hash::{fx_hash_bytes, fx_hash_str, DoubleHasher, FxBuildHasher, FxHashMap, FxHashSet};
+pub use hash::{
+    fx_hash_bytes, fx_hash_str, stable_bucket, DoubleHasher, FxBuildHasher, FxHashMap, FxHashSet,
+};
 pub use histogram::Histogram;
 
 /// A monotonically increasing version counter attached to every stored

@@ -24,12 +24,14 @@
 //!    query in InvaliDB, report the read to the EBF and reply with a
 //!    cacheable response.
 
+pub mod api;
 pub mod config;
 pub mod metrics;
 pub mod response;
 pub mod server;
 pub mod transaction;
 
+pub use api::{MetricsLayer, Request, Response, Service, ServiceExt, ServiceMetrics, ShardRouter};
 pub use config::ServerConfig;
 pub use metrics::ServerMetrics;
 pub use response::{QueryResponse, RecordResponse};

@@ -190,7 +190,7 @@ impl QuaestorServer {
                 // every copy of it as stale (conservative; it can no
                 // longer be invalidated).
                 self.invalidb.deregister_query(&victim);
-                self.ebf.invalidate(victim_table(&victim), victim.as_str());
+                self.ebf.invalidate(victim.table(), victim.as_str());
                 self.active.remove(&victim);
                 self.purge(&victim);
                 true
@@ -275,8 +275,11 @@ impl QuaestorServer {
                 .sampler
                 .rate(&Self::record_sample_key(&query.table, id), now);
             let rttl = self.estimator.record_ttl(rate);
-            self.ebf
-                .report_read(&query.table, QueryKey::record(&query.table, id).as_str(), rttl);
+            self.ebf.report_read(
+                &query.table,
+                QueryKey::record(&query.table, id).as_str(),
+                rttl,
+            );
         }
 
         let body = match representation {
@@ -346,12 +349,7 @@ impl QuaestorServer {
     }
 
     /// Partially update a record; returns version and after-image.
-    pub fn update(
-        &self,
-        table: &str,
-        id: &str,
-        update: &Update,
-    ) -> Result<(u64, Arc<Document>)> {
+    pub fn update(&self, table: &str, id: &str, update: &Update) -> Result<(u64, Arc<Document>)> {
         let t = self.db.table(table)?;
         let event = t.update(id, update, None)?;
         self.after_write(&event);
@@ -379,10 +377,7 @@ impl QuaestorServer {
     /// Subscribe to real-time change notifications for one cached query —
     /// the "websocket-based query result change streams" of §3.2. Each
     /// message is the serialized notification event kind and record id.
-    pub fn subscribe_query_stream(
-        &self,
-        key: &QueryKey,
-    ) -> quaestor_kv::Subscription {
+    pub fn subscribe_query_stream(&self, key: &QueryKey) -> quaestor_kv::Subscription {
         self.streams.subscribe(key.as_str())
     }
 
@@ -428,8 +423,7 @@ impl QuaestorServer {
         bump(&self.metrics.query_invalidations);
         // Table is encoded in the query key's table; use the notification
         // query key against that table's EBF partition.
-        let table = query_key_table(&n.query);
-        self.ebf.invalidate(table, n.query.as_str());
+        self.ebf.invalidate(n.query.table(), n.query.as_str());
         self.capacity.on_invalidation(&n.query);
         self.purge(&n.query);
         // EWMA refinement from the observed actual TTL (Eq. 2).
@@ -467,21 +461,6 @@ impl QuaestorServer {
     pub fn ebf(&self) -> &PartitionedEbf {
         &self.ebf
     }
-}
-
-/// Extract the table name from a query key (`q:<table>?...` or
-/// `r:<table>/<id>`).
-fn query_key_table(key: &QueryKey) -> &str {
-    let s = key.as_str();
-    let rest = &s[2..];
-    let end = rest
-        .find(|c| c == '?' || c == '/')
-        .unwrap_or(rest.len());
-    &rest[..end]
-}
-
-fn victim_table(key: &QueryKey) -> &str {
-    query_key_table(key)
 }
 
 fn doc_body(doc: &Document) -> bytes::Bytes {
@@ -558,7 +537,12 @@ mod tests {
             flat.contains(resp.key.as_str().as_bytes()),
             "query key must be stale in the EBF"
         );
-        assert_eq!(s.metrics().query_invalidations.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(
+            s.metrics()
+                .query_invalidations
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
     }
 
     #[test]
@@ -584,12 +568,22 @@ mod tests {
         // Simulate the CDN having cached it.
         cdn.put(
             resp.key.as_str(),
-            quaestor_webcache::CacheEntry::new(resp.body.clone(), resp.etag, Timestamp::ZERO, 60_000),
+            quaestor_webcache::CacheEntry::new(
+                resp.body.clone(),
+                resp.etag,
+                Timestamp::ZERO,
+                60_000,
+            ),
         );
         s.update("posts", "p1", &Update::new().pull("tags", "example"))
             .unwrap();
         assert_eq!(cdn.len(), 0, "stale result purged from the CDN");
-        assert!(s.metrics().purges.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+        assert!(
+            s.metrics()
+                .purges
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        );
     }
 
     #[test]
@@ -614,8 +608,10 @@ mod tests {
     fn capacity_rejection_serves_uncacheable() {
         let clock = ManualClock::new();
         let db = Database::with_clock(clock.clone());
-        let mut cfg = ServerConfig::default();
-        cfg.max_cached_queries = 1;
+        let mut cfg = ServerConfig {
+            max_cached_queries: 1,
+            ..ServerConfig::default()
+        };
         cfg.invalidb.max_queries = 1;
         let s = QuaestorServer::new(db, cfg, clock.clone());
         s.insert("t", "a", doc! { "n" => 1 }).unwrap();
@@ -639,15 +635,6 @@ mod tests {
         s.delete("posts", "p1").unwrap();
         let (flat, _) = s.ebf_snapshot();
         assert!(flat.contains(resp.key.as_str().as_bytes()));
-    }
-
-    #[test]
-    fn query_key_table_extraction() {
-        let q = Query::table("posts").filter(Filter::eq("a", 1));
-        assert_eq!(query_key_table(&QueryKey::of(&q)), "posts");
-        assert_eq!(query_key_table(&QueryKey::record("users", "7")), "users");
-        let bare = Query::table("plain");
-        assert_eq!(query_key_table(&QueryKey::of(&bare)), "plain");
     }
 
     #[test]

@@ -66,8 +66,7 @@ impl Transaction {
     /// Record a read observation (typically from a cached response's
     /// ETag).
     pub fn observe(&mut self, table: &str, id: &str, version: Version) {
-        self.reads
-            .push((table.to_owned(), id.to_owned(), version));
+        self.reads.push((table.to_owned(), id.to_owned(), version));
     }
 
     /// Buffer an insert.
@@ -210,7 +209,9 @@ mod tests {
         tx.insert("t", "x", doc! { "n" => 1 });
         s.commit(tx).unwrap();
         assert_eq!(
-            s.metrics().tx_commits.load(std::sync::atomic::Ordering::Relaxed),
+            s.metrics()
+                .tx_commits
+                .load(std::sync::atomic::Ordering::Relaxed),
             1
         );
     }

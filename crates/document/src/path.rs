@@ -116,9 +116,7 @@ impl<'a> Iterator for Segments<'a> {
 
     fn next(&mut self) -> Option<&'a str> {
         match self {
-            Segments::Pre { raw, iter } => iter
-                .next()
-                .map(|&(s, e)| &raw[s as usize..e as usize]),
+            Segments::Pre { raw, iter } => iter.next().map(|&(s, e)| &raw[s as usize..e as usize]),
             Segments::Lazy(split) => split.next(),
         }
     }

@@ -428,10 +428,7 @@ mod tests {
             v.get_path(&Path::new("author.name")),
             Some(&Value::str("ada"))
         );
-        assert_eq!(
-            v.get_path(&Path::new("tags.1")),
-            Some(&Value::str("music"))
-        );
+        assert_eq!(v.get_path(&Path::new("tags.1")), Some(&Value::str("music")));
         assert_eq!(v.get_path(&Path::new("tags.7")), None);
         assert_eq!(v.get_path(&Path::new("author.name.x")), None);
     }
@@ -477,8 +474,7 @@ mod tests {
         leaf.prop_recursive(3, 24, 4, |inner| {
             prop_oneof![
                 proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
-                proptest::collection::btree_map("[a-z]{1,4}", inner, 0..4)
-                    .prop_map(Value::Object),
+                proptest::collection::btree_map("[a-z]{1,4}", inner, 0..4).prop_map(Value::Object),
             ]
         })
     }

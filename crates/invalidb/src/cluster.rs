@@ -321,10 +321,9 @@ mod tests {
             got.sort();
             match &baselines {
                 None => baselines = Some(got),
-                Some(base) => assert_eq!(
-                    base, &got,
-                    "grid {qp}x{op} diverged from the 1x1 baseline"
-                ),
+                Some(base) => {
+                    assert_eq!(base, &got, "grid {qp}x{op} diverged from the 1x1 baseline")
+                }
             }
         }
     }
@@ -411,11 +410,12 @@ mod tests {
             post("b", &[], 20),
             1,
         ));
-        assert!(n.iter().any(|x| x.query == key
-            && x.record_id == "b"
-            && x.event == NotificationEvent::Add));
-        assert!(n.iter().any(|x| x.record_id == "a"
-            && x.event == NotificationEvent::Remove));
+        assert!(n
+            .iter()
+            .any(|x| x.query == key && x.record_id == "b" && x.event == NotificationEvent::Add));
+        assert!(n
+            .iter()
+            .any(|x| x.record_id == "a" && x.event == NotificationEvent::Remove));
         assert!(c.deregister_query(&key));
         assert!(!c.deregister_query(&key));
     }

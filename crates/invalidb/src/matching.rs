@@ -228,13 +228,7 @@ mod tests {
         let (q, k) = tags_query();
         let mut node = MatchingNode::new();
         node.register(q, k, vec![]);
-        let n = node.process(&write_event(
-            "posts",
-            "p9",
-            WriteKind::Delete,
-            post(&[]),
-            2,
-        ));
+        let n = node.process(&write_event("posts", "p9", WriteKind::Delete, post(&[]), 2));
         assert!(n.is_empty());
     }
 
@@ -250,7 +244,11 @@ mod tests {
             post(&["example", "new"]),
             2,
         ));
-        assert_eq!(n[0].event, NotificationEvent::Change, "was already matching");
+        assert_eq!(
+            n[0].event,
+            NotificationEvent::Change,
+            "was already matching"
+        );
     }
 
     #[test]

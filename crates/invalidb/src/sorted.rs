@@ -89,18 +89,16 @@ impl SortedQueryState {
 
         // Update the full ordered match set.
         let old_pos = self.matches.iter().position(|d| doc_id(d) == event.id);
-        let is_match = event.kind != WriteKind::Delete
-            && matcher::matches(&self.query.filter, &event.image);
+        let is_match =
+            event.kind != WriteKind::Delete && matcher::matches(&self.query.filter, &event.image);
         if let Some(pos) = old_pos {
             self.matches.remove(pos);
         }
         if is_match {
             let doc = event.image.clone();
-            let insert_at = self
-                .matches
-                .partition_point(|d| {
-                    matcher::compare_docs(d, &doc, &self.query.sort) == std::cmp::Ordering::Less
-                });
+            let insert_at = self.matches.partition_point(|d| {
+                matcher::compare_docs(d, &doc, &self.query.sort) == std::cmp::Ordering::Less
+            });
             self.matches.insert(insert_at, doc);
         }
 
@@ -196,7 +194,9 @@ mod tests {
         ));
         assert_eq!(s.window_ids(), vec!["d", "a"]);
         // d entered the window, b left it.
-        assert!(n.iter().any(|x| x.record_id == "d" && x.event == NotificationEvent::Add));
+        assert!(n
+            .iter()
+            .any(|x| x.record_id == "d" && x.event == NotificationEvent::Add));
         assert!(n
             .iter()
             .any(|x| x.record_id == "b" && x.event == NotificationEvent::Remove));
@@ -228,10 +228,9 @@ mod tests {
             1,
         ));
         assert_eq!(s.window_ids(), vec!["b", "a"]);
-        assert!(n.iter().any(|x| matches!(
-            x.event,
-            NotificationEvent::ChangeIndex { from: 1, to: 0 }
-        )));
+        assert!(n
+            .iter()
+            .any(|x| matches!(x.event, NotificationEvent::ChangeIndex { from: 1, to: 0 })));
     }
 
     #[test]
@@ -264,7 +263,9 @@ mod tests {
         assert!(n
             .iter()
             .any(|x| x.record_id == "a" && x.event == NotificationEvent::Remove));
-        assert!(n.iter().any(|x| x.record_id == "c" && x.event == NotificationEvent::Add));
+        assert!(n
+            .iter()
+            .any(|x| x.record_id == "c" && x.event == NotificationEvent::Add));
     }
 
     #[test]
@@ -290,7 +291,9 @@ mod tests {
             1,
         ));
         assert_eq!(s.window_ids(), vec!["a"]);
-        assert!(n.iter().any(|x| x.record_id == "a" && x.event == NotificationEvent::Add));
+        assert!(n
+            .iter()
+            .any(|x| x.record_id == "a" && x.event == NotificationEvent::Add));
         assert!(n
             .iter()
             .any(|x| x.record_id == "b" && x.event == NotificationEvent::Remove));

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use quaestor_common::FxHashMap;
 
@@ -37,10 +37,7 @@ impl Subscription {
 
     /// Non-blocking poll for the next message.
     pub fn try_recv(&self) -> Option<Bytes> {
-        match self.rx.try_recv() {
-            Ok(m) => Some(m),
-            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
-        }
+        self.rx.try_recv().ok()
     }
 
     /// Blocking receive (used by worker threads in the real-time pipeline).

@@ -368,7 +368,7 @@ impl KvStore {
             let before = shard.map.len();
             shard
                 .map
-                .retain(|_, e| !e.expires_at.is_some_and(|d| d <= now));
+                .retain(|_, e| e.expires_at.is_none_or(|d| d > now));
             removed += before - shard.map.len();
         }
         removed
@@ -383,7 +383,7 @@ impl KvStore {
                 s.lock()
                     .map
                     .values()
-                    .filter(|e| !e.expires_at.is_some_and(|d| d <= now))
+                    .filter(|e| e.expires_at.is_none_or(|d| d > now))
                     .count()
             })
             .sum()

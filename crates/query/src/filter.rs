@@ -305,9 +305,7 @@ mod tests {
         assert!(!q.is_stateful());
         assert!(Query::table("posts").limit(1).is_stateful());
         assert!(Query::table("posts").offset(1).is_stateful());
-        assert!(Query::table("posts")
-            .sort_by("x", Order::Asc)
-            .is_stateful());
+        assert!(Query::table("posts").sort_by("x", Order::Asc).is_stateful());
     }
 
     #[test]
@@ -326,14 +324,19 @@ mod tests {
         let (p, v) = f.equality_binding().unwrap();
         assert_eq!(p.as_str(), "topic");
         assert_eq!(v, &Value::str("db"));
-        assert!(Filter::or([Filter::eq("a", 1)]).equality_binding().is_none());
+        assert!(Filter::or([Filter::eq("a", 1)])
+            .equality_binding()
+            .is_none());
     }
 
     #[test]
     fn leaf_count_counts_nested() {
         let f = Filter::and([
             Filter::or([Filter::eq("a", 1), Filter::eq("b", 2)]),
-            Filter::not(Filter::is_in("c", varray![1, 2, 3].as_array().unwrap().to_vec())),
+            Filter::not(Filter::is_in(
+                "c",
+                varray![1, 2, 3].as_array().unwrap().to_vec(),
+            )),
         ]);
         assert_eq!(f.leaf_count(), 3);
     }

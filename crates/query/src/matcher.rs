@@ -122,10 +122,7 @@ pub fn compare_docs(a: &Document, b: &Document, sort: &[SortKey]) -> std::cmp::O
 /// Execute `query` over an iterator of documents: filter, sort, offset,
 /// limit. This is the reference semantics the store and InvaliDB must both
 /// agree with (property-tested in the store crate).
-pub fn execute<'a>(
-    query: &Query,
-    docs: impl Iterator<Item = &'a Document>,
-) -> Vec<&'a Document> {
+pub fn execute<'a>(query: &Query, docs: impl Iterator<Item = &'a Document>) -> Vec<&'a Document> {
     let mut hits: Vec<&Document> = docs.filter(|d| matches(&query.filter, d)).collect();
     if !query.sort.is_empty() {
         hits.sort_by(|a, b| compare_docs(a, b, &query.sort));
@@ -265,7 +262,7 @@ mod tests {
 
     #[test]
     fn execute_sort_offset_limit() {
-        let docs = vec![
+        let docs = [
             post(3, &[], 30),
             post(1, &[], 10),
             post(4, &[], 40),
@@ -285,7 +282,7 @@ mod tests {
 
     #[test]
     fn execute_is_deterministic_without_sort() {
-        let docs = vec![post(2, &[], 1), post(1, &[], 1), post(3, &[], 1)];
+        let docs = [post(2, &[], 1), post(1, &[], 1), post(3, &[], 1)];
         let q = Query::table("posts");
         let r1: Vec<String> = execute(&q, docs.iter())
             .iter()

@@ -80,6 +80,14 @@ impl QueryKey {
     pub fn is_record(&self) -> bool {
         self.canonical.starts_with("r:")
     }
+
+    /// The table this key addresses (`q:<table>?...` / `r:<table>/<id>`) —
+    /// the routing key for shard routers and per-table EBF partitions.
+    pub fn table(&self) -> &str {
+        let rest = self.canonical.get(2..).unwrap_or("");
+        let end = rest.find(['?', '/']).unwrap_or(rest.len());
+        &rest[..end]
+    }
 }
 
 impl std::fmt::Display for QueryKey {
@@ -196,7 +204,12 @@ fn write_filter(f: &Filter, out: &mut String) {
             out.push_str(path.as_str());
             out.push_str(op.name());
             match op {
-                Op::Eq(v) | Op::Ne(v) | Op::Gt(v) | Op::Gte(v) | Op::Lt(v) | Op::Lte(v)
+                Op::Eq(v)
+                | Op::Ne(v)
+                | Op::Gt(v)
+                | Op::Gte(v)
+                | Op::Lt(v)
+                | Op::Lte(v)
                 | Op::Contains(v) => out.push_str(&v.canonical()),
                 Op::In(vs) | Op::Nin(vs) | Op::All(vs) => {
                     out.push('[');
@@ -247,6 +260,15 @@ mod tests {
     use quaestor_document::Value;
 
     #[test]
+    fn table_extraction_from_keys() {
+        let q = Query::table("posts").filter(Filter::eq("a", 1));
+        assert_eq!(QueryKey::of(&q).table(), "posts");
+        assert_eq!(QueryKey::record("users", "7").table(), "users");
+        let bare = Query::table("plain");
+        assert_eq!(QueryKey::of(&bare).table(), "plain");
+    }
+
+    #[test]
     fn commutative_conjunctions_share_a_key() {
         let a = Query::table("posts").filter(Filter::and([
             Filter::eq("topic", "db"),
@@ -275,11 +297,7 @@ mod tests {
             Filter::eq("a", 1),
             Filter::and([Filter::eq("b", 2), Filter::eq("c", 3)]),
         ]);
-        let b = Filter::and([
-            Filter::eq("c", 3),
-            Filter::eq("b", 2),
-            Filter::eq("a", 1),
-        ]);
+        let b = Filter::and([Filter::eq("c", 3), Filter::eq("b", 2), Filter::eq("a", 1)]);
         assert_eq!(normalize_filter(&a), normalize_filter(&b));
     }
 
@@ -353,9 +371,8 @@ mod tests {
             Just(Filter::True),
             ("[a-c]", -5i64..5).prop_map(|(p, v)| Filter::eq(p.as_str(), v)),
             ("[a-c]", -5i64..5).prop_map(|(p, v)| Filter::gt(p.as_str(), v)),
-            ("[a-c]", proptest::collection::vec(-5i64..5, 0..3)).prop_map(|(p, vs)| {
-                Filter::is_in(p.as_str(), vs.into_iter().map(Value::Int))
-            }),
+            ("[a-c]", proptest::collection::vec(-5i64..5, 0..3))
+                .prop_map(|(p, vs)| { Filter::is_in(p.as_str(), vs.into_iter().map(Value::Int)) }),
         ];
         leaf.prop_recursive(3, 16, 3, |inner| {
             prop_oneof![

@@ -178,7 +178,7 @@ struct Conn {
 
 #[derive(Default)]
 struct Tally {
-    query_hits: [u64; 3],  // [client, cdn, origin]
+    query_hits: [u64; 3], // [client, cdn, origin]
     record_hits: [u64; 3],
 }
 

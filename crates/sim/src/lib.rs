@@ -18,10 +18,12 @@
 
 pub mod driver;
 pub mod latency;
+pub mod middleware;
 pub mod scenario;
 pub mod ttl_cdf;
 
 pub use driver::{SimConfig, SimReport, Simulation, SystemVariant};
 pub use latency::LatencyModel;
+pub use middleware::LatencyInjector;
 pub use scenario::{flash_sale, page_load, FlashSaleReport, PageLoadReport, Region};
 pub use ttl_cdf::{ttl_estimation_cdf, TtlCdfReport};

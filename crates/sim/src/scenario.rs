@@ -12,7 +12,6 @@ use quaestor_webcache::InvalidationCache;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-
 /// A client region with its RTT profile to the CDN edge and to the
 /// (single, Ireland-like) origin region.
 #[derive(Debug, Clone, Copy)]
@@ -31,10 +30,26 @@ impl Region {
     /// EU-hosted origin.
     pub fn figure1() -> [Region; 4] {
         [
-            Region { name: "Frankfurt", cdn_rtt_ms: 4, origin_rtt_ms: 20 },
-            Region { name: "California", cdn_rtt_ms: 4, origin_rtt_ms: 150 },
-            Region { name: "Sydney", cdn_rtt_ms: 4, origin_rtt_ms: 300 },
-            Region { name: "Tokyo", cdn_rtt_ms: 4, origin_rtt_ms: 250 },
+            Region {
+                name: "Frankfurt",
+                cdn_rtt_ms: 4,
+                origin_rtt_ms: 20,
+            },
+            Region {
+                name: "California",
+                cdn_rtt_ms: 4,
+                origin_rtt_ms: 150,
+            },
+            Region {
+                name: "Sydney",
+                cdn_rtt_ms: 4,
+                origin_rtt_ms: 300,
+            },
+            Region {
+                name: "Tokyo",
+                cdn_rtt_ms: 4,
+                origin_rtt_ms: 250,
+            },
         ]
     }
 }
@@ -61,10 +76,14 @@ pub fn page_load(records: usize, parallelism: usize) -> Vec<PageLoadReport> {
             let server = QuaestorServer::with_defaults(clock.clone());
             for i in 0..records {
                 server
-                    .insert("articles", &format!("a{i}"), doc! {
-                        "section" => "frontpage",
-                        "headline" => format!("headline {i}")
-                    })
+                    .insert(
+                        "articles",
+                        &format!("a{i}"),
+                        doc! {
+                            "section" => "frontpage",
+                            "headline" => format!("headline {i}")
+                        },
+                    )
                     .unwrap();
             }
             let cdn = Arc::new(InvalidationCache::new("edge", 10_000));
@@ -74,7 +93,7 @@ pub fn page_load(records: usize, parallelism: usize) -> Vec<PageLoadReport> {
             // Warm the CDN (previous visitors anywhere in the world).
             let warmer = QuaestorClient::connect(
                 server.clone(),
-                &[cdn.clone()],
+                std::slice::from_ref(&cdn),
                 ClientConfig {
                     use_browser_cache: false,
                     ..Default::default()
@@ -89,7 +108,7 @@ pub fn page_load(records: usize, parallelism: usize) -> Vec<PageLoadReport> {
             // Cold visitor in `region`: every fetch hits the CDN edge.
             let visitor = QuaestorClient::connect(
                 server.clone(),
-                &[cdn.clone()],
+                std::slice::from_ref(&cdn),
                 ClientConfig::default(),
                 clock.clone(),
             );
@@ -127,16 +146,24 @@ pub struct FlashSaleReport {
 /// product page ("articles with stock counters") while the shop keeps
 /// updating stock. The paper reports a 98% CDN hit rate letting 2 DBaaS
 /// servers survive >20k req/s.
-pub fn flash_sale(visitors: usize, requests_per_visitor: usize, stock_updates: usize) -> FlashSaleReport {
+pub fn flash_sale(
+    visitors: usize,
+    requests_per_visitor: usize,
+    stock_updates: usize,
+) -> FlashSaleReport {
     let clock = ManualClock::new();
     let server = QuaestorServer::with_defaults(clock.clone());
     for p in 0..20 {
         server
-            .insert("products", &format!("p{p}"), doc! {
-                "name" => format!("product {p}"),
-                "stock" => 1_000,
-                "featured" => true
-            })
+            .insert(
+                "products",
+                &format!("p{p}"),
+                doc! {
+                    "name" => format!("product {p}"),
+                    "stock" => 1_000,
+                    "featured" => true
+                },
+            )
             .unwrap();
     }
     let cdn = Arc::new(InvalidationCache::new("edge", 100_000));
@@ -160,7 +187,7 @@ pub fn flash_sale(visitors: usize, requests_per_visitor: usize, stock_updates: u
             let _ = visitor.query(&q);
             requests += 1;
             op_count += 1;
-            if op_count % update_every == 0 {
+            if op_count.is_multiple_of(update_every) {
                 use rand::Rng;
                 let p = rng.gen_range(0..20);
                 let _ = server.update(

@@ -74,12 +74,8 @@ pub fn ttl_estimation_cdf(
         // the next request); the true TTL of that read is the gap to the
         // next write.
         let mut last_estimate: Option<u64> = None;
-        let mut prev = 0u64;
         for pair in writes.windows(2) {
             let (w0, w1) = (pair[0], pair[1]);
-            for &w in &[prev] {
-                let _ = w;
-            }
             sampler.record_write(&key, Timestamp::from_millis(w0));
             let rate = sampler.rate(&key, Timestamp::from_millis(w0));
             let initial = estimator.initial_query_ttl(rate.unwrap_or(lambda_ms));
@@ -90,7 +86,6 @@ pub fn ttl_estimation_cdf(
             estimated.record(est);
             true_ttls.record(w1 - w0);
             last_estimate = Some(est);
-            prev = w0;
         }
     }
     TtlCdfReport {

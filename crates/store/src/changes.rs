@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use quaestor_common::{Timestamp, Version};
 use quaestor_document::Document;
@@ -84,10 +84,7 @@ impl Drop for ChangeSubscription {
 impl ChangeSubscription {
     /// Non-blocking poll.
     pub fn try_recv(&self) -> Option<WriteEvent> {
-        match self.rx.try_recv() {
-            Ok(e) => Some(e),
-            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
-        }
+        self.rx.try_recv().ok()
     }
 
     /// Blocking receive.

@@ -136,7 +136,7 @@ mod tests {
         idx.insert(
             "p1",
             &doc! { "author" => Value::Object(
-                [("name".to_string(), Value::str("ada"))].into_iter().collect()) },
+            [("name".to_string(), Value::str("ada"))].into_iter().collect()) },
         );
         assert!(idx.lookup(&Value::str("ada")).unwrap().contains("p1"));
     }

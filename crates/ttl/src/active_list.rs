@@ -62,7 +62,9 @@ pub struct ActiveList {
 
 impl std::fmt::Debug for ActiveList {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ActiveList").field("len", &self.len()).finish()
+        f.debug_struct("ActiveList")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -97,11 +97,7 @@ mod tests {
             max_ttl_ms: 30_000,
         });
         assert_eq!(alex.ttl(ts(1_000), Some(ts(900))), 5_000, "floor");
-        assert_eq!(
-            alex.ttl(ts(10_000_000), Some(ts(0))),
-            30_000,
-            "upper bound"
-        );
+        assert_eq!(alex.ttl(ts(10_000_000), Some(ts(0))), 30_000, "upper bound");
     }
 
     #[test]

@@ -85,7 +85,13 @@ impl CapacityManager {
             return AdmissionDecision::Admitted;
         }
         if slots.len() < self.max_slots {
-            slots.insert(key.clone(), Slot { reads: 1, invalidations: 0 });
+            slots.insert(
+                key.clone(),
+                Slot {
+                    reads: 1,
+                    invalidations: 0,
+                },
+            );
             return AdmissionDecision::Admitted;
         }
         // Full: find the weakest admitted query. A newcomer has score
@@ -97,7 +103,13 @@ impl CapacityManager {
         match victim {
             Some((vkey, vscore)) if vscore < 1.0 => {
                 slots.remove(&vkey);
-                slots.insert(key.clone(), Slot { reads: 1, invalidations: 0 });
+                slots.insert(
+                    key.clone(),
+                    Slot {
+                        reads: 1,
+                        invalidations: 0,
+                    },
+                );
                 AdmissionDecision::AdmittedEvicting(vkey)
             }
             _ => AdmissionDecision::Rejected,

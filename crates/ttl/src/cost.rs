@@ -158,9 +158,7 @@ mod tests {
         assert!(model.id_list_cost(&cold) > model.id_list_cost(&warm));
         // With perfectly hot records the only id-list cost is membership
         // invalidations.
-        assert!(
-            (model.id_list_cost(&warm) - 0.1 * model.invalidation_cost).abs() < 1e-9
-        );
+        assert!((model.id_list_cost(&warm) - 0.1 * model.invalidation_cost).abs() < 1e-9);
     }
 
     #[test]

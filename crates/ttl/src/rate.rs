@@ -79,9 +79,7 @@ impl WriteRateSampler {
         keys: impl IntoIterator<Item = &'a str>,
         now: Timestamp,
     ) -> f64 {
-        keys.into_iter()
-            .filter_map(|k| self.rate(k, now))
-            .sum()
+        keys.into_iter().filter_map(|k| self.rate(k, now)).sum()
     }
 
     /// Drop all state for keys not written since `horizon` (maintenance).

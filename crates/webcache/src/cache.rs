@@ -1,10 +1,19 @@
-//! The two cache classes.
+//! The cache tier abstraction and its two concrete classes.
 
 use parking_lot::Mutex;
 use quaestor_common::Timestamp;
 
 use crate::entry::CacheEntry;
 use crate::lru::LruCache;
+
+/// The class of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Browser cache / forward proxy — TTL only, not purgeable.
+    Expiration,
+    /// CDN edge / reverse proxy — TTL plus origin purges.
+    Invalidation,
+}
 
 /// Hit/miss counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,11 +40,53 @@ impl CacheStats {
     }
 }
 
+/// One cache tier on the request path. The two concrete classes differ in
+/// exactly one capability — whether the origin can purge entries — which
+/// is why [`Cache::purge`] defaults to "not supported" and
+/// [`Cache::kind`] drives the revalidation policy in the hierarchy.
+pub trait Cache: Send + Sync + std::fmt::Debug {
+    /// Cache name (for metrics and reports).
+    fn name(&self) -> &str;
+
+    /// Expiration- or invalidation-based.
+    fn kind(&self) -> LayerKind;
+
+    /// Look up a fresh copy at time `now`, counting hit/miss.
+    fn get(&self, key: &str, now: Timestamp) -> Option<CacheEntry>;
+
+    /// Store a response copy (entries with `ttl_ms == 0` are uncacheable).
+    fn put(&self, key: &str, entry: CacheEntry);
+
+    /// Peek without counting a hit or touching recency.
+    fn peek(&self, key: &str, now: Timestamp) -> Option<CacheEntry>;
+
+    /// Origin-driven purge. Expiration-based caches cannot be purged —
+    /// that asymmetry is the whole reason the EBF exists — so the default
+    /// does nothing and reports `false`.
+    fn purge(&self, key: &str) -> bool {
+        let _ = key;
+        false
+    }
+
+    /// Counters.
+    fn stats(&self) -> CacheStats;
+
+    /// Live entry count (expired entries may linger until touched).
+    fn len(&self) -> usize;
+
+    /// True if empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop everything (a cold cache).
+    fn clear(&self);
+}
+
 /// An expiration-based cache (browser cache, forward/ISP proxy).
 ///
-/// Honours TTLs; **cannot be purged by the origin** — that asymmetry is
-/// the whole reason the EBF exists. Expired entries are dropped lazily on
-/// access.
+/// Honours TTLs; **cannot be purged by the origin**. Expired entries are
+/// dropped lazily on access.
 #[derive(Debug)]
 pub struct ExpirationCache {
     name: String,
@@ -125,6 +176,40 @@ impl ExpirationCache {
     }
 }
 
+impl Cache for ExpirationCache {
+    fn name(&self) -> &str {
+        ExpirationCache::name(self)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Expiration
+    }
+
+    fn get(&self, key: &str, now: Timestamp) -> Option<CacheEntry> {
+        ExpirationCache::get(self, key, now)
+    }
+
+    fn put(&self, key: &str, entry: CacheEntry) {
+        ExpirationCache::put(self, key, entry)
+    }
+
+    fn peek(&self, key: &str, now: Timestamp) -> Option<CacheEntry> {
+        ExpirationCache::peek(self, key, now)
+    }
+
+    fn stats(&self) -> CacheStats {
+        ExpirationCache::stats(self)
+    }
+
+    fn len(&self) -> usize {
+        ExpirationCache::len(self)
+    }
+
+    fn clear(&self) {
+        ExpirationCache::clear(self)
+    }
+}
+
 /// An invalidation-based cache (CDN edge, reverse proxy).
 ///
 /// Same read path as [`ExpirationCache`] plus an origin-driven
@@ -192,6 +277,44 @@ impl InvalidationCache {
     /// Drop everything.
     pub fn clear(&self) {
         self.inner.clear()
+    }
+}
+
+impl Cache for InvalidationCache {
+    fn name(&self) -> &str {
+        InvalidationCache::name(self)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Invalidation
+    }
+
+    fn get(&self, key: &str, now: Timestamp) -> Option<CacheEntry> {
+        InvalidationCache::get(self, key, now)
+    }
+
+    fn put(&self, key: &str, entry: CacheEntry) {
+        InvalidationCache::put(self, key, entry)
+    }
+
+    fn peek(&self, key: &str, now: Timestamp) -> Option<CacheEntry> {
+        InvalidationCache::peek(self, key, now)
+    }
+
+    fn purge(&self, key: &str) -> bool {
+        InvalidationCache::purge(self, key)
+    }
+
+    fn stats(&self) -> CacheStats {
+        InvalidationCache::stats(self)
+    }
+
+    fn len(&self) -> usize {
+        InvalidationCache::len(self)
+    }
+
+    fn clear(&self) {
+        InvalidationCache::clear(self)
     }
 }
 
@@ -273,5 +396,21 @@ mod tests {
         c.put("k", entry(1, 0, 100));
         assert!(c.peek("k", Timestamp::from_millis(1)).is_some());
         assert_eq!(c.stats().hits + c.stats().misses, 0);
+    }
+
+    #[test]
+    fn trait_objects_expose_kind_and_purgeability() {
+        let exp: Box<dyn Cache> = Box::new(ExpirationCache::new("browser", 4));
+        let inv: Box<dyn Cache> = Box::new(InvalidationCache::new("cdn", 4));
+        exp.put("k", entry(1, 0, 100));
+        inv.put("k", entry(1, 0, 100));
+        assert_eq!(exp.kind(), LayerKind::Expiration);
+        assert_eq!(inv.kind(), LayerKind::Invalidation);
+        assert!(!exp.purge("k"), "expiration caches refuse purges");
+        assert_eq!(exp.len(), 1, "the entry survived the refused purge");
+        assert!(inv.purge("k"));
+        assert_eq!(inv.len(), 0);
+        assert_eq!(exp.name(), "browser");
+        assert!(!exp.is_empty() && inv.is_empty());
     }
 }

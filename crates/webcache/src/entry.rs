@@ -56,7 +56,10 @@ mod tests {
         let e = CacheEntry::new(&b"body"[..], 3, Timestamp::from_millis(100), 50);
         assert!(e.is_fresh(Timestamp::from_millis(100)));
         assert!(e.is_fresh(Timestamp::from_millis(149)));
-        assert!(!e.is_fresh(Timestamp::from_millis(150)), "expiry is exclusive");
+        assert!(
+            !e.is_fresh(Timestamp::from_millis(150)),
+            "expiry is exclusive"
+        );
         assert_eq!(e.expires_at(), Timestamp::from_millis(150));
     }
 

@@ -4,46 +4,10 @@ use std::sync::Arc;
 
 use quaestor_common::Timestamp;
 
-use crate::cache::{ExpirationCache, InvalidationCache};
+use crate::cache::{Cache, ExpirationCache, InvalidationCache};
 use crate::entry::CacheEntry;
 
-/// The class of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LayerKind {
-    /// Browser cache / forward proxy — TTL only, not purgeable.
-    Expiration,
-    /// CDN edge / reverse proxy — TTL plus origin purges.
-    Invalidation,
-}
-
-#[derive(Debug, Clone)]
-enum Layer {
-    Exp(Arc<ExpirationCache>),
-    Inv(Arc<InvalidationCache>),
-}
-
-impl Layer {
-    fn kind(&self) -> LayerKind {
-        match self {
-            Layer::Exp(_) => LayerKind::Expiration,
-            Layer::Inv(_) => LayerKind::Invalidation,
-        }
-    }
-
-    fn get(&self, key: &str, now: Timestamp) -> Option<CacheEntry> {
-        match self {
-            Layer::Exp(c) => c.get(key, now),
-            Layer::Inv(c) => c.get(key, now),
-        }
-    }
-
-    fn put(&self, key: &str, entry: CacheEntry) {
-        match self {
-            Layer::Exp(c) => c.put(key, entry),
-            Layer::Inv(c) => c.put(key, entry),
-        }
-    }
-}
+pub use crate::cache::LayerKind;
 
 /// How the client wants this fetch handled — the consistency lever of
 /// §3.2 (Figure 4).
@@ -82,12 +46,13 @@ pub struct FetchOutcome {
 
 /// An ordered chain of caches from client to origin.
 ///
-/// Levels are `Arc`-shared so a CDN edge can be common to many clients
-/// while each client keeps a private browser cache — the topology of
-/// Figure 3.
+/// Levels are `Arc`-shared [`Cache`] trait objects, so a CDN edge can be
+/// common to many clients while each client keeps a private browser cache
+/// — the topology of Figure 3 — and custom tier implementations slot in
+/// without touching the traversal logic.
 #[derive(Debug, Clone, Default)]
 pub struct CacheHierarchy {
-    layers: Vec<Layer>,
+    layers: Vec<Arc<dyn Cache>>,
 }
 
 impl CacheHierarchy {
@@ -96,16 +61,20 @@ impl CacheHierarchy {
         CacheHierarchy { layers: Vec::new() }
     }
 
-    /// Append an expiration-based level (closest-first order).
-    pub fn push_expiration(mut self, cache: Arc<ExpirationCache>) -> Self {
-        self.layers.push(Layer::Exp(cache));
+    /// Append a cache level (closest-first order).
+    pub fn push(mut self, cache: Arc<dyn Cache>) -> Self {
+        self.layers.push(cache);
         self
     }
 
+    /// Append an expiration-based level (closest-first order).
+    pub fn push_expiration(self, cache: Arc<ExpirationCache>) -> Self {
+        self.push(cache)
+    }
+
     /// Append an invalidation-based level.
-    pub fn push_invalidation(mut self, cache: Arc<InvalidationCache>) -> Self {
-        self.layers.push(Layer::Inv(cache));
-        self
+    pub fn push_invalidation(self, cache: Arc<InvalidationCache>) -> Self {
+        self.push(cache)
     }
 
     /// Number of levels.
@@ -115,7 +84,7 @@ impl CacheHierarchy {
 
     /// Kind of level `i`.
     pub fn layer_kind(&self, i: usize) -> Option<LayerKind> {
-        self.layers.get(i).map(Layer::kind)
+        self.layers.get(i).map(|l| l.kind())
     }
 
     /// Fetch `key` at `now` with the given mode; `origin` is invoked on a
@@ -160,17 +129,11 @@ impl CacheHierarchy {
         }
     }
 
-    /// Purge `key` from every invalidation-based level (the origin's
-    /// asynchronous invalidation). Expiration-based levels are untouched —
-    /// they *cannot* be purged, which is why the EBF exists.
+    /// Purge `key` from every purgeable level (the origin's asynchronous
+    /// invalidation). Expiration-based levels refuse the purge — they
+    /// *cannot* be purged, which is why the EBF exists.
     pub fn purge(&self, key: &str) -> usize {
-        self.layers
-            .iter()
-            .filter(|l| match l {
-                Layer::Inv(c) => c.purge(key),
-                Layer::Exp(_) => false,
-            })
-            .count()
+        self.layers.iter().filter(|l| l.purge(key)).count()
     }
 }
 
@@ -249,7 +212,9 @@ mod tests {
         let now = Timestamp::from_millis(0);
         browser.put("k", fresh(1, now));
         cdn.put("k", fresh(1, now));
-        let out = h.fetch("k", now.plus(1), FetchMode::Bypass, || fresh(9, now.plus(1)));
+        let out = h.fetch("k", now.plus(1), FetchMode::Bypass, || {
+            fresh(9, now.plus(1))
+        });
         assert_eq!(out.served_by, ServedBy::Origin);
         assert_eq!(out.entry.etag, 9);
     }

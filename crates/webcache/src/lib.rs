@@ -25,7 +25,7 @@ pub mod entry;
 pub mod hierarchy;
 pub mod lru;
 
-pub use cache::{CacheStats, ExpirationCache, InvalidationCache};
+pub use cache::{Cache, CacheStats, ExpirationCache, InvalidationCache};
 pub use entry::CacheEntry;
 pub use hierarchy::{CacheHierarchy, FetchMode, FetchOutcome, LayerKind, ServedBy};
 pub use lru::LruCache;

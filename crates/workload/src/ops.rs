@@ -157,9 +157,7 @@ impl WorkloadGenerator {
         rng: &mut R,
     ) -> impl Iterator<Item = (String, String, Document)> + '_ {
         let docs: Vec<(String, String, Document)> = (0..self.config.tables)
-            .flat_map(|t| {
-                (0..self.config.docs_per_table).map(move |i| (t, i))
-            })
+            .flat_map(|t| (0..self.config.docs_per_table).map(move |i| (t, i)))
             .map(|(t, i)| {
                 (
                     WorkloadConfig::table_name(t),
@@ -277,13 +275,15 @@ mod tests {
 
     #[test]
     fn inserts_use_fresh_ids() {
-        let mut cfg = WorkloadConfig::default();
-        cfg.mix = OperationMix {
-            read: 0.0,
-            query: 0.0,
-            insert: 1.0,
-            update: 0.0,
-            delete: 0.0,
+        let cfg = WorkloadConfig {
+            mix: OperationMix {
+                read: 0.0,
+                query: 0.0,
+                insert: 1.0,
+                update: 0.0,
+                delete: 0.0,
+            },
+            ..WorkloadConfig::default()
         };
         let mut gen = WorkloadGenerator::new(cfg);
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);

@@ -123,14 +123,9 @@ mod tests {
     fn scrambled_moves_the_head() {
         let z = Zipfian::scrambled(1_000, 0.99);
         let counts = histogram(&z, 100_000, 4);
-        let (hottest, _) = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .unwrap();
+        let (hottest, _) = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
         // The hottest key must be exactly where the hash sent rank 0.
-        let expected =
-            (quaestor_common::fx_hash_bytes(&0usize.to_le_bytes()) % 1_000) as usize;
+        let expected = (quaestor_common::fx_hash_bytes(&0usize.to_le_bytes()) % 1_000) as usize;
         assert_eq!(hottest, expected, "scrambling maps rank 0 via the hash");
         let total: usize = counts.iter().sum();
         assert_eq!(total, 100_000);

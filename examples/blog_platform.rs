@@ -26,10 +26,14 @@ fn main() {
     println!("== figure 5: a post wanders through a tag query's result ==");
     let by_tag = Query::table("posts").filter(Filter::contains("tags", "example"));
     client.query(&by_tag).unwrap(); // register the query for matching
-    let stream = client.subscribe(&by_tag); // websocket-style change stream
+    let stream = client.subscribe(&by_tag).unwrap(); // websocket-style change stream
 
     client
-        .insert("posts", "post1", doc! { "title" => "untagged draft", "score" => 1 })
+        .insert(
+            "posts",
+            "post1",
+            doc! { "title" => "untagged draft", "score" => 1 },
+        )
         .unwrap();
     clock.advance(10);
     server
@@ -48,7 +52,11 @@ fn main() {
     println!("\n== sorted top-3 leaderboard (stateful query) ==");
     for (id, score) in [("a", 50), ("b", 40), ("c", 30), ("d", 20)] {
         client
-            .insert("posts", id, doc! { "score" => score, "tags" => vec!["ranked"] })
+            .insert(
+                "posts",
+                id,
+                doc! { "score" => score, "tags" => vec!["ranked"] },
+            )
             .unwrap();
     }
     let top3 = Query::table("posts")
@@ -74,7 +82,10 @@ fn main() {
         .iter()
         .map(|d| d["_id"].as_str().unwrap().to_string())
         .collect();
-    println!("  after d's surge: top3 = {titles:?} (revalidated={})", r.revalidated);
+    println!(
+        "  after d's surge: top3 = {titles:?} (revalidated={})",
+        r.revalidated
+    );
     assert_eq!(titles[0], "d");
 
     println!("\n== consistency levels (figure 4) ==");

@@ -50,11 +50,7 @@ fn main() {
 
     println!("== first query: cache miss, served by the origin ==");
     let r1 = client.query(&q).unwrap();
-    println!(
-        "  served_by={:?}, {} results",
-        r1.served_by,
-        r1.docs.len()
-    );
+    println!("  served_by={:?}, {} results", r1.served_by, r1.docs.len());
     assert_eq!(r1.served_by, ServedBy::Origin);
 
     println!("== second query: browser cache hit (zero network) ==");

@@ -15,6 +15,15 @@
 //! 3. a **statistical TTL estimator** ([`ttl`]) that predicts how long a
 //!    result will stay fresh.
 //!
+//! The client and the server tier are joined by a typed protocol: every
+//! data operation is a [`core::Request`] answered with a
+//! [`core::Response`] through the [`core::Service`] trait. Deployment
+//! topology lives behind that seam — a single [`QuaestorServer`], a
+//! [`core::ShardRouter`] hash-partitioning tables across shared-nothing
+//! nodes, or middleware such as [`core::MetricsLayer`] and
+//! [`sim::LatencyInjector`] — and the client code is identical for all of
+//! them.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -44,11 +53,42 @@
 //! assert_eq!(second.served_by, ServedBy::Layer(0));
 //! ```
 //!
+//! ## Scale-out: the same client against a sharded cluster
+//!
+//! ```
+//! use quaestor::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let clock = ManualClock::new();
+//! // Two shared-nothing origin nodes; tables are hash-partitioned.
+//! let nodes: Vec<Arc<dyn Service>> = (0..2)
+//!     .map(|_| QuaestorServer::with_defaults(clock.clone()) as Arc<dyn Service>)
+//!     .collect();
+//! let cluster = ShardRouter::new(nodes);
+//!
+//! // Identical client code — only the connect target changes.
+//! let client = QuaestorClient::connect_service(
+//!     cluster, &[], ClientConfig::default(), clock.clone());
+//! client.insert("posts", "p1", doc! { "n" => 1 }).unwrap();
+//! client.insert("users", "u1", doc! { "name" => "ada" }).unwrap();
+//! assert_eq!(client.read_record("users", "u1").unwrap().doc["name"],
+//!            Value::str("ada"));
+//!
+//! // Batches cross shard boundaries transparently and amortize the
+//! // write-path overhead on each shard.
+//! let results = client.batch((0..10).map(|i| Request::Insert {
+//!     table: "posts".into(),
+//!     id: format!("batch-{i}"),
+//!     doc: doc! { "i" => i },
+//! }).collect()).unwrap();
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! ```
+//!
 //! ## Crate map
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`core`] | the Quaestor middleware server (origin) |
+//! | [`core`] | the Quaestor middleware server (origin) + the `Service` protocol |
 //! | [`client`] | the client SDK: EBF usage, session consistency |
 //! | [`bloom`] | Bloom / Counting / **Expiring** Bloom filters |
 //! | [`invalidb`] | the real-time query invalidation pipeline |
@@ -82,8 +122,12 @@ pub mod prelude {
     pub use quaestor_bloom::{BloomFilter, BloomParams, ExpiringBloomFilter};
     pub use quaestor_client::{ClientConfig, Consistency, QuaestorClient};
     pub use quaestor_common::{Clock, ManualClock, SystemClock, Timestamp};
-    pub use quaestor_core::{QuaestorServer, ServerConfig, Transaction};
+    pub use quaestor_core::{
+        MetricsLayer, QuaestorServer, Request, Response, ServerConfig, Service, ServiceExt,
+        ShardRouter, Transaction,
+    };
     pub use quaestor_document::{doc, varray, Document, Update, Value};
     pub use quaestor_query::{Filter, Order, Query, QueryKey};
-    pub use quaestor_webcache::{ExpirationCache, InvalidationCache, ServedBy};
+    pub use quaestor_sim::LatencyInjector;
+    pub use quaestor_webcache::{Cache, ExpirationCache, InvalidationCache, ServedBy};
 }

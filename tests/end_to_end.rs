@@ -93,15 +93,59 @@ fn end_to_end_example_of_figure_7() {
 }
 
 #[test]
+fn figure7_flow_holds_behind_a_sharded_cluster() {
+    // The same Figure 7 staleness flow, but the "server" is a 2-shard
+    // shared-nothing cluster behind the Service protocol. The client code
+    // is identical — only the connect target differs.
+    let clock = ManualClock::new();
+    let nodes: Vec<Arc<dyn Service>> = (0..2)
+        .map(|_| QuaestorServer::with_defaults(clock.clone()) as Arc<dyn Service>)
+        .collect();
+    let cluster = ShardRouter::new(nodes);
+    let client = QuaestorClient::connect_service(
+        cluster.clone(),
+        &[],
+        ClientConfig::default(),
+        clock.clone(),
+    );
+    let writer = QuaestorClient::connect_service(
+        cluster.clone(),
+        &[],
+        ClientConfig::default(),
+        clock.clone(),
+    );
+
+    writer
+        .insert("posts", "b", doc! { "topic" => "q2", "n" => 2 })
+        .unwrap();
+    let q2 = Query::table("posts").filter(Filter::eq("topic", "q2"));
+    assert_eq!(client.query(&q2).unwrap().docs.len(), 1);
+
+    clock.advance(50);
+    writer
+        .update("posts", "b", &Update::new().set("topic", "other"))
+        .unwrap();
+
+    // The unioned cluster EBF flags q2 stale for a fresh client...
+    let fresh_client =
+        QuaestorClient::connect_service(cluster, &[], ClientConfig::default(), clock.clone());
+    let r2 = fresh_client.query(&q2).unwrap();
+    assert_eq!(r2.docs.len(), 0, "fresh result is empty behind the cluster");
+    // ...and the cached client revalidates after Δ.
+    clock.advance(2_000);
+    let r2b = client.query(&q2).unwrap();
+    assert!(r2b.revalidated, "EBF flagged the query stale across shards");
+    assert_eq!(r2b.docs.len(), 0);
+}
+
+#[test]
 fn delta_atomicity_holds_across_many_clients() {
     // Theorem 1: a client using an EBF of age Δ never observes data more
     // than Δ stale. We drive writes and verify that reads served from
     // caches are never older than the client's EBF generation allows.
     let w = World::new();
     let writer = w.client();
-    writer
-        .insert("posts", "x", doc! { "v" => 0 })
-        .unwrap();
+    writer.insert("posts", "x", doc! { "v" => 0 }).unwrap();
 
     let reader = w.client();
     let q = Query::table("posts").filter(Filter::exists("v"));
@@ -156,10 +200,12 @@ fn id_list_and_object_list_roundtrip_identically() {
     let run = |rt_cost: f64| -> Vec<String> {
         let clock = ManualClock::new();
         let db = Database::with_clock(clock.clone());
-        let mut cfg = ServerConfig::default();
-        cfg.cost = CostModel {
-            invalidation_cost: 1.0,
-            round_trip_cost: rt_cost,
+        let cfg = ServerConfig {
+            cost: CostModel {
+                invalidation_cost: 1.0,
+                round_trip_cost: rt_cost,
+            },
+            ..ServerConfig::default()
         };
         let server = QuaestorServer::new(db, cfg, clock.clone());
         let cdn = Arc::new(InvalidationCache::new("cdn", 10_000));
@@ -214,7 +260,11 @@ fn concurrent_clients_under_real_threads() {
     server.register_cdn(cdn.clone());
     for i in 0..50 {
         server
-            .insert("t", &format!("r{i}"), doc! { "g" => (i % 5) as i64, "n" => 0 })
+            .insert(
+                "t",
+                &format!("r{i}"),
+                doc! { "g" => (i % 5) as i64, "n" => 0 },
+            )
             .unwrap();
     }
     std::thread::scope(|s| {
@@ -255,8 +305,10 @@ fn ebf_false_positives_only_cost_latency_not_correctness() {
 
     let clock = ManualClock::new();
     let db = Database::with_clock(clock.clone());
-    let mut cfg = ServerConfig::default();
-    cfg.bloom = BloomParams { m_bits: 256, k: 2 }; // tiny: high FPR
+    let cfg = ServerConfig {
+        bloom: BloomParams { m_bits: 256, k: 2 }, // tiny: high FPR
+        ..ServerConfig::default()
+    };
     let server = QuaestorServer::new(db, cfg, clock.clone());
     let cdn = Arc::new(InvalidationCache::new("cdn", 10_000));
     server.register_cdn(cdn.clone());

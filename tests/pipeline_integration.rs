@@ -69,6 +69,47 @@ fn server_pipeline_detects_all_figure5_transitions() {
 }
 
 #[test]
+fn service_protocol_drives_the_full_pipeline() {
+    // The Figure 5 transitions of `server_pipeline_detects_all_figure5_
+    // transitions`, driven purely through `Service::call` — no inherent
+    // server methods — proving the protocol layer carries the whole
+    // write → matching → invalidation pipeline.
+    let clock = ManualClock::new();
+    let server = QuaestorServer::with_defaults(clock.clone());
+    let svc: &dyn Service = &*server;
+
+    svc.insert("posts", "p", doc! { "title" => "post" })
+        .unwrap();
+    let q = Query::table("posts").filter(Filter::contains("tags", "example"));
+    let resp = svc.query(&q).unwrap();
+    assert!(resp.cacheable);
+
+    clock.advance(10);
+    svc.update("posts", "p", &Update::new().push("tags", "example"))
+        .unwrap();
+    let (flat, _) = svc.fetch_ebf().unwrap();
+    assert!(
+        flat.contains(QueryKey::of(&q).as_str().as_bytes()),
+        "protocol-level write invalidated the protocol-level query"
+    );
+    // The per-table partition sees it; an unrelated table's does not.
+    svc.insert("other", "x", doc! { "n" => 1 }).unwrap();
+    let (posts_ebf, _) = svc.fetch_ebf_partition("posts").unwrap();
+    let (other_ebf, _) = svc.fetch_ebf_partition("other").unwrap();
+    assert!(posts_ebf.contains(QueryKey::of(&q).as_str().as_bytes()));
+    assert!(!other_ebf.contains(QueryKey::of(&q).as_str().as_bytes()));
+    // Change streams work through the protocol too.
+    svc.query(&q).unwrap(); // re-register
+    let sub = quaestor::core::ServiceExt::subscribe(svc, &QueryKey::of(&q)).unwrap();
+    svc.update("posts", "p", &Update::new().pull("tags", "example"))
+        .unwrap();
+    assert!(
+        sub.try_recv().is_some(),
+        "notification via Service subscribe"
+    );
+}
+
+#[test]
 fn per_table_partitioned_ebf_isolates_tables() {
     let clock = ManualClock::new();
     let server = QuaestorServer::with_defaults(clock.clone());
@@ -76,7 +117,9 @@ fn per_table_partitioned_ebf_isolates_tables() {
     server.insert("b", "x", doc! { "n" => 1 }).unwrap();
     server.get_record("a", "x").unwrap();
     server.get_record("b", "x").unwrap();
-    server.update("a", "x", &Update::new().inc("n", 1.0)).unwrap();
+    server
+        .update("a", "x", &Update::new().inc("n", 1.0))
+        .unwrap();
 
     // Table-specific snapshot: only table a's partition carries the entry.
     let (pa, _) = server.ebf_partition_snapshot("a");
@@ -113,8 +156,10 @@ fn ttl_estimates_shrink_for_hot_records() {
 fn capacity_eviction_keeps_hot_queries_cached() {
     let clock = ManualClock::new();
     let db = Database::with_clock(clock.clone());
-    let mut cfg = ServerConfig::default();
-    cfg.max_cached_queries = 3;
+    let mut cfg = ServerConfig {
+        max_cached_queries: 3,
+        ..ServerConfig::default()
+    };
     cfg.invalidb.max_queries = 8;
     let server = QuaestorServer::new(db, cfg, clock.clone());
     for i in 0..20 {
@@ -177,8 +222,10 @@ fn kv_backed_ebf_serves_multiple_servers() {
 fn uncacheable_responses_never_enter_caches() {
     let clock = ManualClock::new();
     let db = Database::with_clock(clock.clone());
-    let mut cfg = ServerConfig::default();
-    cfg.max_cached_queries = 1;
+    let mut cfg = ServerConfig {
+        max_cached_queries: 1,
+        ..ServerConfig::default()
+    };
     cfg.invalidb.max_queries = 1;
     let server = QuaestorServer::new(db, cfg, clock.clone());
     let cdn = Arc::new(InvalidationCache::new("cdn", 100));

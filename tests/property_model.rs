@@ -3,7 +3,8 @@
 //! cache+EBF stack must never corrupt data.
 
 use proptest::prelude::*;
-use quaestor::document::{doc, Document, Update, Value};
+use quaestor::core::{Request, Response, Service, ServiceExt};
+use quaestor::document::{doc, Document, Value};
 use quaestor::invalidb::{ClusterConfig, InvaliDbCluster, NotificationEvent};
 use quaestor::query::{matcher, Filter, Op, Order, Query};
 use quaestor::store::Database;
@@ -199,5 +200,60 @@ proptest! {
         }
         let current = server.get_record("t", "x").unwrap();
         prop_assert_eq!((*current.doc).clone(), expected);
+    }
+
+    /// A `Request::Batch` of writes through `Service::call` must be
+    /// observationally identical to the same writes issued as singleton
+    /// calls: same per-op outcomes, same final state, in order.
+    #[test]
+    fn batched_writes_match_singleton_writes(
+        docs in proptest::collection::vec(arb_doc(), 1..8),
+        rewrites in proptest::collection::vec((0usize..8, arb_doc()), 0..8),
+    ) {
+        use quaestor::common::ManualClock;
+        use quaestor::core::QuaestorServer;
+
+        let mut requests: Vec<Request> = Vec::new();
+        for (i, d) in docs.iter().enumerate() {
+            requests.push(Request::Insert {
+                table: "t".into(),
+                id: format!("r{i}"),
+                doc: d.clone(),
+            });
+        }
+        for (slot, d) in &rewrites {
+            requests.push(Request::Replace {
+                table: "t".into(),
+                id: format!("r{slot}"), // may or may not exist: error path too
+                doc: d.clone(),
+            });
+        }
+
+        let batched = QuaestorServer::with_defaults(ManualClock::new());
+        let singleton = QuaestorServer::with_defaults(ManualClock::new());
+        let batch_results = batched.batch(requests.clone()).unwrap();
+        let single_results: Vec<_> = requests
+            .into_iter()
+            .map(|r| Service::call(&*singleton, r))
+            .collect();
+        prop_assert_eq!(batch_results.len(), single_results.len());
+        for (b, s) in batch_results.iter().zip(&single_results) {
+            match (b, s) {
+                (Ok(Response::Written { version: vb, image: ib }),
+                 Ok(Response::Written { version: vs, image: is })) => {
+                    prop_assert_eq!(vb, vs);
+                    prop_assert_eq!(ib.as_ref(), is.as_ref());
+                }
+                (Err(eb), Err(es)) => prop_assert_eq!(eb, es),
+                other => prop_assert!(false, "outcome mismatch: {:?}", other),
+            }
+        }
+        // Final states agree table-wide.
+        for i in 0..8 {
+            let id = format!("r{i}");
+            let a = batched.get_record("t", &id).ok().map(|r| (r.etag, (*r.doc).clone()));
+            let b = singleton.get_record("t", &id).ok().map(|r| (r.etag, (*r.doc).clone()));
+            prop_assert_eq!(a, b, "record {}", id);
+        }
     }
 }

@@ -1,0 +1,202 @@
+//! Workspace-local stand-in for the `criterion` API surface the bench
+//! targets use. No statistics engine — each benchmark is timed with a
+//! short calibration pass followed by a measured pass, reporting ns/iter
+//! and derived throughput. Good enough to compare orders of magnitude and
+//! keep `cargo bench` runnable without crates.io access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark id, e.g. `scan_query/1000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Build from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Passed to the closure; drives the timed loop.
+pub struct Bencher {
+    measured: Option<MeasuredRun>,
+}
+
+struct MeasuredRun {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count that runs ~50 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(50) || iters >= 1 << 30 {
+                self.measured = Some(MeasuredRun { iters, elapsed });
+                return;
+            }
+            iters = iters.saturating_mul(if elapsed.is_zero() {
+                100
+            } else {
+                (Duration::from_millis(60).as_nanos() / elapsed.as_nanos().max(1)) as u64 + 1
+            });
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { measured: None };
+        f(&mut b);
+        self.report(&id.name, b.measured);
+        self
+    }
+
+    /// Run one benchmark with an input parameter.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { measured: None };
+        f(&mut b, input);
+        self.report(&id.name, b.measured);
+        self
+    }
+
+    fn report(&self, name: &str, measured: Option<MeasuredRun>) {
+        let Some(m) = measured else {
+            println!("{}/{name:<32} (no measurement)", self.name);
+            return;
+        };
+        let ns_per_iter = m.elapsed.as_nanos() as f64 / m.iters.max(1) as f64;
+        let mut line = format!(
+            "{}/{name:<32} {:>12.1} ns/iter ({} iters)",
+            self.name, ns_per_iter, m.iters
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = match t {
+                Throughput::Elements(n) => n as f64 / (ns_per_iter / 1e9),
+                Throughput::Bytes(n) => n as f64 / (ns_per_iter / 1e9),
+            };
+            let unit = match t {
+                Throughput::Elements(_) => "elem/s",
+                Throughput::Bytes(_) => "B/s",
+            };
+            line.push_str(&format!("  {per_sec:>14.0} {unit}"));
+        }
+        println!("{line}");
+    }
+
+    /// End the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Begin a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Mirror of `criterion_group!`: bundles target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

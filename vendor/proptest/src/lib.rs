@@ -1,0 +1,337 @@
+//! Workspace-local stand-in for the `proptest` API subset the workspace
+//! uses. Cases are generated from a deterministic per-test RNG and run
+//! through the same `Strategy` combinator surface (`prop_map`,
+//! `prop_oneof!`, `prop_recursive`, collections, tuples, ranges, simple
+//! `[class]{m,n}` string patterns). Failing inputs are reported but not
+//! shrunk — acceptable for CI-style regression testing, the role these
+//! tests play here.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `any::<T>()` strategies for primitive types.
+pub mod arbitrary {
+    use crate::strategy::BoxedStrategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized + 'static {
+        /// Draw one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_prim {
+        ($($t:ty => $draw:expr),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    let f: fn(&mut TestRng) -> $t = $draw;
+                    f(rng)
+                }
+            }
+        )*};
+    }
+
+    arb_prim! {
+        bool => |r| r.gen(),
+        u8 => |r| r.gen(),
+        u32 => |r| r.gen(),
+        u64 => |r| r.gen(),
+        usize => |r| r.gen(),
+        i64 => |r| r.gen(),
+        f64 => |r| r.gen::<f64>() * 2e12 - 1e12,
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut TestRng) -> u16 {
+            rng.gen::<u32>() as u16
+        }
+    }
+
+    impl Arbitrary for i32 {
+        fn arbitrary(rng: &mut TestRng) -> i32 {
+            rng.gen::<u32>() as i32
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        BoxedStrategy::new(|rng| T::arbitrary(rng))
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, SizeRange, Strategy};
+
+    /// A `Vec` with length drawn from `size` and elements from `elem`.
+    pub fn vec<S>(elem: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::new(move |rng| {
+            let n = size.pick(rng);
+            (0..n).map(|_| elem.new_value(rng)).collect()
+        })
+    }
+
+    /// A `BTreeMap` with up to `size` entries (duplicate keys collapse).
+    pub fn btree_map<K, V>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BoxedStrategy<std::collections::BTreeMap<K::Value, V::Value>>
+    where
+        K: Strategy + 'static,
+        V: Strategy + 'static,
+        K::Value: Ord + 'static,
+        V::Value: 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::new(move |rng| {
+            let n = size.pick(rng);
+            (0..n)
+                .map(|_| (key.new_value(rng), value.new_value(rng)))
+                .collect()
+        })
+    }
+
+    /// A `HashSet` whose size lands inside `size` (best-effort retries
+    /// against duplicate draws, as proptest does).
+    pub fn hash_set<S>(
+        elem: S,
+        size: impl Into<SizeRange>,
+    ) -> BoxedStrategy<std::collections::HashSet<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: std::hash::Hash + Eq + 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::new(move |rng| {
+            let n = size.pick(rng);
+            let mut out = std::collections::HashSet::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 20 + 100 {
+                out.insert(elem.new_value(rng));
+                attempts += 1;
+            }
+            out
+        })
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use rand::Rng;
+
+    /// `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        BoxedStrategy::new(move |rng| {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(inner.new_value(rng))
+            }
+        })
+    }
+}
+
+/// The common import surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Fallible assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fallible equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = &$a;
+        let __b = &$b;
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{:?}` != `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}: `{:?}` != `{:?}`",
+                format!($($fmt)*),
+                __a,
+                __b
+            )));
+        }
+    }};
+}
+
+/// Fallible inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = &$a;
+        let __b = &$b;
+        $crate::prop_assert!(*__a != *__b, "assertion failed: `{:?}` == `{:?}`", __a, __b);
+    }};
+}
+
+/// Define property tests: each argument is drawn from its strategy for
+/// every case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                $(
+                    let $arg = {
+                        let __s = &$strat;
+                        $crate::strategy::Strategy::new_value(__s, __rng)
+                    };
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __outcome
+            });
+        }
+        $crate::__proptest_fns!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_small() -> impl Strategy<Value = i64> {
+        prop_oneof![Just(0i64), 1i64..10, 10i64..20]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(v in -5i64..5, f in 0.0f64..1.0) {
+            prop_assert!((-5..5).contains(&v));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn strings_match_pattern(s in "[a-c]{1,3}") {
+            prop_assert!((1..=3).contains(&s.len()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn vec_and_map_sizes(
+            v in crate::collection::vec(arb_small(), 2..5),
+            m in crate::collection::btree_map("[a-b]", 0i64..3, 0..4),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(m.len() < 4);
+        }
+
+        #[test]
+        fn tuples_and_options(
+            pair in ("[a-d]", 0usize..7),
+            opt in crate::option::of(0usize..3),
+        ) {
+            prop_assert_eq!(pair.0.len(), 1);
+            prop_assert!(pair.1 < 7);
+            if let Some(x) = opt {
+                prop_assert!(x < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..5)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 3, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = crate::test_runner::TestRng::for_test("recursion", 1);
+        for _ in 0..200 {
+            let t = strat.new_value(&mut rng);
+            assert!(depth(&t) <= 8, "depth {} too deep", depth(&t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges_fail")]
+    fn failing_property_panics() {
+        crate::test_runner::run_cases(&ProptestConfig::with_cases(4), "ranges_fail", |_rng| {
+            Err(TestCaseError::fail("boom".into()))
+        });
+    }
+}

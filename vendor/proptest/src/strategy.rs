@@ -1,0 +1,261 @@
+//! The `Strategy` trait and combinators.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A generator of test values. Unlike real proptest there is no value
+/// tree / shrinking: a strategy is just a cloneable generator.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::new(move |rng| self.new_value(rng))
+    }
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+        U: 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.new_value(rng)))
+    }
+
+    /// Build recursive values: `self` is the leaf strategy, `recurse`
+    /// wraps an inner strategy into one more composite layer, `depth`
+    /// bounds nesting. The extra proptest sizing hints are accepted and
+    /// ignored.
+    fn prop_recursive<F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(cur);
+            let shallow = leaf.clone();
+            // Mix shallow and deep draws so generated sizes vary instead
+            // of always recursing to the maximum depth.
+            cur = BoxedStrategy::new(move |rng| {
+                if rng.gen_bool(0.4) {
+                    shallow.new_value(rng)
+                } else {
+                    deeper.new_value(rng)
+                }
+            });
+        }
+        cur
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a generator closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: self.gen.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Uniform choice among strategies (backs `prop_oneof!`).
+pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy::new(move |rng| {
+        let i = rng.gen_range(0..arms.len());
+        arms[i].new_value(rng)
+    })
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// String strategies from simple patterns: `[class]`, `[class]{n}`,
+/// `[class]{m,n}`; anything else is generated as the literal itself.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_pattern(self);
+        if chars.is_empty() {
+            return self.to_string();
+        }
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parse `[class]{m,n}` into (alphabet, min, max); empty alphabet means
+/// "not a pattern, use the literal".
+fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let Some(rest) = pat.strip_prefix('[') else {
+        return (Vec::new(), 0, 0);
+    };
+    let Some(close) = rest.find(']') else {
+        return (Vec::new(), 0, 0);
+    };
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            for c in a as u32..=b as u32 {
+                if let Some(c) = char::from_u32(c) {
+                    alphabet.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    let suffix = &rest[close + 1..];
+    if suffix.is_empty() {
+        return (alphabet, 1, 1);
+    }
+    let Some(counts) = suffix.strip_prefix('{').and_then(|s| s.strip_suffix('}')) else {
+        return (Vec::new(), 0, 0);
+    };
+    match counts.split_once(',') {
+        Some((lo, hi)) => {
+            let lo = lo.trim().parse().unwrap_or(0);
+            let hi = hi.trim().parse().unwrap_or(lo);
+            (alphabet, lo, hi.max(lo))
+        }
+        None => {
+            let n = counts.trim().parse().unwrap_or(1);
+            (alphabet, n, n)
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($( ($($s:ident . $idx:tt),+) ),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+/// A collection-size specification.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl SizeRange {
+    pub(crate) fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        SizeRange {
+            lo: r.start,
+            hi: r.end.max(r.start + 1),
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic case runner.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build from a message.
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError { message }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The RNG handed to strategies (wraps the workspace StdRng).
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic RNG for (test name, case index).
+    pub fn for_test(name: &str, case: u32) -> TestRng {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            seed ^ ((case as u64) << 32 | case as u64),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Run `cases` generated cases of one property, panicking (like a normal
+/// test assertion) on the first failure.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    for i in 0..config.cases {
+        let mut rng = TestRng::for_test(name, i);
+        if let Err(e) = case(&mut rng) {
+            panic!("property '{name}' failed at case {i}/{}: {e}", config.cases);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Workspace-local stand-in for `serde`'s derive macros.
+//!
+//! The workspace annotates config/value types with
+//! `#[derive(Serialize, Deserialize)]` for downstream users, but never
+//! actually drives serde serialization itself (wire bodies use the
+//! hand-rolled canonical-JSON writer in `quaestor-document`). Since the
+//! build environment cannot fetch crates.io, these derives expand to
+//! nothing; `#[serde(...)]` helper attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

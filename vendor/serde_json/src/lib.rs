@@ -1,0 +1,461 @@
+//! Workspace-local stand-in for the `serde_json` surface the workspace
+//! uses: the [`Value`] tree, [`Number`], a recursive-descent parser
+//! ([`from_str`] / [`from_slice`]) and a minimal [`json!`] macro.
+//!
+//! The writer side is not needed — response bodies are produced by the
+//! canonical-JSON writer in `quaestor-document` — but a `Display` impl is
+//! provided for debugging symmetry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation. `serde_json` uses its own `Map`; a sorted map is
+/// sufficient here (the workspace's canonical JSON is key-sorted anyway).
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// A JSON number: integer or double, mirroring `serde_json::Number`.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Number(N);
+
+#[derive(Clone, Copy, PartialEq)]
+enum N {
+    Int(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// Wrap a finite float; `None` for NaN/infinite (like serde_json).
+    pub fn from_f64(f: f64) -> Option<Number> {
+        f.is_finite().then_some(Number(N::Float(f)))
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::Int(i) => Some(i),
+            N::Float(_) => None,
+        }
+    }
+
+    /// Unsigned view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::Int(i) => u64::try_from(i).ok(),
+            N::Float(_) => None,
+        }
+    }
+
+    /// Float view (ints widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::Int(i) => Some(i as f64),
+            N::Float(f) => Some(f),
+        }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(i: i64) -> Number {
+        Number(N::Int(i))
+    }
+}
+
+impl fmt::Debug for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::Int(i) => write!(f, "{i}"),
+            N::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True if this is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// True if this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Number(Number::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write!(f, "{s:?}"),
+            Value::Array(a) => {
+                f.write_str("[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(o) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in o.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{k:?}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    at: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parse a JSON document from a string.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+/// Parse a JSON document from bytes (must be UTF-8).
+pub fn from_slice(s: &[u8]) -> Result<Value, Error> {
+    let text = std::str::from_utf8(s).map_err(|e| Error {
+        msg: format!("invalid utf-8: {e}"),
+        at: e.valid_up_to(),
+    })?;
+    from_str(text)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            msg: msg.to_owned(),
+            at: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(out));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut out = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(out));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut chars = std::str::from_utf8(&self.bytes[self.pos..])
+            .map_err(|_| self.err("invalid utf-8 in string"))?
+            .char_indices();
+        loop {
+            let (off, c) = chars
+                .next()
+                .ok_or_else(|| self.err("unterminated string"))?;
+            match c {
+                '"' => {
+                    self.pos += off + 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let (_, esc) = chars.next().ok_or_else(|| self.err("dangling escape"))?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'b' => out.push('\u{0008}'),
+                        'f' => out.push('\u{000C}'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) =
+                                    chars.next().ok_or_else(|| self.err("short \\u escape"))?;
+                                code = code * 16
+                                    + h.to_digit(16).ok_or_else(|| self.err("bad \\u escape"))?;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number(N::Int(i))));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number(N::Float(f))))
+            .map_err(|_| self.err("malformed number"))
+    }
+}
+
+/// Minimal `json!` macro: literals, arrays and `null`, which is all the
+/// workspace asks of it.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:tt ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" -42 ").unwrap(), Value::from(-42i64));
+        assert_eq!(
+            from_str("1.5").unwrap(),
+            Value::Number(Number::from_f64(1.5).unwrap())
+        );
+        assert_eq!(from_str(r#""a\"b""#).unwrap(), Value::from("a\"b"));
+    }
+
+    #[test]
+    fn parses_nested() {
+        let v = from_str(r#"{"a":[1,"x",{"b":null}],"c":true}"#).unwrap();
+        let o = v.as_object().unwrap();
+        assert_eq!(o["a"].as_array().unwrap().len(), 3);
+        assert_eq!(o["c"], Value::Bool(true));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+
+    #[test]
+    fn json_macro_arrays() {
+        assert_eq!(
+            json!(["a", "b"]),
+            Value::Array(vec![Value::from("a"), Value::from("b")])
+        );
+    }
+
+    #[test]
+    fn large_ints_fall_back_to_float() {
+        let v = from_str("99999999999999999999").unwrap();
+        assert!(matches!(v, Value::Number(n) if n.as_i64().is_none()));
+    }
+}
