@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-65b5d3096617c914.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-65b5d3096617c914.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

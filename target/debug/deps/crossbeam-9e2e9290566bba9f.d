@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-9e2e9290566bba9f.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-9e2e9290566bba9f.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebf_throughput-379863343df72774.d: crates/bench/benches/ebf_throughput.rs
+
+/root/repo/target/debug/deps/libebf_throughput-379863343df72774.rmeta: crates/bench/benches/ebf_throughput.rs
+
+crates/bench/benches/ebf_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ebf_throughput-caba9d6369756d7f.d: crates/bench/benches/ebf_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebf_throughput-caba9d6369756d7f.rmeta: crates/bench/benches/ebf_throughput.rs Cargo.toml
+
+crates/bench/benches/ebf_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

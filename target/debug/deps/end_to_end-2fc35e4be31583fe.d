@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2fc35e4be31583fe.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-2fc35e4be31583fe.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

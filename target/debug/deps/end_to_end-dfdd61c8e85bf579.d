@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-dfdd61c8e85bf579.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-dfdd61c8e85bf579: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invalidb_matching-45f3a4c3ddea02d3.d: crates/bench/benches/invalidb_matching.rs
+
+/root/repo/target/debug/deps/libinvalidb_matching-45f3a4c3ddea02d3.rmeta: crates/bench/benches/invalidb_matching.rs
+
+crates/bench/benches/invalidb_matching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invalidb_matching-47790b877472bc9b.d: crates/bench/benches/invalidb_matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvalidb_matching-47790b877472bc9b.rmeta: crates/bench/benches/invalidb_matching.rs Cargo.toml
+
+crates/bench/benches/invalidb_matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-6bd5949ce9c51fcd.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-6bd5949ce9c51fcd.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-8f884e5fefc57904.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-8f884e5fefc57904.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-bd41bfa673b81b61.d: tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/libpipeline_integration-bd41bfa673b81b61.rmeta: tests/pipeline_integration.rs
+
+tests/pipeline_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-cb3197d442e4c6c1.d: tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-cb3197d442e4c6c1: tests/pipeline_integration.rs
+
+tests/pipeline_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_model-0bfd52e1e6d4fd70.d: tests/property_model.rs
+
+/root/repo/target/debug/deps/property_model-0bfd52e1e6d4fd70: tests/property_model.rs
+
+tests/property_model.rs:

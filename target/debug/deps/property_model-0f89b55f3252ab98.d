@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_model-0f89b55f3252ab98.d: tests/property_model.rs
+
+/root/repo/target/debug/deps/libproperty_model-0f89b55f3252ab98.rmeta: tests/property_model.rs
+
+tests/property_model.rs:

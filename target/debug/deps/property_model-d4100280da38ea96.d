@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_model-d4100280da38ea96.d: tests/property_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_model-d4100280da38ea96.rmeta: tests/property_model.rs Cargo.toml
+
+tests/property_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quaestor-7080d31dd8d89191.d: src/lib.rs
+
+/root/repo/target/debug/deps/libquaestor-7080d31dd8d89191.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libquaestor-7080d31dd8d89191.rmeta: src/lib.rs
+
+src/lib.rs:

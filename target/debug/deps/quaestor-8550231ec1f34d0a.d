@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quaestor-8550231ec1f34d0a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libquaestor-8550231ec1f34d0a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quaestor-e23a6dd3d470d99b.d: src/lib.rs
+
+/root/repo/target/debug/deps/quaestor-e23a6dd3d470d99b: src/lib.rs
+
+src/lib.rs:

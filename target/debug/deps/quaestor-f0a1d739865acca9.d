@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quaestor-f0a1d739865acca9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libquaestor-f0a1d739865acca9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quaestor_bench-3bfba6de7a8b070e.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_bench-3bfba6de7a8b070e.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

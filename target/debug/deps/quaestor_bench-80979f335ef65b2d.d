@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quaestor_bench-80979f335ef65b2d.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libquaestor_bench-80979f335ef65b2d.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

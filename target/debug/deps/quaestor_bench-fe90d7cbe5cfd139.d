@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quaestor_bench-fe90d7cbe5cfd139.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/quaestor_bench-fe90d7cbe5cfd139: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quaestor_bloom-d2aa55b26f255b46.d: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/ebf.rs crates/bloom/src/filter.rs crates/bloom/src/kv_ebf.rs crates/bloom/src/partitioned.rs
+
+/root/repo/target/debug/deps/libquaestor_bloom-d2aa55b26f255b46.rmeta: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/ebf.rs crates/bloom/src/filter.rs crates/bloom/src/kv_ebf.rs crates/bloom/src/partitioned.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/counting.rs:
+crates/bloom/src/ebf.rs:
+crates/bloom/src/filter.rs:
+crates/bloom/src/kv_ebf.rs:
+crates/bloom/src/partitioned.rs:

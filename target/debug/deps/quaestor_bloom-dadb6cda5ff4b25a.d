@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quaestor_bloom-dadb6cda5ff4b25a.d: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/ebf.rs crates/bloom/src/filter.rs crates/bloom/src/kv_ebf.rs crates/bloom/src/partitioned.rs
+
+/root/repo/target/debug/deps/libquaestor_bloom-dadb6cda5ff4b25a.rlib: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/ebf.rs crates/bloom/src/filter.rs crates/bloom/src/kv_ebf.rs crates/bloom/src/partitioned.rs
+
+/root/repo/target/debug/deps/libquaestor_bloom-dadb6cda5ff4b25a.rmeta: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/ebf.rs crates/bloom/src/filter.rs crates/bloom/src/kv_ebf.rs crates/bloom/src/partitioned.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/counting.rs:
+crates/bloom/src/ebf.rs:
+crates/bloom/src/filter.rs:
+crates/bloom/src/kv_ebf.rs:
+crates/bloom/src/partitioned.rs:

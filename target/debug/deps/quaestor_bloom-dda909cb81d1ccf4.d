@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/quaestor_bloom-dda909cb81d1ccf4.d: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/ebf.rs crates/bloom/src/filter.rs crates/bloom/src/kv_ebf.rs crates/bloom/src/partitioned.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_bloom-dda909cb81d1ccf4.rmeta: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/ebf.rs crates/bloom/src/filter.rs crates/bloom/src/kv_ebf.rs crates/bloom/src/partitioned.rs Cargo.toml
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/counting.rs:
+crates/bloom/src/ebf.rs:
+crates/bloom/src/filter.rs:
+crates/bloom/src/kv_ebf.rs:
+crates/bloom/src/partitioned.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

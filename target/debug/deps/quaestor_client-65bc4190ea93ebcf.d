@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quaestor_client-65bc4190ea93ebcf.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_client-65bc4190ea93ebcf.rmeta: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs Cargo.toml
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/config.rs:
+crates/client/src/outcome.rs:
+crates/client/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

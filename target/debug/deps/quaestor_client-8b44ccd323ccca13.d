@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quaestor_client-8b44ccd323ccca13.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs
+
+/root/repo/target/debug/deps/libquaestor_client-8b44ccd323ccca13.rlib: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs
+
+/root/repo/target/debug/deps/libquaestor_client-8b44ccd323ccca13.rmeta: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/config.rs:
+crates/client/src/outcome.rs:
+crates/client/src/session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quaestor_client-a9bc3c50e16270a5.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs
+
+/root/repo/target/debug/deps/libquaestor_client-a9bc3c50e16270a5.rmeta: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/config.rs:
+crates/client/src/outcome.rs:
+crates/client/src/session.rs:

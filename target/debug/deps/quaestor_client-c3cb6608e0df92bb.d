@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quaestor_client-c3cb6608e0df92bb.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs
+
+/root/repo/target/debug/deps/libquaestor_client-c3cb6608e0df92bb.rmeta: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/config.rs:
+crates/client/src/outcome.rs:
+crates/client/src/session.rs:

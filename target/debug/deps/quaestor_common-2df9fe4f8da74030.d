@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quaestor_common-2df9fe4f8da74030.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/histogram.rs
+
+/root/repo/target/debug/deps/libquaestor_common-2df9fe4f8da74030.rlib: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/histogram.rs
+
+/root/repo/target/debug/deps/libquaestor_common-2df9fe4f8da74030.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/histogram.rs
+
+crates/common/src/lib.rs:
+crates/common/src/clock.rs:
+crates/common/src/error.rs:
+crates/common/src/hash.rs:
+crates/common/src/histogram.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quaestor_common-b9c066d208f31c9c.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/histogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_common-b9c066d208f31c9c.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/histogram.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/clock.rs:
+crates/common/src/error.rs:
+crates/common/src/hash.rs:
+crates/common/src/histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

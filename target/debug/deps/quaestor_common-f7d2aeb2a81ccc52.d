@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quaestor_common-f7d2aeb2a81ccc52.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/histogram.rs
+
+/root/repo/target/debug/deps/libquaestor_common-f7d2aeb2a81ccc52.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/histogram.rs
+
+crates/common/src/lib.rs:
+crates/common/src/clock.rs:
+crates/common/src/error.rs:
+crates/common/src/hash.rs:
+crates/common/src/histogram.rs:

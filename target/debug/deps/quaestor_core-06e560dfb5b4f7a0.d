@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quaestor_core-06e560dfb5b4f7a0.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/response.rs crates/core/src/server.rs crates/core/src/transaction.rs
+
+/root/repo/target/debug/deps/libquaestor_core-06e560dfb5b4f7a0.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/response.rs crates/core/src/server.rs crates/core/src/transaction.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/response.rs:
+crates/core/src/server.rs:
+crates/core/src/transaction.rs:

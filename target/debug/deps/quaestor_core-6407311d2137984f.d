@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quaestor_core-6407311d2137984f.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/response.rs crates/core/src/server.rs crates/core/src/transaction.rs
+
+/root/repo/target/debug/deps/quaestor_core-6407311d2137984f: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/response.rs crates/core/src/server.rs crates/core/src/transaction.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/response.rs:
+crates/core/src/server.rs:
+crates/core/src/transaction.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quaestor_core-7c8869e9c3982cdb.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/response.rs crates/core/src/server.rs crates/core/src/transaction.rs
+
+/root/repo/target/debug/deps/libquaestor_core-7c8869e9c3982cdb.rlib: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/response.rs crates/core/src/server.rs crates/core/src/transaction.rs
+
+/root/repo/target/debug/deps/libquaestor_core-7c8869e9c3982cdb.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/response.rs crates/core/src/server.rs crates/core/src/transaction.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/response.rs:
+crates/core/src/server.rs:
+crates/core/src/transaction.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quaestor_core-f7341828a77bdca0.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/response.rs crates/core/src/server.rs crates/core/src/transaction.rs
+
+/root/repo/target/debug/deps/libquaestor_core-f7341828a77bdca0.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/response.rs crates/core/src/server.rs crates/core/src/transaction.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/response.rs:
+crates/core/src/server.rs:
+crates/core/src/transaction.rs:

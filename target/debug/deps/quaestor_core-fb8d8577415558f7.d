@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/quaestor_core-fb8d8577415558f7.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/response.rs crates/core/src/server.rs crates/core/src/transaction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_core-fb8d8577415558f7.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/response.rs crates/core/src/server.rs crates/core/src/transaction.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/response.rs:
+crates/core/src/server.rs:
+crates/core/src/transaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quaestor_document-79671c66950b8313.d: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+/root/repo/target/debug/deps/libquaestor_document-79671c66950b8313.rlib: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+/root/repo/target/debug/deps/libquaestor_document-79671c66950b8313.rmeta: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+crates/document/src/lib.rs:
+crates/document/src/path.rs:
+crates/document/src/update.rs:
+crates/document/src/value.rs:

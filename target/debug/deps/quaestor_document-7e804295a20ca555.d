@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quaestor_document-7e804295a20ca555.d: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+/root/repo/target/debug/deps/quaestor_document-7e804295a20ca555: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+crates/document/src/lib.rs:
+crates/document/src/path.rs:
+crates/document/src/update.rs:
+crates/document/src/value.rs:

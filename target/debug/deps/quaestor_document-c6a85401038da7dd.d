@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quaestor_document-c6a85401038da7dd.d: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+/root/repo/target/debug/deps/libquaestor_document-c6a85401038da7dd.rmeta: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+crates/document/src/lib.rs:
+crates/document/src/path.rs:
+crates/document/src/update.rs:
+crates/document/src/value.rs:

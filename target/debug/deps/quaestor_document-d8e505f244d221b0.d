@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quaestor_document-d8e505f244d221b0.d: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_document-d8e505f244d221b0.rmeta: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs Cargo.toml
+
+crates/document/src/lib.rs:
+crates/document/src/path.rs:
+crates/document/src/update.rs:
+crates/document/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quaestor_document-e58ebf2bd46da2dc.d: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+/root/repo/target/debug/deps/libquaestor_document-e58ebf2bd46da2dc.rmeta: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+crates/document/src/lib.rs:
+crates/document/src/path.rs:
+crates/document/src/update.rs:
+crates/document/src/value.rs:

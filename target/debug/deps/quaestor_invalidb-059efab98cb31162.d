@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/quaestor_invalidb-059efab98cb31162.d: crates/invalidb/src/lib.rs crates/invalidb/src/cluster.rs crates/invalidb/src/event.rs crates/invalidb/src/matching.rs crates/invalidb/src/pipeline.rs crates/invalidb/src/sorted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_invalidb-059efab98cb31162.rmeta: crates/invalidb/src/lib.rs crates/invalidb/src/cluster.rs crates/invalidb/src/event.rs crates/invalidb/src/matching.rs crates/invalidb/src/pipeline.rs crates/invalidb/src/sorted.rs Cargo.toml
+
+crates/invalidb/src/lib.rs:
+crates/invalidb/src/cluster.rs:
+crates/invalidb/src/event.rs:
+crates/invalidb/src/matching.rs:
+crates/invalidb/src/pipeline.rs:
+crates/invalidb/src/sorted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

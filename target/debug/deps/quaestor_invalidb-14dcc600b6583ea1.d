@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quaestor_invalidb-14dcc600b6583ea1.d: crates/invalidb/src/lib.rs crates/invalidb/src/cluster.rs crates/invalidb/src/event.rs crates/invalidb/src/matching.rs crates/invalidb/src/pipeline.rs crates/invalidb/src/sorted.rs
+
+/root/repo/target/debug/deps/libquaestor_invalidb-14dcc600b6583ea1.rmeta: crates/invalidb/src/lib.rs crates/invalidb/src/cluster.rs crates/invalidb/src/event.rs crates/invalidb/src/matching.rs crates/invalidb/src/pipeline.rs crates/invalidb/src/sorted.rs
+
+crates/invalidb/src/lib.rs:
+crates/invalidb/src/cluster.rs:
+crates/invalidb/src/event.rs:
+crates/invalidb/src/matching.rs:
+crates/invalidb/src/pipeline.rs:
+crates/invalidb/src/sorted.rs:

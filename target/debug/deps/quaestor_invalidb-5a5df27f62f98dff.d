@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quaestor_invalidb-5a5df27f62f98dff.d: crates/invalidb/src/lib.rs crates/invalidb/src/cluster.rs crates/invalidb/src/event.rs crates/invalidb/src/matching.rs crates/invalidb/src/pipeline.rs crates/invalidb/src/sorted.rs
+
+/root/repo/target/debug/deps/libquaestor_invalidb-5a5df27f62f98dff.rlib: crates/invalidb/src/lib.rs crates/invalidb/src/cluster.rs crates/invalidb/src/event.rs crates/invalidb/src/matching.rs crates/invalidb/src/pipeline.rs crates/invalidb/src/sorted.rs
+
+/root/repo/target/debug/deps/libquaestor_invalidb-5a5df27f62f98dff.rmeta: crates/invalidb/src/lib.rs crates/invalidb/src/cluster.rs crates/invalidb/src/event.rs crates/invalidb/src/matching.rs crates/invalidb/src/pipeline.rs crates/invalidb/src/sorted.rs
+
+crates/invalidb/src/lib.rs:
+crates/invalidb/src/cluster.rs:
+crates/invalidb/src/event.rs:
+crates/invalidb/src/matching.rs:
+crates/invalidb/src/pipeline.rs:
+crates/invalidb/src/sorted.rs:

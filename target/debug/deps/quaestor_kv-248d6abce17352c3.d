@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quaestor_kv-248d6abce17352c3.d: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+/root/repo/target/debug/deps/libquaestor_kv-248d6abce17352c3.rmeta: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/pubsub.rs:
+crates/kv/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quaestor_kv-2aa1fab82fa28253.d: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+/root/repo/target/debug/deps/libquaestor_kv-2aa1fab82fa28253.rlib: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+/root/repo/target/debug/deps/libquaestor_kv-2aa1fab82fa28253.rmeta: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/pubsub.rs:
+crates/kv/src/store.rs:

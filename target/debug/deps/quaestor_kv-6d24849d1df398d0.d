@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quaestor_kv-6d24849d1df398d0.d: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+/root/repo/target/debug/deps/quaestor_kv-6d24849d1df398d0: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/pubsub.rs:
+crates/kv/src/store.rs:

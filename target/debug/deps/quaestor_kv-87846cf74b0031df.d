@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quaestor_kv-87846cf74b0031df.d: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_kv-87846cf74b0031df.rmeta: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs Cargo.toml
+
+crates/kv/src/lib.rs:
+crates/kv/src/pubsub.rs:
+crates/kv/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quaestor_kv-a0871c0dd38a6885.d: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+/root/repo/target/debug/deps/libquaestor_kv-a0871c0dd38a6885.rmeta: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/pubsub.rs:
+crates/kv/src/store.rs:

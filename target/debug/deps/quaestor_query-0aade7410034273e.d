@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quaestor_query-0aade7410034273e.d: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+/root/repo/target/debug/deps/libquaestor_query-0aade7410034273e.rlib: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+/root/repo/target/debug/deps/libquaestor_query-0aade7410034273e.rmeta: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+crates/query/src/lib.rs:
+crates/query/src/filter.rs:
+crates/query/src/matcher.rs:
+crates/query/src/normalize.rs:

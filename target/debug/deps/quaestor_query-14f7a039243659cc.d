@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quaestor_query-14f7a039243659cc.d: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+/root/repo/target/debug/deps/libquaestor_query-14f7a039243659cc.rmeta: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+crates/query/src/lib.rs:
+crates/query/src/filter.rs:
+crates/query/src/matcher.rs:
+crates/query/src/normalize.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quaestor_query-771c5e5735b4521a.d: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+/root/repo/target/debug/deps/libquaestor_query-771c5e5735b4521a.rmeta: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+crates/query/src/lib.rs:
+crates/query/src/filter.rs:
+crates/query/src/matcher.rs:
+crates/query/src/normalize.rs:

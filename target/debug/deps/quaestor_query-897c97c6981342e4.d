@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quaestor_query-897c97c6981342e4.d: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_query-897c97c6981342e4.rmeta: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/filter.rs:
+crates/query/src/matcher.rs:
+crates/query/src/normalize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

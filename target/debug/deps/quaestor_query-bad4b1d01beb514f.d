@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quaestor_query-bad4b1d01beb514f.d: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_query-bad4b1d01beb514f.rmeta: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/filter.rs:
+crates/query/src/matcher.rs:
+crates/query/src/normalize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

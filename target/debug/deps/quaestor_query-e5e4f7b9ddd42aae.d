@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quaestor_query-e5e4f7b9ddd42aae.d: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+/root/repo/target/debug/deps/quaestor_query-e5e4f7b9ddd42aae: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+crates/query/src/lib.rs:
+crates/query/src/filter.rs:
+crates/query/src/matcher.rs:
+crates/query/src/normalize.rs:

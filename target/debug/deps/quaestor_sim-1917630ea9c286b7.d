@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/quaestor_sim-1917630ea9c286b7.d: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/latency.rs crates/sim/src/middleware.rs crates/sim/src/scenario.rs crates/sim/src/ttl_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_sim-1917630ea9c286b7.rmeta: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/latency.rs crates/sim/src/middleware.rs crates/sim/src/scenario.rs crates/sim/src/ttl_cdf.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/middleware.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/ttl_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

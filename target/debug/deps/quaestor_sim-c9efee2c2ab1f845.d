@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quaestor_sim-c9efee2c2ab1f845.d: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/latency.rs crates/sim/src/middleware.rs crates/sim/src/scenario.rs crates/sim/src/ttl_cdf.rs
+
+/root/repo/target/debug/deps/quaestor_sim-c9efee2c2ab1f845: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/latency.rs crates/sim/src/middleware.rs crates/sim/src/scenario.rs crates/sim/src/ttl_cdf.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/middleware.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/ttl_cdf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quaestor_sim-cd16594a936262cc.d: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/latency.rs crates/sim/src/middleware.rs crates/sim/src/scenario.rs crates/sim/src/ttl_cdf.rs
+
+/root/repo/target/debug/deps/libquaestor_sim-cd16594a936262cc.rlib: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/latency.rs crates/sim/src/middleware.rs crates/sim/src/scenario.rs crates/sim/src/ttl_cdf.rs
+
+/root/repo/target/debug/deps/libquaestor_sim-cd16594a936262cc.rmeta: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/latency.rs crates/sim/src/middleware.rs crates/sim/src/scenario.rs crates/sim/src/ttl_cdf.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/middleware.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/ttl_cdf.rs:

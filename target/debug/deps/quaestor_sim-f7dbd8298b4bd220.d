@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quaestor_sim-f7dbd8298b4bd220.d: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/latency.rs crates/sim/src/middleware.rs crates/sim/src/scenario.rs crates/sim/src/ttl_cdf.rs
+
+/root/repo/target/debug/deps/libquaestor_sim-f7dbd8298b4bd220.rmeta: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/latency.rs crates/sim/src/middleware.rs crates/sim/src/scenario.rs crates/sim/src/ttl_cdf.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/middleware.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/ttl_cdf.rs:

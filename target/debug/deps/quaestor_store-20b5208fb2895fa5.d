@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quaestor_store-20b5208fb2895fa5.d: crates/store/src/lib.rs crates/store/src/changes.rs crates/store/src/database.rs crates/store/src/index.rs crates/store/src/table.rs
+
+/root/repo/target/debug/deps/libquaestor_store-20b5208fb2895fa5.rlib: crates/store/src/lib.rs crates/store/src/changes.rs crates/store/src/database.rs crates/store/src/index.rs crates/store/src/table.rs
+
+/root/repo/target/debug/deps/libquaestor_store-20b5208fb2895fa5.rmeta: crates/store/src/lib.rs crates/store/src/changes.rs crates/store/src/database.rs crates/store/src/index.rs crates/store/src/table.rs
+
+crates/store/src/lib.rs:
+crates/store/src/changes.rs:
+crates/store/src/database.rs:
+crates/store/src/index.rs:
+crates/store/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quaestor_store-27a68f4e734df965.d: crates/store/src/lib.rs crates/store/src/changes.rs crates/store/src/database.rs crates/store/src/index.rs crates/store/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_store-27a68f4e734df965.rmeta: crates/store/src/lib.rs crates/store/src/changes.rs crates/store/src/database.rs crates/store/src/index.rs crates/store/src/table.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/changes.rs:
+crates/store/src/database.rs:
+crates/store/src/index.rs:
+crates/store/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

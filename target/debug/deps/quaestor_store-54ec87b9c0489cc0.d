@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quaestor_store-54ec87b9c0489cc0.d: crates/store/src/lib.rs crates/store/src/changes.rs crates/store/src/database.rs crates/store/src/index.rs crates/store/src/table.rs
+
+/root/repo/target/debug/deps/libquaestor_store-54ec87b9c0489cc0.rmeta: crates/store/src/lib.rs crates/store/src/changes.rs crates/store/src/database.rs crates/store/src/index.rs crates/store/src/table.rs
+
+crates/store/src/lib.rs:
+crates/store/src/changes.rs:
+crates/store/src/database.rs:
+crates/store/src/index.rs:
+crates/store/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quaestor_ttl-1fc3d6c9c2b8a831.d: crates/ttl/src/lib.rs crates/ttl/src/active_list.rs crates/ttl/src/alex.rs crates/ttl/src/capacity.rs crates/ttl/src/cost.rs crates/ttl/src/estimator.rs crates/ttl/src/rate.rs
+
+/root/repo/target/debug/deps/libquaestor_ttl-1fc3d6c9c2b8a831.rmeta: crates/ttl/src/lib.rs crates/ttl/src/active_list.rs crates/ttl/src/alex.rs crates/ttl/src/capacity.rs crates/ttl/src/cost.rs crates/ttl/src/estimator.rs crates/ttl/src/rate.rs
+
+crates/ttl/src/lib.rs:
+crates/ttl/src/active_list.rs:
+crates/ttl/src/alex.rs:
+crates/ttl/src/capacity.rs:
+crates/ttl/src/cost.rs:
+crates/ttl/src/estimator.rs:
+crates/ttl/src/rate.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/quaestor_ttl-e0f3413516dc474a.d: crates/ttl/src/lib.rs crates/ttl/src/active_list.rs crates/ttl/src/alex.rs crates/ttl/src/capacity.rs crates/ttl/src/cost.rs crates/ttl/src/estimator.rs crates/ttl/src/rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_ttl-e0f3413516dc474a.rmeta: crates/ttl/src/lib.rs crates/ttl/src/active_list.rs crates/ttl/src/alex.rs crates/ttl/src/capacity.rs crates/ttl/src/cost.rs crates/ttl/src/estimator.rs crates/ttl/src/rate.rs Cargo.toml
+
+crates/ttl/src/lib.rs:
+crates/ttl/src/active_list.rs:
+crates/ttl/src/alex.rs:
+crates/ttl/src/capacity.rs:
+crates/ttl/src/cost.rs:
+crates/ttl/src/estimator.rs:
+crates/ttl/src/rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

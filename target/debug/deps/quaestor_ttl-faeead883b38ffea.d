@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quaestor_ttl-faeead883b38ffea.d: crates/ttl/src/lib.rs crates/ttl/src/active_list.rs crates/ttl/src/alex.rs crates/ttl/src/capacity.rs crates/ttl/src/cost.rs crates/ttl/src/estimator.rs crates/ttl/src/rate.rs
+
+/root/repo/target/debug/deps/libquaestor_ttl-faeead883b38ffea.rmeta: crates/ttl/src/lib.rs crates/ttl/src/active_list.rs crates/ttl/src/alex.rs crates/ttl/src/capacity.rs crates/ttl/src/cost.rs crates/ttl/src/estimator.rs crates/ttl/src/rate.rs
+
+crates/ttl/src/lib.rs:
+crates/ttl/src/active_list.rs:
+crates/ttl/src/alex.rs:
+crates/ttl/src/capacity.rs:
+crates/ttl/src/cost.rs:
+crates/ttl/src/estimator.rs:
+crates/ttl/src/rate.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quaestor_webcache-53eb36d5d6b36b7f.d: crates/webcache/src/lib.rs crates/webcache/src/cache.rs crates/webcache/src/entry.rs crates/webcache/src/hierarchy.rs crates/webcache/src/lru.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquaestor_webcache-53eb36d5d6b36b7f.rmeta: crates/webcache/src/lib.rs crates/webcache/src/cache.rs crates/webcache/src/entry.rs crates/webcache/src/hierarchy.rs crates/webcache/src/lru.rs Cargo.toml
+
+crates/webcache/src/lib.rs:
+crates/webcache/src/cache.rs:
+crates/webcache/src/entry.rs:
+crates/webcache/src/hierarchy.rs:
+crates/webcache/src/lru.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

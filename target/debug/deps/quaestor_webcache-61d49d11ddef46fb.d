@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quaestor_webcache-61d49d11ddef46fb.d: crates/webcache/src/lib.rs crates/webcache/src/cache.rs crates/webcache/src/entry.rs crates/webcache/src/hierarchy.rs crates/webcache/src/lru.rs
+
+/root/repo/target/debug/deps/libquaestor_webcache-61d49d11ddef46fb.rlib: crates/webcache/src/lib.rs crates/webcache/src/cache.rs crates/webcache/src/entry.rs crates/webcache/src/hierarchy.rs crates/webcache/src/lru.rs
+
+/root/repo/target/debug/deps/libquaestor_webcache-61d49d11ddef46fb.rmeta: crates/webcache/src/lib.rs crates/webcache/src/cache.rs crates/webcache/src/entry.rs crates/webcache/src/hierarchy.rs crates/webcache/src/lru.rs
+
+crates/webcache/src/lib.rs:
+crates/webcache/src/cache.rs:
+crates/webcache/src/entry.rs:
+crates/webcache/src/hierarchy.rs:
+crates/webcache/src/lru.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quaestor_webcache-81f96ecb7c6075b4.d: crates/webcache/src/lib.rs crates/webcache/src/cache.rs crates/webcache/src/entry.rs crates/webcache/src/hierarchy.rs crates/webcache/src/lru.rs
+
+/root/repo/target/debug/deps/libquaestor_webcache-81f96ecb7c6075b4.rmeta: crates/webcache/src/lib.rs crates/webcache/src/cache.rs crates/webcache/src/entry.rs crates/webcache/src/hierarchy.rs crates/webcache/src/lru.rs
+
+crates/webcache/src/lib.rs:
+crates/webcache/src/cache.rs:
+crates/webcache/src/entry.rs:
+crates/webcache/src/hierarchy.rs:
+crates/webcache/src/lru.rs:

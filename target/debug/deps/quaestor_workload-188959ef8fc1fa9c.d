@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quaestor_workload-188959ef8fc1fa9c.d: crates/workload/src/lib.rs crates/workload/src/mix.rs crates/workload/src/ops.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libquaestor_workload-188959ef8fc1fa9c.rmeta: crates/workload/src/lib.rs crates/workload/src/mix.rs crates/workload/src/ops.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/ops.rs:
+crates/workload/src/zipf.rs:

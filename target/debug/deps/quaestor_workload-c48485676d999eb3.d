@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quaestor_workload-c48485676d999eb3.d: crates/workload/src/lib.rs crates/workload/src/mix.rs crates/workload/src/ops.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/quaestor_workload-c48485676d999eb3: crates/workload/src/lib.rs crates/workload/src/mix.rs crates/workload/src/ops.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/ops.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quaestor_workload-edd6a2d3defb21d9.d: crates/workload/src/lib.rs crates/workload/src/mix.rs crates/workload/src/ops.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libquaestor_workload-edd6a2d3defb21d9.rmeta: crates/workload/src/lib.rs crates/workload/src/mix.rs crates/workload/src/ops.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/ops.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-daa803a090d665e4.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-daa803a090d665e4.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-09dd77f3644cc9e8.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/libreproduce-09dd77f3644cc9e8.rmeta: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-6879ab1354752723.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/libreproduce-6879ab1354752723.rmeta: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-c0c8440a0c4b1b71.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-c0c8440a0c4b1b71: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

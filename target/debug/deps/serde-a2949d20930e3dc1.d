@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a2949d20930e3dc1.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a2949d20930e3dc1.so: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-cbb31f27a6e10ee1.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-cbb31f27a6e10ee1.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e141f7f807479c07.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e141f7f807479c07.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-f4d97168d4ddf341.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-f4d97168d4ddf341: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

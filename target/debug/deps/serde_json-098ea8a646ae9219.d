@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-098ea8a646ae9219.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-098ea8a646ae9219.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

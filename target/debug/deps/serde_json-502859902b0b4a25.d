@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-502859902b0b4a25.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-502859902b0b4a25: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

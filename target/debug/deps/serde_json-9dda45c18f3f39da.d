@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-9dda45c18f3f39da.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9dda45c18f3f39da.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9dda45c18f3f39da.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-f2e16064c3fb3f58.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f2e16064c3fb3f58.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_api-317ae615e6f60cb6.d: tests/service_api.rs
+
+/root/repo/target/debug/deps/service_api-317ae615e6f60cb6: tests/service_api.rs
+
+tests/service_api.rs:

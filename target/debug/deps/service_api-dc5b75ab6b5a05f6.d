@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service_api-dc5b75ab6b5a05f6.d: tests/service_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_api-dc5b75ab6b5a05f6.rmeta: tests/service_api.rs Cargo.toml
+
+tests/service_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

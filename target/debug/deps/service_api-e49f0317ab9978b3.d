@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_api-e49f0317ab9978b3.d: tests/service_api.rs
+
+/root/repo/target/debug/deps/libservice_api-e49f0317ab9978b3.rmeta: tests/service_api.rs
+
+tests/service_api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blog_platform-41c445670f4ee58c.d: examples/blog_platform.rs
+
+/root/repo/target/debug/examples/libblog_platform-41c445670f4ee58c.rmeta: examples/blog_platform.rs
+
+examples/blog_platform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/blog_platform-56551a137e114eb3.d: examples/blog_platform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblog_platform-56551a137e114eb3.rmeta: examples/blog_platform.rs Cargo.toml
+
+examples/blog_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

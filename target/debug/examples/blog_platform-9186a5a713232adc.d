@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blog_platform-9186a5a713232adc.d: examples/blog_platform.rs
+
+/root/repo/target/debug/examples/blog_platform-9186a5a713232adc: examples/blog_platform.rs
+
+examples/blog_platform.rs:

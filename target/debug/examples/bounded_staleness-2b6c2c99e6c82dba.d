@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bounded_staleness-2b6c2c99e6c82dba.d: examples/bounded_staleness.rs
+
+/root/repo/target/debug/examples/bounded_staleness-2b6c2c99e6c82dba: examples/bounded_staleness.rs
+
+examples/bounded_staleness.rs:

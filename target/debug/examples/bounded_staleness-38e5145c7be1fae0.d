@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bounded_staleness-38e5145c7be1fae0.d: examples/bounded_staleness.rs
+
+/root/repo/target/debug/examples/libbounded_staleness-38e5145c7be1fae0.rmeta: examples/bounded_staleness.rs
+
+examples/bounded_staleness.rs:

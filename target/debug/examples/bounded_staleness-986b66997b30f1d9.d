@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bounded_staleness-986b66997b30f1d9.d: examples/bounded_staleness.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbounded_staleness-986b66997b30f1d9.rmeta: examples/bounded_staleness.rs Cargo.toml
+
+examples/bounded_staleness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

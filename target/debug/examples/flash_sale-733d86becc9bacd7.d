@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flash_sale-733d86becc9bacd7.d: examples/flash_sale.rs
+
+/root/repo/target/debug/examples/libflash_sale-733d86becc9bacd7.rmeta: examples/flash_sale.rs
+
+examples/flash_sale.rs:

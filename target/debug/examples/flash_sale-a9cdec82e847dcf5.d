@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flash_sale-a9cdec82e847dcf5.d: examples/flash_sale.rs
+
+/root/repo/target/debug/examples/flash_sale-a9cdec82e847dcf5: examples/flash_sale.rs
+
+examples/flash_sale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flash_sale-e69edd1288902eef.d: examples/flash_sale.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflash_sale-e69edd1288902eef.rmeta: examples/flash_sale.rs Cargo.toml
+
+examples/flash_sale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

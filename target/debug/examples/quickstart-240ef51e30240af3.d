@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-240ef51e30240af3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-240ef51e30240af3.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

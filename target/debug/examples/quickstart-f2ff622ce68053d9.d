@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f2ff622ce68053d9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f2ff622ce68053d9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-b1c36a36a5f1d7fa.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-b1c36a36a5f1d7fa: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_integration-6439eb9bee92e3dd.d: tests/pipeline_integration.rs
+
+/root/repo/target/release/deps/pipeline_integration-6439eb9bee92e3dd: tests/pipeline_integration.rs
+
+tests/pipeline_integration.rs:

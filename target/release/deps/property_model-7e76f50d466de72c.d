@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_model-7e76f50d466de72c.d: tests/property_model.rs
+
+/root/repo/target/release/deps/property_model-7e76f50d466de72c: tests/property_model.rs
+
+tests/property_model.rs:

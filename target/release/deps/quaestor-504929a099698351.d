@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quaestor-504929a099698351.d: src/lib.rs
+
+/root/repo/target/release/deps/quaestor-504929a099698351: src/lib.rs
+
+src/lib.rs:

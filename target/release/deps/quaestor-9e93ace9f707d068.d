@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/quaestor-9e93ace9f707d068.d: src/lib.rs
+
+/root/repo/target/release/deps/libquaestor-9e93ace9f707d068.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libquaestor-9e93ace9f707d068.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/quaestor_bench-84f0282efc3ffb41.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/quaestor_bench-84f0282efc3ffb41: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/quaestor_bloom-33b82347c78b153c.d: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/ebf.rs crates/bloom/src/filter.rs crates/bloom/src/kv_ebf.rs crates/bloom/src/partitioned.rs
+
+/root/repo/target/release/deps/quaestor_bloom-33b82347c78b153c: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/ebf.rs crates/bloom/src/filter.rs crates/bloom/src/kv_ebf.rs crates/bloom/src/partitioned.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/counting.rs:
+crates/bloom/src/ebf.rs:
+crates/bloom/src/filter.rs:
+crates/bloom/src/kv_ebf.rs:
+crates/bloom/src/partitioned.rs:

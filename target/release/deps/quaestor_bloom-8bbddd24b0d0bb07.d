@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/quaestor_bloom-8bbddd24b0d0bb07.d: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/ebf.rs crates/bloom/src/filter.rs crates/bloom/src/kv_ebf.rs crates/bloom/src/partitioned.rs
+
+/root/repo/target/release/deps/libquaestor_bloom-8bbddd24b0d0bb07.rlib: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/ebf.rs crates/bloom/src/filter.rs crates/bloom/src/kv_ebf.rs crates/bloom/src/partitioned.rs
+
+/root/repo/target/release/deps/libquaestor_bloom-8bbddd24b0d0bb07.rmeta: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/ebf.rs crates/bloom/src/filter.rs crates/bloom/src/kv_ebf.rs crates/bloom/src/partitioned.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/counting.rs:
+crates/bloom/src/ebf.rs:
+crates/bloom/src/filter.rs:
+crates/bloom/src/kv_ebf.rs:
+crates/bloom/src/partitioned.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quaestor_client-3ddc941acf67d69e.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs
+
+/root/repo/target/release/deps/quaestor_client-3ddc941acf67d69e: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/config.rs:
+crates/client/src/outcome.rs:
+crates/client/src/session.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/quaestor_client-861c3ac5b1f749a5.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs
+
+/root/repo/target/release/deps/libquaestor_client-861c3ac5b1f749a5.rlib: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs
+
+/root/repo/target/release/deps/libquaestor_client-861c3ac5b1f749a5.rmeta: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/config.rs crates/client/src/outcome.rs crates/client/src/session.rs
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/config.rs:
+crates/client/src/outcome.rs:
+crates/client/src/session.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/quaestor_common-4c3f27b3ed661bb2.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/histogram.rs
+
+/root/repo/target/release/deps/libquaestor_common-4c3f27b3ed661bb2.rlib: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/histogram.rs
+
+/root/repo/target/release/deps/libquaestor_common-4c3f27b3ed661bb2.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/histogram.rs
+
+crates/common/src/lib.rs:
+crates/common/src/clock.rs:
+crates/common/src/error.rs:
+crates/common/src/hash.rs:
+crates/common/src/histogram.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quaestor_common-89102cd70f83e001.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/histogram.rs
+
+/root/repo/target/release/deps/quaestor_common-89102cd70f83e001: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/histogram.rs
+
+crates/common/src/lib.rs:
+crates/common/src/clock.rs:
+crates/common/src/error.rs:
+crates/common/src/hash.rs:
+crates/common/src/histogram.rs:

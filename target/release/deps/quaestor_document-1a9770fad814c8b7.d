@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/quaestor_document-1a9770fad814c8b7.d: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+/root/repo/target/release/deps/libquaestor_document-1a9770fad814c8b7.rlib: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+/root/repo/target/release/deps/libquaestor_document-1a9770fad814c8b7.rmeta: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+crates/document/src/lib.rs:
+crates/document/src/path.rs:
+crates/document/src/update.rs:
+crates/document/src/value.rs:

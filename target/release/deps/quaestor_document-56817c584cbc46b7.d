@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/quaestor_document-56817c584cbc46b7.d: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+/root/repo/target/release/deps/quaestor_document-56817c584cbc46b7: crates/document/src/lib.rs crates/document/src/path.rs crates/document/src/update.rs crates/document/src/value.rs
+
+crates/document/src/lib.rs:
+crates/document/src/path.rs:
+crates/document/src/update.rs:
+crates/document/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/quaestor_invalidb-1e735f20a416a1cb.d: crates/invalidb/src/lib.rs crates/invalidb/src/cluster.rs crates/invalidb/src/event.rs crates/invalidb/src/matching.rs crates/invalidb/src/pipeline.rs crates/invalidb/src/sorted.rs
+
+/root/repo/target/release/deps/libquaestor_invalidb-1e735f20a416a1cb.rlib: crates/invalidb/src/lib.rs crates/invalidb/src/cluster.rs crates/invalidb/src/event.rs crates/invalidb/src/matching.rs crates/invalidb/src/pipeline.rs crates/invalidb/src/sorted.rs
+
+/root/repo/target/release/deps/libquaestor_invalidb-1e735f20a416a1cb.rmeta: crates/invalidb/src/lib.rs crates/invalidb/src/cluster.rs crates/invalidb/src/event.rs crates/invalidb/src/matching.rs crates/invalidb/src/pipeline.rs crates/invalidb/src/sorted.rs
+
+crates/invalidb/src/lib.rs:
+crates/invalidb/src/cluster.rs:
+crates/invalidb/src/event.rs:
+crates/invalidb/src/matching.rs:
+crates/invalidb/src/pipeline.rs:
+crates/invalidb/src/sorted.rs:

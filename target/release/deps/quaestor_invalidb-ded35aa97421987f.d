@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/quaestor_invalidb-ded35aa97421987f.d: crates/invalidb/src/lib.rs crates/invalidb/src/cluster.rs crates/invalidb/src/event.rs crates/invalidb/src/matching.rs crates/invalidb/src/pipeline.rs crates/invalidb/src/sorted.rs
+
+/root/repo/target/release/deps/quaestor_invalidb-ded35aa97421987f: crates/invalidb/src/lib.rs crates/invalidb/src/cluster.rs crates/invalidb/src/event.rs crates/invalidb/src/matching.rs crates/invalidb/src/pipeline.rs crates/invalidb/src/sorted.rs
+
+crates/invalidb/src/lib.rs:
+crates/invalidb/src/cluster.rs:
+crates/invalidb/src/event.rs:
+crates/invalidb/src/matching.rs:
+crates/invalidb/src/pipeline.rs:
+crates/invalidb/src/sorted.rs:

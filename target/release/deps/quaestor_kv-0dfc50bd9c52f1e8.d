@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quaestor_kv-0dfc50bd9c52f1e8.d: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+/root/repo/target/release/deps/libquaestor_kv-0dfc50bd9c52f1e8.rlib: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+/root/repo/target/release/deps/libquaestor_kv-0dfc50bd9c52f1e8.rmeta: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/pubsub.rs:
+crates/kv/src/store.rs:

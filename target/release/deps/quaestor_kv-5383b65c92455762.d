@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/quaestor_kv-5383b65c92455762.d: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+/root/repo/target/release/deps/quaestor_kv-5383b65c92455762: crates/kv/src/lib.rs crates/kv/src/pubsub.rs crates/kv/src/store.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/pubsub.rs:
+crates/kv/src/store.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/quaestor_query-9fc6f72a4d9f6f37.d: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+/root/repo/target/release/deps/quaestor_query-9fc6f72a4d9f6f37: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+crates/query/src/lib.rs:
+crates/query/src/filter.rs:
+crates/query/src/matcher.rs:
+crates/query/src/normalize.rs:

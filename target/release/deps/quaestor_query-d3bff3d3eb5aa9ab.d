@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/quaestor_query-d3bff3d3eb5aa9ab.d: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+/root/repo/target/release/deps/libquaestor_query-d3bff3d3eb5aa9ab.rlib: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+/root/repo/target/release/deps/libquaestor_query-d3bff3d3eb5aa9ab.rmeta: crates/query/src/lib.rs crates/query/src/filter.rs crates/query/src/matcher.rs crates/query/src/normalize.rs
+
+crates/query/src/lib.rs:
+crates/query/src/filter.rs:
+crates/query/src/matcher.rs:
+crates/query/src/normalize.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/quaestor_sim-b1607892cc3594e4.d: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/latency.rs crates/sim/src/middleware.rs crates/sim/src/scenario.rs crates/sim/src/ttl_cdf.rs
+
+/root/repo/target/release/deps/libquaestor_sim-b1607892cc3594e4.rlib: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/latency.rs crates/sim/src/middleware.rs crates/sim/src/scenario.rs crates/sim/src/ttl_cdf.rs
+
+/root/repo/target/release/deps/libquaestor_sim-b1607892cc3594e4.rmeta: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/latency.rs crates/sim/src/middleware.rs crates/sim/src/scenario.rs crates/sim/src/ttl_cdf.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/middleware.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/ttl_cdf.rs:

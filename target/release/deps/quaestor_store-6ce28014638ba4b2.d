@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/quaestor_store-6ce28014638ba4b2.d: crates/store/src/lib.rs crates/store/src/changes.rs crates/store/src/database.rs crates/store/src/index.rs crates/store/src/table.rs
+
+/root/repo/target/release/deps/libquaestor_store-6ce28014638ba4b2.rlib: crates/store/src/lib.rs crates/store/src/changes.rs crates/store/src/database.rs crates/store/src/index.rs crates/store/src/table.rs
+
+/root/repo/target/release/deps/libquaestor_store-6ce28014638ba4b2.rmeta: crates/store/src/lib.rs crates/store/src/changes.rs crates/store/src/database.rs crates/store/src/index.rs crates/store/src/table.rs
+
+crates/store/src/lib.rs:
+crates/store/src/changes.rs:
+crates/store/src/database.rs:
+crates/store/src/index.rs:
+crates/store/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quaestor_store-d3640c2abf4059d2.d: crates/store/src/lib.rs crates/store/src/changes.rs crates/store/src/database.rs crates/store/src/index.rs crates/store/src/table.rs
+
+/root/repo/target/release/deps/quaestor_store-d3640c2abf4059d2: crates/store/src/lib.rs crates/store/src/changes.rs crates/store/src/database.rs crates/store/src/index.rs crates/store/src/table.rs
+
+crates/store/src/lib.rs:
+crates/store/src/changes.rs:
+crates/store/src/database.rs:
+crates/store/src/index.rs:
+crates/store/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/quaestor_ttl-41233e047c9d48eb.d: crates/ttl/src/lib.rs crates/ttl/src/active_list.rs crates/ttl/src/alex.rs crates/ttl/src/capacity.rs crates/ttl/src/cost.rs crates/ttl/src/estimator.rs crates/ttl/src/rate.rs
+
+/root/repo/target/release/deps/quaestor_ttl-41233e047c9d48eb: crates/ttl/src/lib.rs crates/ttl/src/active_list.rs crates/ttl/src/alex.rs crates/ttl/src/capacity.rs crates/ttl/src/cost.rs crates/ttl/src/estimator.rs crates/ttl/src/rate.rs
+
+crates/ttl/src/lib.rs:
+crates/ttl/src/active_list.rs:
+crates/ttl/src/alex.rs:
+crates/ttl/src/capacity.rs:
+crates/ttl/src/cost.rs:
+crates/ttl/src/estimator.rs:
+crates/ttl/src/rate.rs:

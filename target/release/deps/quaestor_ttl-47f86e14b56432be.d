@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/quaestor_ttl-47f86e14b56432be.d: crates/ttl/src/lib.rs crates/ttl/src/active_list.rs crates/ttl/src/alex.rs crates/ttl/src/capacity.rs crates/ttl/src/cost.rs crates/ttl/src/estimator.rs crates/ttl/src/rate.rs
+
+/root/repo/target/release/deps/libquaestor_ttl-47f86e14b56432be.rlib: crates/ttl/src/lib.rs crates/ttl/src/active_list.rs crates/ttl/src/alex.rs crates/ttl/src/capacity.rs crates/ttl/src/cost.rs crates/ttl/src/estimator.rs crates/ttl/src/rate.rs
+
+/root/repo/target/release/deps/libquaestor_ttl-47f86e14b56432be.rmeta: crates/ttl/src/lib.rs crates/ttl/src/active_list.rs crates/ttl/src/alex.rs crates/ttl/src/capacity.rs crates/ttl/src/cost.rs crates/ttl/src/estimator.rs crates/ttl/src/rate.rs
+
+crates/ttl/src/lib.rs:
+crates/ttl/src/active_list.rs:
+crates/ttl/src/alex.rs:
+crates/ttl/src/capacity.rs:
+crates/ttl/src/cost.rs:
+crates/ttl/src/estimator.rs:
+crates/ttl/src/rate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quaestor_webcache-7238f33e1fc40e26.d: crates/webcache/src/lib.rs crates/webcache/src/cache.rs crates/webcache/src/entry.rs crates/webcache/src/hierarchy.rs crates/webcache/src/lru.rs
+
+/root/repo/target/release/deps/quaestor_webcache-7238f33e1fc40e26: crates/webcache/src/lib.rs crates/webcache/src/cache.rs crates/webcache/src/entry.rs crates/webcache/src/hierarchy.rs crates/webcache/src/lru.rs
+
+crates/webcache/src/lib.rs:
+crates/webcache/src/cache.rs:
+crates/webcache/src/entry.rs:
+crates/webcache/src/hierarchy.rs:
+crates/webcache/src/lru.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/quaestor_webcache-b2dc26bb0b41e657.d: crates/webcache/src/lib.rs crates/webcache/src/cache.rs crates/webcache/src/entry.rs crates/webcache/src/hierarchy.rs crates/webcache/src/lru.rs
+
+/root/repo/target/release/deps/libquaestor_webcache-b2dc26bb0b41e657.rlib: crates/webcache/src/lib.rs crates/webcache/src/cache.rs crates/webcache/src/entry.rs crates/webcache/src/hierarchy.rs crates/webcache/src/lru.rs
+
+/root/repo/target/release/deps/libquaestor_webcache-b2dc26bb0b41e657.rmeta: crates/webcache/src/lib.rs crates/webcache/src/cache.rs crates/webcache/src/entry.rs crates/webcache/src/hierarchy.rs crates/webcache/src/lru.rs
+
+crates/webcache/src/lib.rs:
+crates/webcache/src/cache.rs:
+crates/webcache/src/entry.rs:
+crates/webcache/src/hierarchy.rs:
+crates/webcache/src/lru.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/quaestor_workload-2c821902ad05858d.d: crates/workload/src/lib.rs crates/workload/src/mix.rs crates/workload/src/ops.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/quaestor_workload-2c821902ad05858d: crates/workload/src/lib.rs crates/workload/src/mix.rs crates/workload/src/ops.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/ops.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/quaestor_workload-7fcc6d21a88c6277.d: crates/workload/src/lib.rs crates/workload/src/mix.rs crates/workload/src/ops.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libquaestor_workload-7fcc6d21a88c6277.rlib: crates/workload/src/lib.rs crates/workload/src/mix.rs crates/workload/src/ops.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libquaestor_workload-7fcc6d21a88c6277.rmeta: crates/workload/src/lib.rs crates/workload/src/mix.rs crates/workload/src/ops.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/ops.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-2741d46ec11e124a.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-2741d46ec11e124a: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-7f2dd49db41f3a74.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-7f2dd49db41f3a74: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

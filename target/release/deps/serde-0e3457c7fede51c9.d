@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-0e3457c7fede51c9.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-0e3457c7fede51c9: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

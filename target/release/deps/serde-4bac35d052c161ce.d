@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-4bac35d052c161ce.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-4bac35d052c161ce.so: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-96d6b9329c371686.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-96d6b9329c371686.so: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-6a1bdb65027a6ffe.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-6a1bdb65027a6ffe: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-de16bd51a51aec0d.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-de16bd51a51aec0d.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-de16bd51a51aec0d.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

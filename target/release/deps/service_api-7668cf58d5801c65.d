@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_api-7668cf58d5801c65.d: tests/service_api.rs
+
+/root/repo/target/release/deps/service_api-7668cf58d5801c65: tests/service_api.rs
+
+tests/service_api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/blog_platform-9b44a610bafb4c0a.d: examples/blog_platform.rs
+
+/root/repo/target/release/examples/blog_platform-9b44a610bafb4c0a: examples/blog_platform.rs
+
+examples/blog_platform.rs:

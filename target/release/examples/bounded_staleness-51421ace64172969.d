@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bounded_staleness-51421ace64172969.d: examples/bounded_staleness.rs
+
+/root/repo/target/release/examples/bounded_staleness-51421ace64172969: examples/bounded_staleness.rs
+
+examples/bounded_staleness.rs:

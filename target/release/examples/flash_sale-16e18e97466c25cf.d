@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/flash_sale-16e18e97466c25cf.d: examples/flash_sale.rs
+
+/root/repo/target/release/examples/flash_sale-16e18e97466c25cf: examples/flash_sale.rs
+
+examples/flash_sale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-af229e53623e257d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-af229e53623e257d: examples/quickstart.rs
+
+examples/quickstart.rs:
