@@ -17,7 +17,7 @@ fn event(i: u64) -> WriteEvent {
     };
     WriteEvent {
         table: "stream".into(),
-        id: format!("r{i}"),
+        id: format!("r{i}").into(),
         kind: WriteKind::Insert,
         image: Arc::new(image),
         version: 1,
@@ -48,6 +48,55 @@ fn matching_scale(c: &mut Criterion) {
     group.finish();
 }
 
+/// An event whose `tag` field hits exactly one of `queries` equality
+/// predicates — the workload the predicate index is built for.
+fn eq_event(i: u64, queries: usize) -> WriteEvent {
+    let image: Document = doc! {
+        "_id" => format!("r{i}"),
+        "tag" => format!("v{}", (i as usize * 37) % queries),
+        "score" => (i % 100) as i64
+    };
+    WriteEvent {
+        table: "stream".into(),
+        id: format!("r{i}").into(),
+        kind: WriteKind::Insert,
+        image: Arc::new(image),
+        version: 1,
+        seq: i,
+        at: quaestor_common::Timestamp::from_millis(i),
+    }
+}
+
+/// Indexed vs linear matching at 100 / 1k / 10k registered equality
+/// queries: the criterion counterpart of the `matchidx` reproduce
+/// experiment. The indexed node should be roughly flat in query count;
+/// the linear node degrades proportionally.
+fn indexed_vs_linear(c: &mut Criterion) {
+    for (mode, make) in [
+        ("indexed", MatchingNode::new as fn() -> MatchingNode),
+        ("linear", MatchingNode::linear as fn() -> MatchingNode),
+    ] {
+        let mut group = c.benchmark_group(format!("invalidb_match_{mode}"));
+        for &queries in &[100usize, 1_000, 10_000] {
+            let mut node = make();
+            for q in 0..queries {
+                let query = Query::table("stream").filter(Filter::eq("tag", format!("v{q}")));
+                let key = QueryKey::of(&query);
+                node.register(query, key, vec![]);
+            }
+            group.throughput(Throughput::Elements(queries as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(queries), &queries, |b, &n| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    node.process(&eq_event(i, n))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 fn sorted_layer(c: &mut Criterion) {
     let mut group = c.benchmark_group("invalidb_sorted_layer");
     let query = Query::table("stream")
@@ -72,5 +121,5 @@ fn sorted_layer(c: &mut Criterion) {
     let _ = Value::Null;
 }
 
-criterion_group!(benches, matching_scale, sorted_layer);
+criterion_group!(benches, matching_scale, indexed_vs_linear, sorted_layer);
 criterion_main!(benches);

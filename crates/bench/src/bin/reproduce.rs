@@ -38,6 +38,7 @@ fn main() {
             "ablation-fpr",
             "batch",
             "shards",
+            "matchidx",
         ]
     } else {
         targets
@@ -63,6 +64,7 @@ fn main() {
             "ablation-fpr" => run_ablation_fpr(),
             "batch" => run_batch(scale),
             "shards" => run_shards(scale),
+            "matchidx" => run_matchidx(scale),
             other => {
                 eprintln!("unknown experiment '{other}' — see DESIGN.md for the index");
                 std::process::exit(2);
@@ -321,6 +323,39 @@ fn run_batch(scale: Scale) {
     }
     t.print();
     println!("(one Batch request = one wire round trip; the origin resolves each table once per run of writes)");
+}
+
+fn run_matchidx(scale: Scale) {
+    println!("== InvaliDB predicate index: indexed vs linear matching ==");
+    let rows = matchidx_comparison(scale);
+    let mut t = TableWriter::new(&[
+        "queries",
+        "events",
+        "indexed evals",
+        "pruned",
+        "linear evals",
+        "reduction",
+        "indexed wall (us)",
+        "linear wall (us)",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.queries.to_string(),
+            r.events.to_string(),
+            r.indexed_evaluations.to_string(),
+            r.pruned.to_string(),
+            r.linear_evaluations.to_string(),
+            format!("{:.1}x", r.evaluation_reduction()),
+            r.indexed_wall_us.to_string(),
+            r.linear_wall_us.to_string(),
+        ]);
+    }
+    t.print();
+    let json = matchidx_json(&rows);
+    match std::fs::write("BENCH_matching.json", &json) {
+        Ok(()) => println!("(wrote BENCH_matching.json)"),
+        Err(e) => eprintln!("(could not write BENCH_matching.json: {e})"),
+    }
 }
 
 fn run_shards(scale: Scale) {

@@ -678,9 +678,155 @@ pub fn sharded_scaleout(scale: Scale) -> Vec<ShardScaleRow> {
     rows
 }
 
+/// One row of the predicate-index experiment: indexed vs linear matching
+/// of the same event stream against N registered queries.
+#[derive(Debug, Clone)]
+pub struct MatchIdxRow {
+    /// Registered queries (90% indexable equality, 10% residual range).
+    pub queries: usize,
+    /// Events processed.
+    pub events: usize,
+    /// Matcher evaluations the indexed node performed.
+    pub indexed_evaluations: u64,
+    /// Candidate evaluations the index pruned.
+    pub pruned: u64,
+    /// Matcher evaluations the linear reference performed.
+    pub linear_evaluations: u64,
+    /// Wall-clock of the indexed run (µs).
+    pub indexed_wall_us: u128,
+    /// Wall-clock of the linear run (µs).
+    pub linear_wall_us: u128,
+    /// Notifications emitted (identical for both nodes by construction).
+    pub notifications: u64,
+}
+
+impl MatchIdxRow {
+    /// `linear_evaluations / indexed_evaluations` — the headline number.
+    pub fn evaluation_reduction(&self) -> f64 {
+        self.linear_evaluations as f64 / (self.indexed_evaluations.max(1)) as f64
+    }
+}
+
+/// The `matchidx` experiment: drive identical write streams through a
+/// predicate-indexed [`MatchingNode`] and the linear reference, at rising
+/// query counts. Asserts notification equivalence as it goes — a bench
+/// run that diverged would be measuring a bug.
+pub fn matchidx_comparison(scale: Scale) -> Vec<MatchIdxRow> {
+    use quaestor_invalidb::MatchingNode;
+    use quaestor_query::{Filter, Query, QueryKey};
+
+    let (counts, events): (Vec<usize>, usize) = match scale {
+        Scale::Quick => (vec![100, 1_000, 10_000], 1_000),
+        Scale::Full => (vec![100, 1_000, 10_000, 50_000], 5_000),
+    };
+    let mut rows = Vec::new();
+    for &queries in &counts {
+        let mut indexed = MatchingNode::new();
+        let mut linear = MatchingNode::linear();
+        for q in 0..queries {
+            // 90% equality (indexable), 10% range (residual): a realistic
+            // mix keeps the residual scan path honest.
+            let query = if q % 10 == 9 {
+                Query::table("stream").filter(Filter::gt("score", (q % 100) as i64))
+            } else {
+                Query::table("stream").filter(Filter::eq("tag", format!("v{q}")))
+            };
+            let key = QueryKey::of(&query);
+            indexed.register(query.clone(), key.clone(), vec![]);
+            linear.register(query, key, vec![]);
+        }
+        let make_event = |i: u64| {
+            let image = quaestor_document::doc! {
+                "_id" => format!("r{i}"),
+                "tag" => format!("v{}", (i as usize * 37) % queries),
+                "score" => (i % 100) as i64
+            };
+            quaestor_store::WriteEvent {
+                table: "stream".into(),
+                id: format!("r{i}").into(),
+                kind: quaestor_store::WriteKind::Insert,
+                image: std::sync::Arc::new(image),
+                version: 1,
+                seq: i,
+                at: quaestor_common::Timestamp::from_millis(i),
+            }
+        };
+        let mut notifications = 0u64;
+        let start = std::time::Instant::now();
+        for i in 0..events as u64 {
+            notifications += indexed.process(&make_event(i)).len() as u64;
+        }
+        let indexed_wall = start.elapsed();
+        let start = std::time::Instant::now();
+        let mut linear_notifications = 0u64;
+        for i in 0..events as u64 {
+            linear_notifications += linear.process(&make_event(i)).len() as u64;
+        }
+        let linear_wall = start.elapsed();
+        assert_eq!(
+            notifications, linear_notifications,
+            "indexed and linear matching diverged at {queries} queries"
+        );
+        rows.push(MatchIdxRow {
+            queries,
+            events,
+            indexed_evaluations: indexed.evaluations(),
+            pruned: indexed.evaluations_skipped(),
+            linear_evaluations: linear.evaluations(),
+            indexed_wall_us: indexed_wall.as_micros(),
+            linear_wall_us: linear_wall.as_micros(),
+            notifications,
+        });
+    }
+    rows
+}
+
+/// Render `matchidx` rows as the machine-readable `BENCH_matching.json`
+/// payload (hand-rolled: the vendored serde stand-in has no derive).
+pub fn matchidx_json(rows: &[MatchIdxRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"matchidx\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"queries\": {}, \"events\": {}, \"indexed_evaluations\": {}, \
+             \"pruned\": {}, \"linear_evaluations\": {}, \"indexed_wall_us\": {}, \
+             \"linear_wall_us\": {}, \"notifications\": {}, \"evaluation_reduction\": {:.2}}}{}\n",
+            r.queries,
+            r.events,
+            r.indexed_evaluations,
+            r.pruned,
+            r.linear_evaluations,
+            r.indexed_wall_us,
+            r.linear_wall_us,
+            r.notifications,
+            r.evaluation_reduction(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn matchidx_prunes_an_order_of_magnitude() {
+        let rows = matchidx_comparison(Scale::Quick);
+        let big = rows.iter().find(|r| r.queries == 10_000).unwrap();
+        assert!(
+            big.evaluation_reduction() >= 10.0,
+            "expected ≥10× fewer evaluations at 10k queries, got {:.1}×",
+            big.evaluation_reduction()
+        );
+        assert_eq!(
+            big.indexed_evaluations + big.pruned,
+            big.linear_evaluations,
+            "pruned + evaluated must equal the linear scan"
+        );
+        let json = matchidx_json(&rows);
+        assert!(json.contains("\"queries\": 10000"));
+    }
 
     #[test]
     fn fig8_ordering_holds_at_small_scale() {

@@ -26,6 +26,11 @@ pub struct ServerMetrics {
     pub tx_commits: AtomicU64,
     /// Transactions aborted at validation.
     pub tx_aborts: AtomicU64,
+    /// InvaliDB match evaluations actually performed (grid total).
+    pub match_evaluations: AtomicU64,
+    /// InvaliDB candidate evaluations pruned by the predicate index; the
+    /// pruning ratio is `pruned / (pruned + evaluations)`.
+    pub match_evaluations_pruned: AtomicU64,
 }
 
 /// Bump a counter by one (relaxed: metrics tolerate reordering).
@@ -56,7 +61,27 @@ impl ServerMetrics {
             ),
             ("tx_commits", self.tx_commits.load(Ordering::Relaxed)),
             ("tx_aborts", self.tx_aborts.load(Ordering::Relaxed)),
+            (
+                "match_evaluations",
+                self.match_evaluations.load(Ordering::Relaxed),
+            ),
+            (
+                "match_evaluations_pruned",
+                self.match_evaluations_pruned.load(Ordering::Relaxed),
+            ),
         ]
+    }
+
+    /// Share of candidate matches the predicate index pruned, in `[0, 1]`.
+    /// `0.0` when nothing was matched yet.
+    pub fn match_pruning_ratio(&self) -> f64 {
+        let done = self.match_evaluations.load(Ordering::Relaxed) as f64;
+        let pruned = self.match_evaluations_pruned.load(Ordering::Relaxed) as f64;
+        if done + pruned == 0.0 {
+            0.0
+        } else {
+            pruned / (done + pruned)
+        }
     }
 
     /// Total origin reads (records + queries) — the backend load a cache
@@ -75,8 +100,17 @@ mod tests {
         let m = ServerMetrics::default();
         m.writes.fetch_add(3, Ordering::Relaxed);
         let snap = m.snapshot();
-        assert_eq!(snap.len(), 10);
+        assert_eq!(snap.len(), 12);
         assert!(snap.contains(&("writes", 3)));
         assert_eq!(m.origin_reads(), 0);
+    }
+
+    #[test]
+    fn pruning_ratio_is_safe_and_correct() {
+        let m = ServerMetrics::default();
+        assert_eq!(m.match_pruning_ratio(), 0.0, "no division by zero");
+        m.match_evaluations.store(10, Ordering::Relaxed);
+        m.match_evaluations_pruned.store(90, Ordering::Relaxed);
+        assert!((m.match_pruning_ratio() - 0.9).abs() < 1e-12);
     }
 }

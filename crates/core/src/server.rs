@@ -83,8 +83,24 @@ impl QuaestorServer {
         &self.db
     }
 
-    /// Server metrics.
+    /// Server metrics. The InvaliDB matching counters are refreshed here,
+    /// on the read path: summing them takes every matching-node lock in
+    /// the grid, which must stay off the per-write hot path.
     pub fn metrics(&self) -> &ServerMetrics {
+        self.metrics.match_evaluations.store(
+            self.invalidb.total_evaluations(),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        self.metrics.match_evaluations_pruned.store(
+            self.invalidb.total_evaluations_skipped(),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        &self.metrics
+    }
+
+    /// Internal counter access without the grid sweep — for bump sites on
+    /// hot paths (e.g. transaction commit under the commit lock).
+    pub(crate) fn metrics_raw(&self) -> &ServerMetrics {
         &self.metrics
     }
 

@@ -124,7 +124,7 @@ impl QuaestorServer {
             let t = self.database().table(table)?;
             let current = t.get(id).map(|r| r.version).unwrap_or(0);
             if current != *version {
-                bump(&self.metrics().tx_aborts);
+                bump(&self.metrics_raw().tx_aborts);
                 return Err(Error::TransactionAborted(format!(
                     "read of '{table}/{id}' observed v{version}, now v{current}"
                 )));
@@ -144,7 +144,7 @@ impl QuaestorServer {
                 }
             }
         }
-        bump(&self.metrics().tx_commits);
+        bump(&self.metrics_raw().tx_commits);
         Ok(())
     }
 }

@@ -152,6 +152,48 @@ impl Value {
         out
     }
 
+    /// Append to `out` a rendering that agrees with [`Value`]'s *equality*:
+    /// any two values comparing `Equal` render identically, and distinct
+    /// renderings imply distinct values. Appending to a caller-owned buffer
+    /// lets the hot path reuse one scratch `String` per event.
+    ///
+    /// [`Value::canonical`] does not have this property for integers above
+    /// 2^53: numeric comparison goes through `f64`, so e.g.
+    /// `Int(9007199254740993) == Float(9007199254740992.0)` — yet their
+    /// canonical strings differ. Here numeric leaves render through their
+    /// `f64` projection (recursively inside arrays/objects), collapsing
+    /// each equality class to one string. InvaliDB's predicate index keys
+    /// on this rendering; keying on `canonical()` would miss matches.
+    pub fn eq_canonical_into(&self, out: &mut String) {
+        match self {
+            Value::Int(i) => Value::Float(*i as f64).write_canonical(out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.eq_canonical_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(k);
+                    out.push_str("\":");
+                    v.eq_canonical_into(out);
+                }
+                out.push('}');
+            }
+            other => other.write_canonical(out),
+        }
+    }
+
     fn write_canonical(&self, out: &mut String) {
         match self {
             Value::Null => out.push_str("null"),
@@ -413,6 +455,34 @@ mod tests {
         assert_eq!(a.canonical(), r#"{"a":1,"b":2}"#);
         // Int/Float at the same numeric point canonicalize identically.
         assert_eq!(Value::Int(3).canonical(), Value::Float(3.0).canonical());
+    }
+
+    #[test]
+    fn eq_canonical_agrees_with_equality_for_giant_integers() {
+        let eq_key = |v: &Value| {
+            let mut s = String::new();
+            v.eq_canonical_into(&mut s);
+            s
+        };
+        // 2^53 + 1 == 2^53 under the (f64-mediated) numeric order; their
+        // canonical strings differ but their eq-canonical strings must not.
+        let a = Value::Int(9_007_199_254_740_993);
+        let b = Value::Float(9_007_199_254_740_992.0);
+        assert_eq!(a, b);
+        assert_ne!(a.canonical(), b.canonical());
+        assert_eq!(eq_key(&a), eq_key(&b));
+        // Recursion: equality classes collapse inside containers too.
+        let na = obj(&[("n", a)]);
+        let nb = obj(&[("n", b)]);
+        assert_eq!(na, nb);
+        assert_eq!(eq_key(&na), eq_key(&nb));
+        assert_eq!(
+            eq_key(&Value::array([Value::Int(3)])),
+            eq_key(&Value::array([Value::Float(3.0)]))
+        );
+        // Ordinary values keep their canonical rendering.
+        assert_eq!(eq_key(&Value::Int(5)), "5");
+        assert_eq!(eq_key(&Value::str("5")), "\"5\"");
     }
 
     #[test]

@@ -161,12 +161,12 @@ impl InvaliDbCluster {
             layer.insert(key, state);
         } else {
             // Stateless: split the initial ids across the object rows.
-            let ids: Vec<String> = initial_result
+            let ids: Vec<Arc<str>> = initial_result
                 .iter()
-                .filter_map(|d| d.get("_id").and_then(|v| v.as_str()).map(str::to_owned))
+                .filter_map(|d| d.get("_id").and_then(|v| v.as_str()).map(Arc::from))
                 .collect();
             for (row, grid_row) in self.grid.iter().enumerate() {
-                let row_ids: Vec<String> = ids
+                let row_ids: Vec<Arc<str>> = ids
                     .iter()
                     .filter(|id| self.object_partition(id) == row)
                     .cloned()
@@ -242,6 +242,17 @@ impl InvaliDbCluster {
             .map(|n| n.lock().evaluations())
             .sum()
     }
+
+    /// Total candidate evaluations the predicate index pruned across the
+    /// grid; `total_evaluations + total_evaluations_skipped` is what a
+    /// linear scan would have cost.
+    pub fn total_evaluations_skipped(&self) -> u64 {
+        self.grid
+            .iter()
+            .flatten()
+            .map(|n| n.lock().evaluations_skipped())
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -315,7 +326,7 @@ mod tests {
             let mut got: Vec<(String, String)> = Vec::new();
             for ev in &workloads {
                 for n in c.on_write(ev) {
-                    got.push((n.record_id.clone(), format!("{:?}", n.event)));
+                    got.push((n.record_id.to_string(), format!("{:?}", n.event)));
                 }
             }
             got.sort();
@@ -410,12 +421,12 @@ mod tests {
             post("b", &[], 20),
             1,
         ));
+        assert!(n.iter().any(|x| x.query == key
+            && x.record_id.as_ref() == "b"
+            && x.event == NotificationEvent::Add));
         assert!(n
             .iter()
-            .any(|x| x.query == key && x.record_id == "b" && x.event == NotificationEvent::Add));
-        assert!(n
-            .iter()
-            .any(|x| x.record_id == "a" && x.event == NotificationEvent::Remove));
+            .any(|x| x.record_id.as_ref() == "a" && x.event == NotificationEvent::Remove));
         assert!(c.deregister_query(&key));
         assert!(!c.deregister_query(&key));
     }

@@ -1,5 +1,7 @@
 //! Notification events (Figure 5).
 
+use std::sync::Arc;
+
 use quaestor_common::Timestamp;
 use quaestor_query::QueryKey;
 
@@ -52,8 +54,9 @@ pub struct Notification {
     pub query: QueryKey,
     /// What happened.
     pub event: NotificationEvent,
-    /// The record that caused it.
-    pub record_id: String,
+    /// The record that caused it (interned; cloned by refcount bump from
+    /// the causing [`quaestor_store::WriteEvent`]).
+    pub record_id: Arc<str>,
     /// Database timestamp of the causing write.
     pub at: Timestamp,
 }

@@ -14,7 +14,9 @@
 //! * [`MatchingNode`] — one cell of the Figure 6 grid: responsible for one
 //!   query partition × one object partition. Keeps per-query *former
 //!   matching status* ("the only state required ... is the former matching
-//!   status on a per-record basis").
+//!   status on a per-record basis"), and prunes candidates with a query
+//!   predicate index so per-event cost is sub-linear in the number of
+//!   registered queries (see `DESIGN.md`).
 //! * [`SortedQueryState`] — the order-maintaining layer for stateful
 //!   queries (ORDER BY / LIMIT / OFFSET), "partitioned by query".
 //! * [`InvaliDbCluster`] — the grid plus ingestion: query registration

@@ -63,6 +63,9 @@ impl Default for PipelineConfig {
 pub struct PipelineReport {
     /// Total match evaluations performed across all nodes.
     pub match_evaluations: u64,
+    /// Candidate evaluations pruned by the predicate index across all
+    /// nodes (zero when every query is residual, e.g. `$contains`).
+    pub evaluations_skipped: u64,
     /// Notifications emitted.
     pub notifications: u64,
     /// Wall-clock duration of the measurement.
@@ -105,8 +108,8 @@ impl ThreadedPipeline {
             "seq" => seq as i64
         };
         WriteEvent {
-            table: "stream".to_owned(),
-            id: format!("r{seq}"),
+            table: "stream".into(),
+            id: format!("r{seq}").into(),
             kind: WriteKind::Insert,
             image: Arc::new(image),
             version: 1,
@@ -138,7 +141,12 @@ impl ThreadedPipeline {
                     notifications += notes.len() as u64;
                     latency.record(timed.enqueued.elapsed().as_micros() as u64);
                 }
-                (node.evaluations(), notifications, latency)
+                (
+                    node.evaluations(),
+                    node.evaluations_skipped(),
+                    notifications,
+                    latency,
+                )
             });
             handles.push(handle);
         }
@@ -169,10 +177,12 @@ impl ThreadedPipeline {
 
         let mut latency = Histogram::new();
         let mut evaluations = 0u64;
+        let mut skipped = 0u64;
         let mut notifications = 0u64;
         for h in handles {
-            let (e, n, l) = h.join().expect("matching node panicked");
+            let (e, s, n, l) = h.join().expect("matching node panicked");
             evaluations += e;
+            skipped += s;
             notifications += n;
             latency.merge(&l);
         }
@@ -180,6 +190,7 @@ impl ThreadedPipeline {
         let per_node = evaluations as f64 / wall.as_secs_f64() / cfg.nodes as f64;
         PipelineReport {
             match_evaluations: evaluations,
+            evaluations_skipped: skipped,
             notifications,
             wall,
             latency_us: latency,

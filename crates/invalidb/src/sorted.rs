@@ -82,13 +82,16 @@ impl SortedQueryState {
     /// Process one after-image; emits events describing how the *visible
     /// window* changed.
     pub fn process(&mut self, event: &WriteEvent) -> Vec<Notification> {
-        if event.table != self.query.table {
+        if event.table.as_ref() != self.query.table {
             return Vec::new();
         }
         let before_window = self.window_ids();
 
         // Update the full ordered match set.
-        let old_pos = self.matches.iter().position(|d| doc_id(d) == event.id);
+        let old_pos = self
+            .matches
+            .iter()
+            .position(|d| doc_id(d) == event.id.as_ref());
         let is_match =
             event.kind != WriteKind::Delete && matcher::matches(&self.query.filter, &event.image);
         if let Some(pos) = old_pos {
@@ -110,7 +113,7 @@ impl SortedQueryState {
             out.push(Notification {
                 query: self.key.clone(),
                 event: ev,
-                record_id: id.to_owned(),
+                record_id: Arc::from(id),
                 at: event.at,
             });
         };
@@ -130,12 +133,12 @@ impl SortedQueryState {
         // Records displaced into/out of the window by this write (e.g. a
         // new top element pushes the old last element out of LIMIT).
         for id in &after_window {
-            if id != &event.id && !before_window.contains(id) {
+            if id.as_str() != event.id.as_ref() && !before_window.contains(id) {
                 push(&mut out, NotificationEvent::Add, id);
             }
         }
         for id in &before_window {
-            if id != &event.id && !after_window.contains(id) {
+            if id.as_str() != event.id.as_ref() && !after_window.contains(id) {
                 push(&mut out, NotificationEvent::Remove, id);
             }
         }
@@ -196,10 +199,10 @@ mod tests {
         // d entered the window, b left it.
         assert!(n
             .iter()
-            .any(|x| x.record_id == "d" && x.event == NotificationEvent::Add));
+            .any(|x| x.record_id.as_ref() == "d" && x.event == NotificationEvent::Add));
         assert!(n
             .iter()
-            .any(|x| x.record_id == "b" && x.event == NotificationEvent::Remove));
+            .any(|x| x.record_id.as_ref() == "b" && x.event == NotificationEvent::Remove));
     }
 
     #[test]
@@ -262,10 +265,10 @@ mod tests {
         assert_eq!(s.window_ids(), vec!["b", "c"]);
         assert!(n
             .iter()
-            .any(|x| x.record_id == "a" && x.event == NotificationEvent::Remove));
+            .any(|x| x.record_id.as_ref() == "a" && x.event == NotificationEvent::Remove));
         assert!(n
             .iter()
-            .any(|x| x.record_id == "c" && x.event == NotificationEvent::Add));
+            .any(|x| x.record_id.as_ref() == "c" && x.event == NotificationEvent::Add));
     }
 
     #[test]
@@ -293,10 +296,10 @@ mod tests {
         assert_eq!(s.window_ids(), vec!["a"]);
         assert!(n
             .iter()
-            .any(|x| x.record_id == "a" && x.event == NotificationEvent::Add));
+            .any(|x| x.record_id.as_ref() == "a" && x.event == NotificationEvent::Add));
         assert!(n
             .iter()
-            .any(|x| x.record_id == "b" && x.event == NotificationEvent::Remove));
+            .any(|x| x.record_id.as_ref() == "b" && x.event == NotificationEvent::Remove));
     }
 
     #[test]
@@ -327,6 +330,6 @@ mod tests {
         assert_eq!(s.window_ids(), vec!["b", "c"]);
         assert!(n
             .iter()
-            .any(|x| x.record_id == "a" && x.event == NotificationEvent::Remove));
+            .any(|x| x.record_id.as_ref() == "a" && x.event == NotificationEvent::Remove));
     }
 }

@@ -277,6 +277,21 @@ impl Query {
     pub fn is_stateful(&self) -> bool {
         !self.sort.is_empty() || self.limit.is_some() || self.offset > 0
     }
+
+    /// A `(path, value)` equality every matching document must satisfy, if
+    /// one exists — extracted from the *normalized* filter so that e.g.
+    /// `And([True, Eq(..)])` and singleton conjunctions are seen through.
+    ///
+    /// This is the key InvaliDB's predicate index files the query under:
+    /// a document whose field at `path` is not `value` (nor an array
+    /// containing it) can never match this query, so the matcher may skip
+    /// it without evaluating the filter.
+    pub fn index_binding(&self) -> Option<(Path, Value)> {
+        let normalized = crate::normalize::normalize_filter(&self.filter);
+        normalized
+            .equality_binding()
+            .map(|(p, v)| (p.clone(), v.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,13 @@ pub fn query_matches(query: &Query, doc: &Document) -> bool {
     matches(&query.filter, doc)
 }
 
+/// Resolve a (possibly dotted) path against a document, with the same
+/// traversal rules the operators use. Exposed so InvaliDB's predicate
+/// index can derive candidate values from an after-image.
+pub fn resolve_path<'a>(doc: &'a Document, path: &Path) -> Option<&'a Value> {
+    resolve(doc, path)
+}
+
 fn resolve<'a>(doc: &'a Document, path: &Path) -> Option<&'a Value> {
     let mut segs = path.segments();
     let head = segs.next()?;

@@ -26,10 +26,12 @@ pub enum WriteKind {
 /// record used to belong to.
 #[derive(Debug, Clone)]
 pub struct WriteEvent {
-    /// Table the write hit.
-    pub table: String,
-    /// Primary key.
-    pub id: String,
+    /// Table the write hit. Interned: cloning the event (fan-out to every
+    /// change-stream tap and matching node) bumps a refcount instead of
+    /// copying the string.
+    pub table: Arc<str>,
+    /// Primary key, interned like `table`.
+    pub id: Arc<str>,
     /// Insert / update / delete.
     pub kind: WriteKind,
     /// Full document state after the write (before-image for deletes).
@@ -161,8 +163,8 @@ mod tests {
         stream.publish(ev("b", 2));
         let got = sub.drain();
         assert_eq!(got.len(), 2);
-        assert_eq!(got[0].id, "a");
-        assert_eq!(got[1].id, "b");
+        assert_eq!(got[0].id.as_ref(), "a");
+        assert_eq!(got[1].id.as_ref(), "b");
         assert!(got[0].seq < got[1].seq);
     }
 
@@ -173,7 +175,7 @@ mod tests {
         let sub = stream.subscribe();
         assert!(sub.try_recv().is_none());
         stream.publish(ev("b", 2));
-        assert_eq!(sub.try_recv().unwrap().id, "b");
+        assert_eq!(sub.try_recv().unwrap().id.as_ref(), "b");
     }
 
     #[test]

@@ -134,7 +134,7 @@ mod tests {
         db.create_table("b").insert("2", doc! { "x" => 2 }).unwrap();
         let events = sub.drain();
         assert_eq!(events.len(), 2);
-        let tables: Vec<&str> = events.iter().map(|e| e.table.as_str()).collect();
+        let tables: Vec<&str> = events.iter().map(|e| e.table.as_ref()).collect();
         assert!(tables.contains(&"a") && tables.contains(&"b"));
     }
 

@@ -24,7 +24,9 @@ pub struct StoredRecord {
 
 #[derive(Default)]
 struct Shard {
-    map: FxHashMap<String, StoredRecord>,
+    /// Keys are interned `Arc<str>` so every published [`WriteEvent`] can
+    /// carry the id by refcount bump instead of a fresh allocation.
+    map: FxHashMap<Arc<str>, StoredRecord>,
 }
 
 /// A table of documents, sharded by hashed primary key.
@@ -32,7 +34,7 @@ struct Shard {
 /// All mutation methods publish a [`WriteEvent`] with the after-image to
 /// the table's [`ChangeStream`], which InvaliDB ingests.
 pub struct Table {
-    name: String,
+    name: Arc<str>,
     shards: Vec<RwLock<Shard>>,
     indexes: RwLock<Vec<HashIndex>>,
     seq: AtomicU64,
@@ -58,7 +60,7 @@ impl Table {
     ) -> Table {
         assert!(shards > 0);
         Table {
-            name,
+            name: Arc::from(name),
             shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
             indexes: RwLock::new(Vec::new()),
             seq: AtomicU64::new(0),
@@ -127,15 +129,16 @@ impl Table {
 
     fn publish(
         &self,
-        id: &str,
+        id: Arc<str>,
         kind: WriteKind,
         image: Arc<Document>,
         version: Version,
         at: Timestamp,
     ) -> WriteEvent {
+        // Zero-copy: table name and id travel as refcount bumps.
         let event = WriteEvent {
             table: self.name.clone(),
-            id: id.to_owned(),
+            id,
             kind,
             image,
             version,
@@ -152,16 +155,17 @@ impl Table {
         doc.insert("_id".to_owned(), Value::str(id));
         let now = self.clock.now();
         let arc = Arc::new(doc);
+        let key: Arc<str> = Arc::from(id);
         {
             let mut shard = self.shard(id).write();
             if shard.map.contains_key(id) {
                 return Err(Error::AlreadyExists {
-                    table: self.name.clone(),
+                    table: self.name.to_string(),
                     id: id.to_owned(),
                 });
             }
             shard.map.insert(
-                id.to_owned(),
+                key.clone(),
                 StoredRecord {
                     doc: arc.clone(),
                     version: 1,
@@ -170,7 +174,7 @@ impl Table {
             );
         }
         self.index_insert(id, &arc);
-        Ok(self.publish(id, WriteKind::Insert, arc, 1, now))
+        Ok(self.publish(key, WriteKind::Insert, arc, 1, now))
     }
 
     /// Read a record.
@@ -188,16 +192,21 @@ impl Table {
         expected_version: Option<Version>,
     ) -> Result<WriteEvent> {
         let now = self.clock.now();
-        let (old, new, version) = {
+        let (key, old, new, version) = {
             let mut shard = self.shard(id).write();
-            let rec = shard.map.get_mut(id).ok_or_else(|| Error::NotFound {
-                table: self.name.clone(),
-                id: id.to_owned(),
-            })?;
+            let key = shard
+                .map
+                .get_key_value(id)
+                .map(|(k, _)| k.clone())
+                .ok_or_else(|| Error::NotFound {
+                    table: self.name.to_string(),
+                    id: id.to_owned(),
+                })?;
+            let rec = shard.map.get_mut(id).expect("key just resolved");
             if let Some(expected) = expected_version {
                 if rec.version != expected {
                     return Err(Error::VersionMismatch {
-                        table: self.name.clone(),
+                        table: self.name.to_string(),
                         id: id.to_owned(),
                         expected,
                         actual: rec.version,
@@ -214,10 +223,10 @@ impl Table {
             rec.doc = new.clone();
             rec.version += 1;
             rec.updated_at = now;
-            (old, new, rec.version)
+            (key, old, new, rec.version)
         };
         self.index_update(id, &old, &new);
-        Ok(self.publish(id, WriteKind::Update, new, version, now))
+        Ok(self.publish(key, WriteKind::Update, new, version, now))
     }
 
     /// Replace the whole document (upsert = false).
@@ -230,16 +239,21 @@ impl Table {
         doc.insert("_id".to_owned(), Value::str(id));
         let now = self.clock.now();
         let arc = Arc::new(doc);
-        let (old, version) = {
+        let (key, old, version) = {
             let mut shard = self.shard(id).write();
-            let rec = shard.map.get_mut(id).ok_or_else(|| Error::NotFound {
-                table: self.name.clone(),
-                id: id.to_owned(),
-            })?;
+            let key = shard
+                .map
+                .get_key_value(id)
+                .map(|(k, _)| k.clone())
+                .ok_or_else(|| Error::NotFound {
+                    table: self.name.to_string(),
+                    id: id.to_owned(),
+                })?;
+            let rec = shard.map.get_mut(id).expect("key just resolved");
             if let Some(expected) = expected_version {
                 if rec.version != expected {
                     return Err(Error::VersionMismatch {
-                        table: self.name.clone(),
+                        table: self.name.to_string(),
                         id: id.to_owned(),
                         expected,
                         actual: rec.version,
@@ -250,42 +264,42 @@ impl Table {
             rec.doc = arc.clone();
             rec.version += 1;
             rec.updated_at = now;
-            (old, rec.version)
+            (key, old, rec.version)
         };
         self.index_update(id, &old, &arc);
-        Ok(self.publish(id, WriteKind::Update, arc, version, now))
+        Ok(self.publish(key, WriteKind::Update, arc, version, now))
     }
 
     /// Delete a record. The event carries the before-image.
     pub fn delete(&self, id: &str, expected_version: Option<Version>) -> Result<WriteEvent> {
         let now = self.clock.now();
-        let (old, version) = {
+        let (key, old, version) = {
             let mut shard = self.shard(id).write();
             let rec = shard.map.get(id).ok_or_else(|| Error::NotFound {
-                table: self.name.clone(),
+                table: self.name.to_string(),
                 id: id.to_owned(),
             })?;
             if let Some(expected) = expected_version {
                 if rec.version != expected {
                     return Err(Error::VersionMismatch {
-                        table: self.name.clone(),
+                        table: self.name.to_string(),
                         id: id.to_owned(),
                         expected,
                         actual: rec.version,
                     });
                 }
             }
-            let rec = shard.map.remove(id).unwrap();
-            (rec.doc, rec.version)
+            let (key, rec) = shard.map.remove_entry(id).unwrap();
+            (key, rec.doc, rec.version)
         };
         self.index_remove(id, &old);
-        Ok(self.publish(id, WriteKind::Delete, old, version, now))
+        Ok(self.publish(key, WriteKind::Delete, old, version, now))
     }
 
     /// Execute a query. Uses a hash index when the filter pins an indexed
     /// field with an equality, otherwise scans.
     pub fn query(&self, query: &Query) -> Vec<Arc<Document>> {
-        debug_assert_eq!(query.table, self.name);
+        debug_assert_eq!(query.table.as_str(), &*self.name);
         let candidates: Option<Vec<String>> = {
             let idxs = self.indexes.read();
             query.filter.equality_binding().and_then(|(path, value)| {
@@ -343,7 +357,7 @@ impl Table {
         let mut out = Vec::with_capacity(self.len());
         for shard in &self.shards {
             let shard = shard.read();
-            out.extend(shard.map.iter().map(|(k, v)| (k.clone(), v.clone())));
+            out.extend(shard.map.iter().map(|(k, v)| (k.to_string(), v.clone())));
         }
         out
     }

@@ -38,8 +38,125 @@ fn arb_doc() -> impl Strategy<Value = Document> {
     proptest::collection::btree_map("[a-d]", arb_value(), 0..5)
 }
 
+/// One step of the predicate-index equivalence workload.
+#[derive(Debug, Clone)]
+enum MatchOp {
+    Register(usize),
+    Deregister(usize),
+    Write(usize, Document),
+    Delete(usize),
+}
+
+fn arb_match_op() -> impl Strategy<Value = MatchOp> {
+    prop_oneof![
+        (0usize..12).prop_map(MatchOp::Register),
+        (0usize..12).prop_map(MatchOp::Deregister),
+        ((0usize..8), arb_doc()).prop_map(|(slot, d)| MatchOp::Write(slot, d)),
+        (0usize..8).prop_map(MatchOp::Delete),
+    ]
+}
+
+/// The query universe for the equivalence test: a mix of indexable
+/// equalities (incl. conjunctions) and residual shapes (ranges, Or, Not).
+fn match_query(i: usize) -> Query {
+    let filter = match i % 6 {
+        0 => Filter::eq("a", (i as i64) % 4),
+        1 => Filter::eq("b", "bb"),
+        2 => Filter::and([Filter::eq("a", (i as i64) % 3), Filter::gt("c", -5)]),
+        3 => Filter::gt("c", (i as i64) % 4 - 2),
+        4 => Filter::or([Filter::eq("a", 0), Filter::eq("b", "ab")]),
+        _ => Filter::not(Filter::eq("d", (i as i64) % 3)),
+    };
+    Query::table("t").filter(filter)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The predicate-indexed `MatchingNode` must produce exactly the same
+    /// notifications as the linear-scan reference across arbitrary
+    /// register / deregister / write / delete sequences, and its
+    /// `evaluations + evaluations_skipped` must account for every
+    /// evaluation the linear node performed.
+    #[test]
+    fn predicate_index_equals_linear_scan(
+        ops in proptest::collection::vec(arb_match_op(), 1..60),
+    ) {
+        use quaestor::invalidb::MatchingNode;
+        use quaestor::query::QueryKey;
+
+        let mut indexed = MatchingNode::new();
+        let mut linear = MatchingNode::linear();
+        let mut alive: Vec<Option<bool>> = vec![None; 8]; // record exists?
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                MatchOp::Register(i) => {
+                    let q = match_query(i);
+                    let k = QueryKey::of(&q);
+                    indexed.register(q.clone(), k.clone(), vec![]);
+                    linear.register(q, k, vec![]);
+                }
+                MatchOp::Deregister(i) => {
+                    let k = QueryKey::of(&match_query(i));
+                    prop_assert_eq!(indexed.deregister(&k), linear.deregister(&k));
+                }
+                MatchOp::Write(slot, d) => {
+                    seq += 1;
+                    let id = format!("r{slot}");
+                    let mut with_id = d.clone();
+                    with_id.insert("_id".into(), Value::str(&id));
+                    let kind = if alive[slot] == Some(true) {
+                        quaestor::store::WriteKind::Update
+                    } else {
+                        quaestor::store::WriteKind::Insert
+                    };
+                    alive[slot] = Some(true);
+                    let ev = quaestor::store::WriteEvent {
+                        table: "t".into(),
+                        id: id.as_str().into(),
+                        kind,
+                        image: Arc::new(with_id),
+                        version: seq,
+                        seq,
+                        at: quaestor::common::Timestamp::from_millis(seq),
+                    };
+                    let mut a = indexed.process(&ev);
+                    let mut b = linear.process(&ev);
+                    a.sort_by(|x, y| x.query.cmp(&y.query));
+                    b.sort_by(|x, y| x.query.cmp(&y.query));
+                    prop_assert_eq!(a, b, "write divergence at seq {}", seq);
+                }
+                MatchOp::Delete(slot) => {
+                    if alive[slot] != Some(true) {
+                        continue;
+                    }
+                    alive[slot] = Some(false);
+                    seq += 1;
+                    let id = format!("r{slot}");
+                    let ev = quaestor::store::WriteEvent {
+                        table: "t".into(),
+                        id: id.as_str().into(),
+                        kind: quaestor::store::WriteKind::Delete,
+                        image: Arc::new(Document::new()),
+                        version: seq,
+                        seq,
+                        at: quaestor::common::Timestamp::from_millis(seq),
+                    };
+                    let mut a = indexed.process(&ev);
+                    let mut b = linear.process(&ev);
+                    a.sort_by(|x, y| x.query.cmp(&y.query));
+                    b.sort_by(|x, y| x.query.cmp(&y.query));
+                    prop_assert_eq!(a, b, "delete divergence at seq {}", seq);
+                }
+            }
+        }
+        prop_assert_eq!(
+            indexed.evaluations() + indexed.evaluations_skipped(),
+            linear.evaluations() + linear.evaluations_skipped(),
+            "the index must account for every pruned evaluation"
+        );
+    }
 
     /// The store's (index-capable, sharded) query execution must agree
     /// with the reference semantics `matcher::execute` for any documents,
@@ -125,7 +242,7 @@ proptest! {
             };
             let event = quaestor::store::WriteEvent {
                 table: "t".into(),
-                id: id.clone(),
+                id: id.as_str().into(),
                 kind,
                 image: Arc::new(with_id.clone()),
                 version: seq,
