@@ -1,0 +1,82 @@
+//! Durability micro-benchmarks: per-append WAL cost under each fsync
+//! policy, and end-to-end recovery of a populated log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quaestor_common::ManualClock;
+use quaestor_core::QuaestorServer;
+use quaestor_document::doc;
+use quaestor_durability::{DurabilityConfig, DurabilityEngine, FsyncPolicy};
+use quaestor_store::Database;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    quaestor_common::scratch_dir(&format!("durbench-{tag}"))
+}
+
+/// Per-write cost of a durable insert, by fsync policy / group size.
+fn wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    let configs: Vec<(&str, FsyncPolicy, usize)> = vec![
+        ("always", FsyncPolicy::Always, 1),
+        ("group64", FsyncPolicy::EveryN(64), 64),
+        ("os-default", FsyncPolicy::OsDefault, 64),
+    ];
+    for (label, fsync, group_commit) in configs {
+        let dir = temp_dir(label);
+        let durability = DurabilityConfig {
+            fsync,
+            group_commit,
+            ..DurabilityConfig::default()
+        };
+        let server =
+            QuaestorServer::open_with(&dir, Default::default(), durability, ManualClock::new())
+                .expect("open durable server");
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                server
+                    .insert("stream", &format!("r{i}"), doc! { "n" => i as i64 })
+                    .unwrap()
+            })
+        });
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+/// Full recovery (scan + replay into a fresh database) of a 5k-write log.
+fn recovery(c: &mut Criterion) {
+    let dir = temp_dir("recovery");
+    {
+        let server = QuaestorServer::open_with(
+            &dir,
+            Default::default(),
+            DurabilityConfig {
+                fsync: FsyncPolicy::OsDefault,
+                ..DurabilityConfig::default()
+            },
+            ManualClock::new(),
+        )
+        .expect("open durable server");
+        for i in 0..5_000u64 {
+            server
+                .insert("stream", &format!("r{i}"), doc! { "n" => i as i64 })
+                .unwrap();
+        }
+        server.flush().unwrap();
+    }
+    c.bench_function("recover_5k_write_log", |b| {
+        b.iter(|| {
+            let (_engine, recovery) =
+                DurabilityEngine::open(&dir, DurabilityConfig::default()).unwrap();
+            let db = Database::with_clock(ManualClock::new());
+            recovery.restore(&db).unwrap()
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, wal_append, recovery);
+criterion_main!(benches);

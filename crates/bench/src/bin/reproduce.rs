@@ -4,14 +4,37 @@
 //! cargo run -p quaestor-bench --release --bin reproduce -- all
 //! cargo run -p quaestor-bench --release --bin reproduce -- fig8a fig10
 //! cargo run -p quaestor-bench --release --bin reproduce -- --full tab1
+//! cargo run -p quaestor-bench --release --bin reproduce -- --out-dir=target durability
 //! ```
 
 use quaestor_bench::*;
+
+/// Where `BENCH_*.json` artifacts land (the `--out-dir=<path>` flag;
+/// default: the current directory).
+fn out_dir(args: &[String]) -> std::path::PathBuf {
+    args.iter()
+        .find_map(|a| a.strip_prefix("--out-dir="))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+}
+
+/// Write one machine-readable benchmark payload as `<out>/BENCH_<name>.json`.
+fn write_bench_json(out: &std::path::Path, name: &str, json: &str) {
+    let path = out.join(format!("BENCH_{name}.json"));
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("(wrote {})", path.display()),
+        Err(e) => eprintln!("(could not write {}: {e})", path.display()),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::Full } else { Scale::Quick };
+    let out = out_dir(&args);
     let targets: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -39,6 +62,7 @@ fn main() {
             "batch",
             "shards",
             "matchidx",
+            "durability",
         ]
     } else {
         targets
@@ -64,7 +88,8 @@ fn main() {
             "ablation-fpr" => run_ablation_fpr(),
             "batch" => run_batch(scale),
             "shards" => run_shards(scale),
-            "matchidx" => run_matchidx(scale),
+            "matchidx" => run_matchidx(scale, &out),
+            "durability" => run_durability(scale, &out),
             other => {
                 eprintln!("unknown experiment '{other}' — see DESIGN.md for the index");
                 std::process::exit(2);
@@ -325,7 +350,7 @@ fn run_batch(scale: Scale) {
     println!("(one Batch request = one wire round trip; the origin resolves each table once per run of writes)");
 }
 
-fn run_matchidx(scale: Scale) {
+fn run_matchidx(scale: Scale, out: &std::path::Path) {
     println!("== InvaliDB predicate index: indexed vs linear matching ==");
     let rows = matchidx_comparison(scale);
     let mut t = TableWriter::new(&[
@@ -352,10 +377,37 @@ fn run_matchidx(scale: Scale) {
     }
     t.print();
     let json = matchidx_json(&rows);
-    match std::fs::write("BENCH_matching.json", &json) {
-        Ok(()) => println!("(wrote BENCH_matching.json)"),
-        Err(e) => eprintln!("(could not write BENCH_matching.json: {e})"),
+    write_bench_json(out, "matching", &json);
+}
+
+fn run_durability(scale: Scale, out: &std::path::Path) {
+    println!("== Durability: WAL append throughput & crash recovery ==");
+    let append = durability_append(scale);
+    let mut t = TableWriter::new(&["mode", "group", "writes", "wall (ms)", "appends/s"]);
+    for r in &append {
+        t.row(vec![
+            r.mode.into(),
+            r.group_commit.to_string(),
+            r.writes.to_string(),
+            (r.wall_us / 1_000).to_string(),
+            format!("{:.0}", r.throughput()),
+        ]);
     }
+    t.print();
+    println!("-- kill-and-recover round trips (fsync=Always; loss must be 0) --");
+    let recovery = durability_recovery(scale);
+    let mut t = TableWriter::new(&["acked writes", "lost", "records", "recovery (ms)"]);
+    for r in &recovery {
+        t.row(vec![
+            r.acknowledged.to_string(),
+            r.lost.to_string(),
+            r.recovered_records.to_string(),
+            format!("{:.1}", r.recovery_wall_us as f64 / 1_000.0),
+        ]);
+    }
+    t.print();
+    let json = durability_json(&append, &recovery);
+    write_bench_json(out, "durability", &json);
 }
 
 fn run_shards(scale: Scale) {

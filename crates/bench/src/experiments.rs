@@ -806,9 +806,201 @@ pub fn matchidx_json(rows: &[MatchIdxRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------- durability
+
+/// One row of the append-throughput half of the `durability` experiment.
+#[derive(Debug, Clone)]
+pub struct DurabilityAppendRow {
+    /// Human label of the fsync/group configuration.
+    pub mode: &'static str,
+    /// Group-commit batch size.
+    pub group_commit: usize,
+    /// Writes appended.
+    pub writes: usize,
+    /// Wall clock for the whole run (µs).
+    pub wall_us: u128,
+}
+
+impl DurabilityAppendRow {
+    /// Appends per second.
+    pub fn throughput(&self) -> f64 {
+        self.writes as f64 / (self.wall_us.max(1) as f64 / 1e6)
+    }
+}
+
+/// One row of the recovery half: a kill-and-recover round trip.
+#[derive(Debug, Clone)]
+pub struct DurabilityRecoveryRow {
+    /// Distinct records with acknowledged writes before the simulated
+    /// crash, each audited against its last acknowledged state.
+    pub acknowledged: usize,
+    /// Audited records lost or wrong across the crash (must be 0: the
+    /// sweep runs under fsync `Always`).
+    pub lost: usize,
+    /// Records in the recovered table.
+    pub recovered_records: usize,
+    /// Wall clock of `QuaestorServer::open` recovery (µs).
+    pub recovery_wall_us: u128,
+}
+
+fn bench_temp_dir(tag: &str) -> std::path::PathBuf {
+    quaestor_common::scratch_dir(&format!("bench-{tag}"))
+}
+
+/// Append-throughput sweep: the same insert workload against a durable
+/// server under rising group-commit sizes (and the two extreme fsync
+/// policies), measuring acknowledged writes per second.
+pub fn durability_append(scale: Scale) -> Vec<DurabilityAppendRow> {
+    use quaestor_common::ManualClock;
+    use quaestor_core::QuaestorServer;
+    use quaestor_durability::{DurabilityConfig, FsyncPolicy};
+
+    let writes = match scale {
+        Scale::Quick => 2_000,
+        Scale::Full => 20_000,
+    };
+    let configs: Vec<(&'static str, FsyncPolicy, usize)> = vec![
+        ("fsync=always", FsyncPolicy::Always, 1),
+        ("group=8", FsyncPolicy::EveryN(8), 8),
+        ("group=64", FsyncPolicy::EveryN(64), 64),
+        ("group=512", FsyncPolicy::EveryN(512), 512),
+        ("os-default", FsyncPolicy::OsDefault, 64),
+    ];
+    let mut rows = Vec::new();
+    for (mode, fsync, group_commit) in configs {
+        let dir = bench_temp_dir("append");
+        let durability = DurabilityConfig {
+            fsync,
+            group_commit,
+            ..DurabilityConfig::default()
+        };
+        let server =
+            QuaestorServer::open_with(&dir, Default::default(), durability, ManualClock::new())
+                .expect("open durable server");
+        let start = std::time::Instant::now();
+        for i in 0..writes {
+            server
+                .insert(
+                    "stream",
+                    &format!("r{i}"),
+                    quaestor_document::doc! { "n" => i as i64 },
+                )
+                .unwrap();
+        }
+        server.flush().unwrap();
+        let wall_us = start.elapsed().as_micros();
+        rows.push(DurabilityAppendRow {
+            mode,
+            group_commit,
+            writes,
+            wall_us,
+        });
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    rows
+}
+
+/// Recovery-time sweep: kill-and-recover round trips at rising log sizes
+/// under fsync `Always`, asserting zero acknowledged-write loss as it
+/// goes (a recovery bench that lost data would be measuring a bug).
+pub fn durability_recovery(scale: Scale) -> Vec<DurabilityRecoveryRow> {
+    use quaestor_durability::FsyncPolicy;
+    use quaestor_sim::{crash_recovery, CrashConfig};
+
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![300, 1_000, 3_000],
+        Scale::Full => vec![1_000, 10_000, 50_000],
+    };
+    let mut rows = Vec::new();
+    for ops in sizes {
+        let dir = bench_temp_dir("recovery");
+        let report = crash_recovery(
+            &dir,
+            CrashConfig {
+                writers: 4,
+                kill_after_ops: ops,
+                fsync: FsyncPolicy::Always,
+                group_commit: 64,
+            },
+        );
+        assert!(
+            report.zero_loss(),
+            "fsync=Always lost {} of {} acknowledged writes",
+            report.lost,
+            report.acknowledged
+        );
+        rows.push(DurabilityRecoveryRow {
+            acknowledged: report.acknowledged,
+            lost: report.lost,
+            recovered_records: report.recovered_records,
+            recovery_wall_us: report.recovery_wall_us,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    rows
+}
+
+/// Render the two durability sweeps as the `BENCH_durability.json`
+/// payload (hand-rolled like `matchidx_json`; the vendored serde stand-in
+/// has no derive).
+pub fn durability_json(
+    append: &[DurabilityAppendRow],
+    recovery: &[DurabilityRecoveryRow],
+) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"durability\",\n  \"append\": [\n");
+    for (i, r) in append.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"group_commit\": {}, \"writes\": {}, \"wall_us\": {}, \
+             \"appends_per_sec\": {:.0}}}{}\n",
+            r.mode,
+            r.group_commit,
+            r.writes,
+            r.wall_us,
+            r.throughput(),
+            if i + 1 == append.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"recovery\": [\n");
+    for (i, r) in recovery.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"acknowledged\": {}, \"lost\": {}, \"recovered_records\": {}, \
+             \"recovery_wall_us\": {}}}{}\n",
+            r.acknowledged,
+            r.lost,
+            r.recovered_records,
+            r.recovery_wall_us,
+            if i + 1 == recovery.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn durability_json_renders_both_sweeps() {
+        let append = vec![DurabilityAppendRow {
+            mode: "group=64",
+            group_commit: 64,
+            writes: 1_000,
+            wall_us: 500_000,
+        }];
+        assert_eq!(append[0].throughput(), 2_000.0);
+        let recovery = vec![DurabilityRecoveryRow {
+            acknowledged: 1_000,
+            lost: 0,
+            recovered_records: 400,
+            recovery_wall_us: 12_345,
+        }];
+        let json = durability_json(&append, &recovery);
+        assert!(json.contains("\"appends_per_sec\": 2000"));
+        assert!(json.contains("\"recovery_wall_us\": 12345"));
+        assert!(json.contains("\"experiment\": \"durability\""));
+    }
 
     #[test]
     fn matchidx_prunes_an_order_of_magnitude() {

@@ -33,6 +33,9 @@ pub enum Error {
     Capacity(String),
     /// A pipeline or channel shut down while an operation was in flight.
     Closed(String),
+    /// A durability-layer failure: the write-ahead log or a snapshot
+    /// could not be read or written, or was found corrupt.
+    Io(String),
     /// Anything else.
     Internal(String),
 }
@@ -48,6 +51,7 @@ impl Error {
             Error::TransactionAborted(_) => 409,
             Error::Capacity(_) => 429,
             Error::Closed(_) => 503,
+            Error::Io(_) => 500,
             Error::Internal(_) => 500,
         }
     }
@@ -74,6 +78,7 @@ impl fmt::Display for Error {
             Error::TransactionAborted(msg) => write!(f, "transaction aborted: {msg}"),
             Error::Capacity(msg) => write!(f, "capacity exceeded: {msg}"),
             Error::Closed(msg) => write!(f, "component closed: {msg}"),
+            Error::Io(msg) => write!(f, "durability i/o error: {msg}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -17,6 +17,7 @@ pub mod clock;
 pub mod error;
 pub mod hash;
 pub mod histogram;
+pub mod scratch;
 
 pub use clock::{Clock, ClockRef, ManualClock, SystemClock, Timestamp};
 pub use error::{Error, Result};
@@ -24,6 +25,7 @@ pub use hash::{
     fx_hash_bytes, fx_hash_str, stable_bucket, DoubleHasher, FxBuildHasher, FxHashMap, FxHashSet,
 };
 pub use histogram::Histogram;
+pub use scratch::scratch_dir;
 
 /// A monotonically increasing version counter attached to every stored
 /// record. Versions double as HTTP `ETag`s in the web-caching model.

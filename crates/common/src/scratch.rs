@@ -1,0 +1,38 @@
+//! Scratch directories for tests and benchmarks.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, process-unique scratch directory under the system temp dir,
+/// created empty. Used by durability/crash tests and benches across the
+/// workspace (one shared implementation instead of a copy per crate).
+/// The caller owns cleanup (`std::fs::remove_dir_all`); leaking on a
+/// panicking test is fine — the next run gets a new suffix.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "quaestor-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create scratch dir");
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_are_unique_and_empty() {
+        let a = scratch_dir("t");
+        let b = scratch_dir("t");
+        assert_ne!(a, b);
+        assert!(a.exists() && b.exists());
+        assert_eq!(std::fs::read_dir(&a).unwrap().count(), 0);
+        std::fs::remove_dir_all(&a).unwrap();
+        std::fs::remove_dir_all(&b).unwrap();
+    }
+}

@@ -93,6 +93,9 @@ pub enum Request {
         /// The query (or record) key to watch.
         key: QueryKey,
     },
+    /// Force the origin's write-ahead log to stable storage (group-commit
+    /// drain + fsync). A no-op answered with LSN 0 on in-memory servers.
+    Flush,
 }
 
 impl Request {
@@ -108,7 +111,7 @@ impl Request {
             Request::Query(q) => Some(&q.table),
             Request::EbfSnapshot { table } => table.as_deref(),
             Request::Subscribe { key } => Some(key.table()),
-            Request::Batch(_) => None,
+            Request::Batch(_) | Request::Flush => None,
         }
     }
 
@@ -135,6 +138,7 @@ impl Request {
             Request::EbfSnapshot { .. } => "ebf_snapshot",
             Request::Batch(_) => "batch",
             Request::Subscribe { .. } => "subscribe",
+            Request::Flush => "flush",
         }
     }
 }
@@ -172,6 +176,12 @@ pub enum Response {
     Batch(Vec<Result<Response>>),
     /// Answer to [`Request::Subscribe`].
     Stream(quaestor_kv::Subscription),
+    /// Answer to [`Request::Flush`].
+    Flushed {
+        /// Highest log sequence number durable on disk (0 when the
+        /// target server has no durability engine).
+        lsn: u64,
+    },
 }
 
 fn unexpected(wanted: &str, got: &Response) -> Error {
@@ -185,6 +195,7 @@ fn unexpected(wanted: &str, got: &Response) -> Error {
             Response::Ebf { .. } => "Ebf",
             Response::Batch(_) => "Batch",
             Response::Stream(_) => "Stream",
+            Response::Flushed { .. } => "Flushed",
         }
     ))
 }
@@ -302,6 +313,14 @@ pub trait ServiceExt: Service {
         }
     }
 
+    /// Flush the origin's WAL; returns the durable LSN (0 = in-memory).
+    fn flush(&self) -> Result<u64> {
+        match self.call(Request::Flush)? {
+            Response::Flushed { lsn } => Ok(lsn),
+            other => Err(unexpected("Flushed", &other)),
+        }
+    }
+
     /// Subscribe to a query's change stream.
     fn subscribe(&self, key: &QueryKey) -> Result<quaestor_kv::Subscription> {
         match self.call(Request::Subscribe { key: key.clone() })? {
@@ -339,6 +358,7 @@ impl Service for QuaestorServer {
             }
             Request::Batch(requests) => Ok(Response::Batch(self.call_batch(requests))),
             Request::Subscribe { key } => Ok(Response::Stream(self.subscribe_query_stream(&key))),
+            Request::Flush => self.flush().map(|lsn| Response::Flushed { lsn }),
         }
     }
 }
@@ -426,6 +446,8 @@ pub struct ServiceMetrics {
     pub batched_ops: AtomicU64,
     /// `Subscribe` calls.
     pub subscribes: AtomicU64,
+    /// `Flush` calls.
+    pub flushes: AtomicU64,
     /// Calls that returned an error.
     pub errors: AtomicU64,
 }
@@ -439,6 +461,7 @@ impl ServiceMetrics {
             + self.ebf_snapshots.load(Ordering::Relaxed)
             + self.batches.load(Ordering::Relaxed)
             + self.subscribes.load(Ordering::Relaxed)
+            + self.flushes.load(Ordering::Relaxed)
     }
 }
 
@@ -496,6 +519,7 @@ impl Service for MetricsLayer {
                 &self.metrics.batches
             }
             Request::Subscribe { .. } => &self.metrics.subscribes,
+            Request::Flush => &self.metrics.flushes,
         };
         counter.fetch_add(1, Ordering::Relaxed);
         let result = self.inner.call(req);
@@ -571,6 +595,18 @@ impl ShardRouter {
         Ok(Response::Ebf { filter, at })
     }
 
+    /// A flush must drain **every** shard's log before the cluster can
+    /// claim durability; report the minimum durable LSN — the honest
+    /// cluster-wide bound (LSNs are per-shard sequences, so any scalar is
+    /// a convention; the minimum never overstates).
+    fn fan_out_flush(&self) -> Result<Response> {
+        let mut lsn = u64::MAX;
+        for shard in &self.shards {
+            lsn = lsn.min(shard.flush()?);
+        }
+        Ok(Response::Flushed { lsn })
+    }
+
     fn split_batch(&self, requests: Vec<Request>) -> Result<Response> {
         let mut slots: Vec<Option<Result<Response>>> = Vec::new();
         slots.resize_with(requests.len(), || None);
@@ -636,6 +672,7 @@ impl Service for ShardRouter {
         match req {
             Request::Batch(requests) => self.split_batch(requests),
             Request::EbfSnapshot { table: None } => self.fan_out_ebf(),
+            Request::Flush => self.fan_out_flush(),
             req => match req.table() {
                 Some(table) => self.shards[self.shard_for(table)].call(req),
                 None => Err(Error::BadRequest(format!(
@@ -765,6 +802,34 @@ mod tests {
             flat.contains(resp.key.as_str().as_bytes()),
             "batched write must invalidate like a singleton write"
         );
+    }
+
+    #[test]
+    fn flush_routes_through_service_and_router() {
+        // In-memory single node: flush is the LSN-0 no-op.
+        let s = server();
+        let svc: &dyn Service = &*s;
+        assert_eq!(svc.flush().unwrap(), 0);
+        assert_eq!(Request::Flush.table(), None, "flush is table-less");
+        assert!(!Request::Flush.is_write());
+        // Routed: fans out to every shard (all in-memory here -> min 0),
+        // and inside a batch it acts as a barrier like other table-less
+        // requests.
+        let (router, _servers) = cluster(2);
+        let svc: &dyn Service = &*router;
+        assert_eq!(svc.flush().unwrap(), 0);
+        let results = svc
+            .batch(vec![
+                Request::Insert {
+                    table: "t".into(),
+                    id: "a".into(),
+                    doc: doc! { "n" => 1 },
+                },
+                Request::Flush,
+            ])
+            .unwrap();
+        assert!(matches!(results[0], Ok(Response::Written { .. })));
+        assert!(matches!(results[1], Ok(Response::Flushed { .. })));
     }
 
     #[test]

@@ -4,8 +4,9 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use quaestor_bloom::{BloomFilter, PartitionedEbf};
-use quaestor_common::{ClockRef, Result, Timestamp};
+use quaestor_common::{ClockRef, Error, Result, SystemClock, Timestamp};
 use quaestor_document::{Document, Update, Value};
+use quaestor_durability::{DurabilityConfig, DurabilityEngine};
 use quaestor_invalidb::{InvaliDbCluster, Notification};
 use quaestor_query::{Query, QueryKey};
 use quaestor_store::{Database, WriteEvent};
@@ -40,6 +41,9 @@ pub struct QuaestorServer {
     cdns: RwLock<Vec<Arc<InvalidationCache>>>,
     /// Per-query change streams clients can subscribe to (§3.2).
     streams: Arc<quaestor_kv::PubSub>,
+    /// The write-ahead log + snapshot engine, when this server was opened
+    /// from (or bound to) a durability directory. `None` = in-memory.
+    durability: Option<Arc<DurabilityEngine>>,
     clock: ClockRef,
     metrics: ServerMetrics,
 }
@@ -55,7 +59,16 @@ impl std::fmt::Debug for QuaestorServer {
 impl QuaestorServer {
     /// Build a server over an existing database.
     pub fn new(db: Arc<Database>, config: ServerConfig, clock: ClockRef) -> Arc<QuaestorServer> {
-        Arc::new(QuaestorServer {
+        Arc::new(Self::build(db, config, clock, None))
+    }
+
+    fn build(
+        db: Arc<Database>,
+        config: ServerConfig,
+        clock: ClockRef,
+        durability: Option<Arc<DurabilityEngine>>,
+    ) -> QuaestorServer {
+        QuaestorServer {
             ebf: PartitionedEbf::new(config.bloom, clock.clone()),
             estimator: TtlEstimator::new(config.estimator),
             sampler: WriteRateSampler::new(config.sampler_window_ms, config.sampler_max_samples),
@@ -65,17 +78,117 @@ impl QuaestorServer {
             invalidb: InvaliDbCluster::new(config.invalidb),
             cdns: RwLock::new(Vec::new()),
             streams: quaestor_kv::PubSub::new(),
+            durability,
             clock,
             metrics: ServerMetrics::default(),
             config,
             db,
-        })
+        }
     }
 
     /// A server with default config over a fresh database (tests/examples).
     pub fn with_defaults(clock: ClockRef) -> Arc<QuaestorServer> {
         let db = Database::with_clock(clock.clone());
         Self::new(db, ServerConfig::default(), clock)
+    }
+
+    /// Open a **durable** server with default configuration: recover
+    /// state from `path` (creating the directory on first open), then
+    /// write-ahead-log every subsequent write there.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Arc<QuaestorServer>> {
+        Self::open_with(
+            path,
+            ServerConfig::default(),
+            DurabilityConfig::default(),
+            SystemClock::shared(),
+        )
+    }
+
+    /// [`open`](Self::open) with explicit configuration. Recovery fully
+    /// completes *before* the server can serve: tables are restored from
+    /// the newest snapshot plus WAL replay, recovered queries are
+    /// re-registered with InvaliDB (so invalidation detection resumes),
+    /// and replayed delete tombstones warm-start the EBF sketch (caches
+    /// out there may still hold those records — mark them stale rather
+    /// than hope their TTLs were short).
+    pub fn open_with(
+        path: impl AsRef<std::path::Path>,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+        clock: ClockRef,
+    ) -> Result<Arc<QuaestorServer>> {
+        let (engine, recovery) = DurabilityEngine::open(path, durability)?;
+        let db = Database::with_clock(clock.clone());
+        let meta = recovery.restore(&db)?;
+        let server = Arc::new(Self::build(db, config, clock, Some(engine.clone())));
+        // The EBF's read ledger died with the old process, so a plain
+        // invalidate would no-op ("no cached copy can exist"). After a
+        // crash that reasoning is wrong for deleted records: some cache
+        // may hold them from before. Re-seed residency with the worst
+        // case — any pre-crash copy was served with at most the
+        // estimator's TTL ceiling — then invalidate, so the sketch
+        // carries each tombstone until every possible copy has expired.
+        let warm_ttl = server.config.estimator.max_ttl_ms;
+        for (table, id) in &meta.tombstones {
+            let key = QueryKey::record(table, id);
+            server.ebf.report_read(table, key.as_str(), warm_ttl);
+            server.ebf.invalidate(table, key.as_str());
+        }
+        for query in meta.queries {
+            server.reregister_recovered(query)?;
+        }
+        // Attach the sink only now: replayed writes and recovery-time
+        // bookkeeping must never be re-logged.
+        server.db.attach_sink(engine);
+        Ok(server)
+    }
+
+    /// Re-activate one recovered query. Admission is re-run (capacity may
+    /// have shrunk across the restart); a query that no longer fits is
+    /// dropped from the durable set instead of failing the open.
+    fn reregister_recovered(&self, query: Query) -> Result<()> {
+        let key = QueryKey::of(&query);
+        let admitted = match self.capacity.request_admission(&key) {
+            AdmissionDecision::Admitted => true,
+            AdmissionDecision::AdmittedEvicting(victim) => {
+                self.evict_query(&victim)?;
+                true
+            }
+            AdmissionDecision::Rejected => false,
+        };
+        if admitted {
+            self.db.create_table(&query.table);
+            let mark = self.invalidb.ingest_mark();
+            let initial = if query.is_stateful() {
+                let mut unwindowed = query.clone();
+                unwindowed.limit = None;
+                unwindowed.offset = 0;
+                self.db.query(&unwindowed)?
+            } else {
+                self.db.query(&query)?
+            };
+            let table = query.table.clone();
+            match self.invalidb.register_query(query, initial, mark) {
+                Ok(_) => {
+                    self.active.set_registered(&key, true);
+                    // Warm EBF residency: caches may hold this query's
+                    // pre-crash result, and the read ledger died with the
+                    // old process. Assume the worst-case TTL so future
+                    // invalidations of those copies reach the sketch.
+                    self.ebf
+                        .report_read(&table, key.as_str(), self.config.estimator.max_ttl_ms);
+                    return Ok(());
+                }
+                Err(Error::Capacity(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Not re-registered: drop it from the durable set so the next
+        // recovery does not retry a query this deployment cannot hold.
+        if let Some(d) = &self.durability {
+            d.log_deregister_query(&key)?;
+        }
+        Ok(())
     }
 
     /// The underlying database (for loading data and direct inspection).
@@ -128,6 +241,49 @@ impl QuaestorServer {
             if cdn.purge(key.as_str()) {
                 bump(&self.metrics.purges);
             }
+        }
+    }
+
+    /// Evict one actively matched query: deregister it and treat every
+    /// cached copy as stale (conservative; it can no longer be
+    /// invalidated).
+    fn evict_query(&self, victim: &QueryKey) -> Result<()> {
+        self.invalidb.deregister_query(victim);
+        self.ebf.invalidate(victim.table(), victim.as_str());
+        self.active.remove(victim);
+        self.purge(victim);
+        if let Some(d) = &self.durability {
+            d.log_deregister_query(victim)?;
+        }
+        Ok(())
+    }
+
+    // ---- durability ------------------------------------------------------
+
+    /// The attached durability engine, if this server is durable.
+    pub fn durability(&self) -> Option<&Arc<DurabilityEngine>> {
+        self.durability.as_ref()
+    }
+
+    /// Force the write-ahead log's group-commit buffer to stable storage.
+    /// Returns the durable LSN; 0 for an in-memory server (everything
+    /// "durable" trivially — there is nothing to lose that a flush would
+    /// save).
+    pub fn flush(&self) -> Result<u64> {
+        match &self.durability {
+            Some(d) => d.flush(),
+            None => Ok(0),
+        }
+    }
+
+    /// Write a snapshot of the current state and compact the log below
+    /// it. Errors on an in-memory server.
+    pub fn checkpoint(&self) -> Result<u64> {
+        match &self.durability {
+            Some(d) => d.snapshot(&self.db),
+            None => Err(Error::BadRequest(
+                "checkpoint requires a durable server (QuaestorServer::open)".into(),
+            )),
         }
     }
 
@@ -202,13 +358,7 @@ impl QuaestorServer {
         let admitted = match self.capacity.request_admission(&key) {
             AdmissionDecision::Admitted => true,
             AdmissionDecision::AdmittedEvicting(victim) => {
-                // The victim loses active matching: deregister and treat
-                // every copy of it as stale (conservative; it can no
-                // longer be invalidated).
-                self.invalidb.deregister_query(&victim);
-                self.ebf.invalidate(victim.table(), victim.as_str());
-                self.active.remove(&victim);
-                self.purge(&victim);
+                self.evict_query(&victim)?;
                 true
             }
             AdmissionDecision::Rejected => {
@@ -271,6 +421,12 @@ impl QuaestorServer {
         };
         let raced = self.invalidb.register_query(query.clone(), initial, mark)?;
         self.active.set_registered(&key, true);
+        // Durable registration: recovery re-registers the query so its
+        // cached copies keep being invalidated after a restart. (No-op
+        // frame-wise when the query is already in the durable set.)
+        if let Some(d) = &self.durability {
+            d.log_register_query(query)?;
+        }
 
         // Report the cacheable read, then handle any raced notifications
         // as regular invalidations (they arrived between evaluation and
@@ -414,6 +570,14 @@ impl QuaestorServer {
         // Query-level invalidations via InvaliDB.
         for n in self.invalidb.on_write(event) {
             self.apply_notification(&n);
+        }
+        // Auto-checkpoint: the write itself is already logged, so a
+        // snapshot failure here must not fail the write — it only delays
+        // compaction until the next attempt.
+        if let Some(d) = &self.durability {
+            if d.wants_snapshot() {
+                let _ = d.snapshot(&self.db);
+            }
         }
     }
 
@@ -651,6 +815,112 @@ mod tests {
         s.delete("posts", "p1").unwrap();
         let (flat, _) = s.ebf_snapshot();
         assert!(flat.contains(resp.key.as_str().as_bytes()));
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        quaestor_common::scratch_dir(&format!("server-{tag}"))
+    }
+
+    fn open_durable(dir: &std::path::Path) -> Arc<QuaestorServer> {
+        QuaestorServer::open_with(
+            dir,
+            ServerConfig::default(),
+            quaestor_durability::DurabilityConfig::default(),
+            ManualClock::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn durable_server_recovers_state_queries_and_tombstones() {
+        let dir = temp_dir("recover");
+        let q = Query::table("posts").filter(Filter::contains("tags", "x"));
+        let qkey = QueryKey::of(&q);
+        {
+            let s = open_durable(&dir);
+            s.insert("posts", "p1", tagged("p1", &["x"])).unwrap();
+            s.insert("posts", "p2", tagged("p2", &["y"])).unwrap();
+            let resp = s.query(&q).unwrap();
+            assert!(resp.cacheable);
+            s.delete("posts", "p2").unwrap();
+            // Crash: drop without flush (fsync=Always already persisted).
+        }
+        let s = open_durable(&dir);
+        // Data back.
+        let rec = s.get_record("posts", "p1").unwrap();
+        assert_eq!(rec.etag, 1);
+        assert!(s.get_record("posts", "p2").is_err());
+        // EBF warm-started from the recovered delete tombstone: caches
+        // holding p2 must revalidate.
+        let (flat, _) = s.ebf_snapshot();
+        assert!(
+            flat.contains(QueryKey::record("posts", "p2").as_str().as_bytes()),
+            "recovered tombstone must mark the record stale"
+        );
+        // The query was re-registered: a write entering its result must
+        // invalidate the recovered registration.
+        assert_eq!(s.active_query_count(), 1);
+        s.update("posts", "p1", &Update::new().push("tags", "fresh"))
+            .unwrap(); // value change on a member -> invalidation
+        let (flat, _) = s.ebf_snapshot();
+        assert!(
+            flat.contains(qkey.as_str().as_bytes()),
+            "re-registered query must keep invalidating after recovery"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_twice_yields_identical_state() {
+        let dir = temp_dir("idem");
+        {
+            let s = open_durable(&dir);
+            for i in 0..10 {
+                s.insert("t", &format!("r{i}"), doc! { "n" => i }).unwrap();
+            }
+            s.update("t", "r3", &Update::new().set("n", 99)).unwrap();
+            s.delete("t", "r4").unwrap();
+        }
+        let snapshot_of = |s: &Arc<QuaestorServer>| {
+            let t = s.database().table("t").unwrap();
+            let mut recs: Vec<(String, u64, String)> = t
+                .snapshot()
+                .into_iter()
+                .map(|(id, r)| (id, r.version, Value::Object((*r.doc).clone()).canonical()))
+                .collect();
+            recs.sort();
+            (recs, t.seq())
+        };
+        let s1 = open_durable(&dir);
+        let state1 = snapshot_of(&s1);
+        drop(s1);
+        let s2 = open_durable(&dir);
+        assert_eq!(state1, snapshot_of(&s2), "recovery must be idempotent");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_and_checkpoint_roundtrip() {
+        let dir = temp_dir("checkpoint");
+        {
+            let s = open_durable(&dir);
+            for i in 0..20 {
+                s.insert("t", &format!("r{i}"), doc! { "n" => i }).unwrap();
+            }
+            let lsn = s.flush().unwrap();
+            assert!(lsn >= 20);
+            let snap_lsn = s.checkpoint().unwrap();
+            assert_eq!(snap_lsn, s.durability().unwrap().last_lsn());
+            s.insert("t", "post-snap", doc! { "n" => 100 }).unwrap();
+        }
+        let s = open_durable(&dir);
+        assert_eq!(s.database().table("t").unwrap().len(), 21);
+        assert!(s.get_record("t", "post-snap").is_ok());
+        // In-memory servers: flush is a no-op, checkpoint is an error.
+        let (mem, _) = server();
+        assert_eq!(mem.flush().unwrap(), 0);
+        assert!(mem.checkpoint().is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Durability tunables.
+
+/// When the WAL writer calls `fsync` (well, `fdatasync`-equivalent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync before acknowledging every write: an acknowledged write is on
+    /// disk, full stop. The crash-recovery guarantee ("zero
+    /// acknowledged-write loss") holds only under this policy.
+    Always,
+    /// Sync once every `n` frames, and drain the group-commit buffer at
+    /// least that often (even when `group_commit > n`). Bounds loss to at
+    /// most `n` acknowledged writes on a crash; the group-commit sweet
+    /// spot for write-heavy workloads.
+    EveryN(usize),
+    /// Never sync explicitly; the OS page cache flushes on its own
+    /// schedule. For simulation and benchmarks of the in-process cost.
+    OsDefault,
+}
+
+/// Configuration of a [`DurabilityEngine`](crate::DurabilityEngine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurabilityConfig {
+    /// Fsync cadence.
+    pub fsync: FsyncPolicy,
+    /// Frames buffered in memory before they are written to the segment
+    /// file (the group-commit batch). Under [`FsyncPolicy::Always`] the
+    /// buffer is flushed on every append regardless, so this only shapes
+    /// the other policies.
+    pub group_commit: usize,
+    /// Rotate to a new segment file once the current one exceeds this
+    /// many bytes.
+    pub max_segment_bytes: u64,
+    /// Write a snapshot (and compact segments below it) automatically
+    /// once this many frames have accumulated since the last snapshot.
+    /// `0` disables automatic snapshots (explicit calls still work).
+    pub snapshot_every_frames: u64,
+    /// How long delete tombstones are carried forward into snapshots
+    /// (milliseconds of database time). Compaction drops delete frames
+    /// below the snapshot LSN, but the EBF warm-start after recovery
+    /// still needs recent tombstones — caches may hold the deleted
+    /// records until their TTLs lapse. Should comfortably exceed the TTL
+    /// estimator's ceiling.
+    pub tombstone_retention_ms: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            group_commit: 64,
+            max_segment_bytes: 16 << 20,
+            snapshot_every_frames: 0,
+            tombstone_retention_ms: 3_600_000,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// A configuration for simulation and tests: no fsync, small segments
+    /// so rotation and compaction paths are exercised.
+    pub fn sim() -> DurabilityConfig {
+        DurabilityConfig {
+            fsync: FsyncPolicy::OsDefault,
+            group_commit: 1,
+            max_segment_bytes: 64 << 10,
+            snapshot_every_frames: 0,
+            tombstone_retention_ms: 3_600_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_safe() {
+        let c = DurabilityConfig::default();
+        assert_eq!(
+            c.fsync,
+            FsyncPolicy::Always,
+            "default must be the safe policy"
+        );
+        assert!(c.max_segment_bytes > 0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Snapshot files: the full table state at one LSN.
+//!
+//! A snapshot bounds replay work and enables segment compaction: every
+//! WAL frame with LSN ≤ the snapshot LSN is redundant once the snapshot
+//! is on disk. Snapshots also carry the set of registered (actively
+//! matched) queries, so re-registration after recovery survives the
+//! compaction of their original `RegisterQuery` frames.
+//!
+//! File layout (`snap-<lsn>.qsnap`, written to a temp name and renamed so
+//! a crash mid-write never leaves a half snapshot under the real name):
+//!
+//! ```text
+//! [8-byte magic "QSNAPv1\n"][u64 lsn][u32 body_len][u32 crc32(body)][body]
+//! body: u32 table_count
+//!       per table: str name, u64 seq, u32 record_count,
+//!                  per record: str id, u64 version, u64 updated_at, doc
+//!       u32 query_count, per query: Query
+//!       u32 tombstone_count, per tombstone: str table, str id, u64 at_ms
+//! ```
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use quaestor_common::{Error, Result};
+use quaestor_document::Document;
+use quaestor_query::Query;
+
+use crate::codec::{get_document, get_query, put_document, put_query, Reader, Writer};
+use crate::frame::crc32;
+use crate::wal::{fsync_dir, io_err};
+
+const MAGIC: &[u8; 8] = b"QSNAPv1\n";
+const SNAP_PREFIX: &str = "snap-";
+const SNAP_SUFFIX: &str = ".qsnap";
+
+/// One record inside a snapshotted table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotRecord {
+    /// Primary key.
+    pub id: String,
+    /// Record version (the ETag).
+    pub version: u64,
+    /// Timestamp of the last write (ms).
+    pub updated_at: u64,
+    /// The stored document.
+    pub doc: Document,
+}
+
+/// One table inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotTable {
+    /// Table name.
+    pub name: String,
+    /// The table's write-sequence counter at snapshot time.
+    pub seq: u64,
+    /// All records.
+    pub records: Vec<SnapshotRecord>,
+}
+
+/// A full point-in-time state: tables plus registered queries plus
+/// recent delete tombstones.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotData {
+    /// Every table (including empty ones).
+    pub tables: Vec<SnapshotTable>,
+    /// Queries actively matched at snapshot time.
+    pub queries: Vec<Query>,
+    /// Recent deletes as `(table, id, at_ms)`: compaction drops their
+    /// WAL frames, but recovery still warm-starts the EBF from them
+    /// (caches may hold the deleted records until their TTLs lapse).
+    pub tombstones: Vec<(String, String, u64)>,
+}
+
+fn snapshot_name(lsn: u64) -> String {
+    format!("{SNAP_PREFIX}{lsn:020}{SNAP_SUFFIX}")
+}
+
+fn snapshot_lsn_of(name: &str) -> Option<u64> {
+    name.strip_prefix(SNAP_PREFIX)?
+        .strip_suffix(SNAP_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// List snapshot files in `dir`, sorted ascending by LSN.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(io_err("read snapshot dir", e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read snapshot dir entry", e))?;
+        if let Some(lsn) = entry.file_name().to_str().and_then(snapshot_lsn_of) {
+            out.push((lsn, entry.path()));
+        }
+    }
+    out.sort_by_key(|(lsn, _)| *lsn);
+    Ok(out)
+}
+
+/// Serialize and write a snapshot of `data` at `lsn`; returns its path.
+/// The write is atomic (temp file + rename + dir-independent fsync).
+pub fn write_snapshot(dir: &Path, lsn: u64, data: &SnapshotData) -> Result<PathBuf> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err("create snapshot dir", e))?;
+    let mut w = Writer::new();
+    w.put_u32(data.tables.len() as u32);
+    for table in &data.tables {
+        w.put_str(&table.name);
+        w.put_u64(table.seq);
+        w.put_u32(table.records.len() as u32);
+        for rec in &table.records {
+            w.put_str(&rec.id);
+            w.put_u64(rec.version);
+            w.put_u64(rec.updated_at);
+            put_document(&mut w, &rec.doc);
+        }
+    }
+    w.put_u32(data.queries.len() as u32);
+    for q in &data.queries {
+        put_query(&mut w, q);
+    }
+    w.put_u32(data.tombstones.len() as u32);
+    for (table, id, at_ms) in &data.tombstones {
+        w.put_str(table);
+        w.put_str(id);
+        w.put_u64(*at_ms);
+    }
+    let body = w.into_bytes();
+
+    let mut file_bytes = Vec::with_capacity(body.len() + 24);
+    file_bytes.extend_from_slice(MAGIC);
+    file_bytes.extend_from_slice(&lsn.to_le_bytes());
+    file_bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    file_bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+    file_bytes.extend_from_slice(&body);
+
+    let tmp = dir.join(format!(".{}.tmp", snapshot_name(lsn)));
+    let path = dir.join(snapshot_name(lsn));
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create snapshot temp", e))?;
+        f.write_all(&file_bytes)
+            .map_err(|e| io_err("write snapshot", e))?;
+        f.sync_all().map_err(|e| io_err("sync snapshot", e))?;
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| io_err("rename snapshot into place", e))?;
+    // Persist the rename itself: compaction deletes the covering log
+    // segments right after this returns, so a snapshot whose directory
+    // entry evaporates on power loss would leave an unrecoverable gap.
+    fsync_dir(dir)?;
+    Ok(path)
+}
+
+/// Parse one snapshot file, validating magic, length and CRC.
+pub fn read_snapshot(path: &Path) -> Result<(u64, SnapshotData)> {
+    let bytes = std::fs::read(path).map_err(|e| io_err("read snapshot", e))?;
+    let fail = |msg: &str| {
+        Err(Error::Io(format!(
+            "invalid snapshot {}: {msg}",
+            path.display()
+        )))
+    };
+    if bytes.len() < 24 {
+        return fail("too short");
+    }
+    if &bytes[0..8] != MAGIC {
+        return fail("bad magic");
+    }
+    let lsn = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let body_len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    let want_crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    if bytes.len() != 24 + body_len {
+        return fail("length mismatch");
+    }
+    let body = &bytes[24..];
+    if crc32(body) != want_crc {
+        return fail("crc mismatch");
+    }
+    fn parse(r: &mut Reader<'_>) -> Result<SnapshotData, crate::codec::DecodeError> {
+        let table_count = r.u32()? as usize;
+        let mut tables = Vec::with_capacity(table_count.min(1024));
+        for _ in 0..table_count {
+            let name = r.str()?;
+            let seq = r.u64()?;
+            let record_count = r.u32()? as usize;
+            let mut records = Vec::with_capacity(record_count.min(4096));
+            for _ in 0..record_count {
+                let id = r.str()?;
+                let version = r.u64()?;
+                let updated_at = r.u64()?;
+                let doc = get_document(r)?;
+                records.push(SnapshotRecord {
+                    id,
+                    version,
+                    updated_at,
+                    doc,
+                });
+            }
+            tables.push(SnapshotTable { name, seq, records });
+        }
+        let query_count = r.u32()? as usize;
+        let mut queries = Vec::with_capacity(query_count.min(4096));
+        for _ in 0..query_count {
+            queries.push(get_query(r)?);
+        }
+        let tombstone_count = r.u32()? as usize;
+        let mut tombstones = Vec::with_capacity(tombstone_count.min(4096));
+        for _ in 0..tombstone_count {
+            let table = r.str()?;
+            let id = r.str()?;
+            let at_ms = r.u64()?;
+            tombstones.push((table, id, at_ms));
+        }
+        Ok(SnapshotData {
+            tables,
+            queries,
+            tombstones,
+        })
+    }
+    let mut r = Reader::new(body);
+    match parse(&mut r) {
+        Ok(data) => Ok((lsn, data)),
+        Err(e) => fail(&format!("undecodable body: {e}")),
+    }
+}
+
+/// Load the newest snapshot that parses and CRC-validates, skipping over
+/// damaged ones (a crash can tear at most the newest; older ones are a
+/// belt-and-braces fallback). Returns `None` for a snapshot-less dir.
+pub fn load_latest(dir: &Path) -> Result<Option<(u64, SnapshotData)>> {
+    let mut snaps = list_snapshots(dir)?;
+    while let Some((lsn, path)) = snaps.pop() {
+        match read_snapshot(&path) {
+            Ok((stored_lsn, data)) => {
+                if stored_lsn != lsn {
+                    return Err(Error::Io(format!(
+                        "snapshot {} claims lsn {stored_lsn}, file name says {lsn}",
+                        path.display()
+                    )));
+                }
+                return Ok(Some((lsn, data)));
+            }
+            // Damaged snapshot: fall back to the previous one. The WAL
+            // segments below it still exist (compaction only runs after
+            // a snapshot is durably in place), so no data is lost.
+            Err(_) if !snaps.is_empty() => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+/// Delete every snapshot older than `keep_lsn`. Returns how many.
+pub fn prune_below(dir: &Path, keep_lsn: u64) -> Result<usize> {
+    let mut removed = 0;
+    for (lsn, path) in list_snapshots(dir)? {
+        if lsn < keep_lsn {
+            std::fs::remove_file(&path).map_err(|e| io_err("remove old snapshot", e))?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_common::scratch_dir;
+    use quaestor_document::doc;
+    use quaestor_query::Filter;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        scratch_dir(&format!("snap-{tag}"))
+    }
+
+    fn sample() -> SnapshotData {
+        SnapshotData {
+            tables: vec![
+                SnapshotTable {
+                    name: "posts".into(),
+                    seq: 17,
+                    records: vec![SnapshotRecord {
+                        id: "p1".into(),
+                        version: 3,
+                        updated_at: 1_000,
+                        doc: doc! { "_id" => "p1", "likes" => 7 },
+                    }],
+                },
+                SnapshotTable {
+                    name: "empty".into(),
+                    seq: 0,
+                    records: vec![],
+                },
+            ],
+            queries: vec![Query::table("posts").filter(Filter::eq("likes", 7))],
+            tombstones: vec![("posts".into(), "gone".into(), 500)],
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let data = sample();
+        write_snapshot(&dir, 42, &data).unwrap();
+        let (lsn, back) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(lsn, 42);
+        assert_eq!(back, data);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newest_valid_snapshot_wins() {
+        let dir = temp_dir("newest");
+        write_snapshot(&dir, 10, &SnapshotData::default()).unwrap();
+        write_snapshot(&dir, 20, &sample()).unwrap();
+        let (lsn, data) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(lsn, 20);
+        assert_eq!(data.tables.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_newest_falls_back_to_older() {
+        let dir = temp_dir("damaged");
+        write_snapshot(&dir, 10, &sample()).unwrap();
+        let newest = write_snapshot(&dir, 20, &SnapshotData::default()).unwrap();
+        // Flip a byte inside the newest snapshot's body.
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        std::fs::write(&newest, &bytes).unwrap();
+        let (lsn, data) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(lsn, 10, "fell back to the valid older snapshot");
+        assert_eq!(data, sample());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = temp_dir("prune");
+        write_snapshot(&dir, 10, &SnapshotData::default()).unwrap();
+        write_snapshot(&dir, 20, &SnapshotData::default()).unwrap();
+        write_snapshot(&dir, 30, &sample()).unwrap();
+        assert_eq!(prune_below(&dir, 30).unwrap(), 2);
+        let snaps = list_snapshots(&dir).unwrap();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].0, 30);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_is_none() {
+        let dir = temp_dir("empty");
+        assert!(load_latest(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -303,6 +303,140 @@ mod tests {
     }
 
     #[test]
+    fn insert_exactly_at_window_tail_boundary() {
+        // Window is [0, 2) over a/b/c. A record that sorts exactly at the
+        // boundary (ties with the current tail on score) lands *outside*
+        // the window thanks to the deterministic _id tiebreak — it must
+        // be silent, and the window must not change.
+        let mut s = seeded();
+        let n = s.process(&write_event(
+            "posts",
+            "bz", // ties with b on score, sorts after it by _id
+            quaestor_store::WriteKind::Insert,
+            scored("bz", 20),
+            1,
+        ));
+        assert_eq!(s.window_ids(), vec!["a", "b"]);
+        assert!(n.is_empty(), "boundary insert below the cut is invisible");
+        // Whereas the same score with an _id sorting *before* b enters at
+        // the edge: exactly one Add for it, one Remove for b.
+        let n = s.process(&write_event(
+            "posts",
+            "aa",
+            quaestor_store::WriteKind::Insert,
+            scored("aa", 20),
+            2,
+        ));
+        assert_eq!(s.window_ids(), vec!["a", "aa"]);
+        let adds: Vec<&str> = n
+            .iter()
+            .filter(|x| x.event == NotificationEvent::Add)
+            .map(|x| x.record_id.as_ref())
+            .collect();
+        let removes: Vec<&str> = n
+            .iter()
+            .filter(|x| x.event == NotificationEvent::Remove)
+            .map(|x| x.record_id.as_ref())
+            .collect();
+        assert_eq!(adds, vec!["aa"], "exactly one Add for the entrant");
+        assert_eq!(
+            removes,
+            vec!["b"],
+            "exactly one Remove for the displaced tail"
+        );
+        assert_eq!(n.len(), 2, "no spurious events at the boundary");
+    }
+
+    #[test]
+    fn leaving_exactly_at_window_tail_emits_remove_add_pair() {
+        // b sits at the last window slot (index 1 of [0,2)). A score drop
+        // that moves it exactly one past the edge must emit Remove(b) +
+        // Add(c) — the promoted successor — and nothing else.
+        let mut s = seeded();
+        let n = s.process(&write_event(
+            "posts",
+            "b",
+            quaestor_store::WriteKind::Update,
+            scored("b", 5), // now sorts after c (10)
+            1,
+        ));
+        assert_eq!(s.window_ids(), vec!["a", "c"]);
+        assert!(n
+            .iter()
+            .any(|x| x.record_id.as_ref() == "b" && x.event == NotificationEvent::Remove));
+        assert!(n
+            .iter()
+            .any(|x| x.record_id.as_ref() == "c" && x.event == NotificationEvent::Add));
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn offset_leading_edge_boundary_transitions() {
+        // offset=1, limit=2 over scores 30/20/10/5: window = [b, c].
+        let q = Query::table("posts")
+            .filter(Filter::eq("kind", "post"))
+            .sort_by("score", Order::Desc)
+            .offset(1)
+            .limit(2);
+        let k = QueryKey::of(&q);
+        let mut s = SortedQueryState::new(
+            q,
+            k,
+            vec![
+                Arc::new(scored("a", 30)),
+                Arc::new(scored("b", 20)),
+                Arc::new(scored("c", 10)),
+                Arc::new(scored("d", 5)),
+            ],
+        );
+        assert_eq!(s.window_ids(), vec!["b", "c"]);
+        // a's score rises: it stays at rank 0, *outside* the window
+        // (inside the offset). Nothing visible changed — no events.
+        let n = s.process(&write_event(
+            "posts",
+            "a",
+            quaestor_store::WriteKind::Update,
+            scored("a", 99),
+            1,
+        ));
+        assert_eq!(s.window_ids(), vec!["b", "c"]);
+        assert!(n.is_empty(), "churn inside the offset is invisible");
+        // a drops to exactly the window's leading edge (rank 1): a enters
+        // the window, b slides from rank 1 to rank 2 (stays in), c slides
+        // out of the tail.
+        let n = s.process(&write_event(
+            "posts",
+            "a",
+            quaestor_store::WriteKind::Update,
+            scored("a", 15), // between b (20) and c (10)
+            2,
+        ));
+        assert_eq!(s.window_ids(), vec!["a", "c"]);
+        assert!(n
+            .iter()
+            .any(|x| x.record_id.as_ref() == "a" && x.event == NotificationEvent::Add));
+        assert!(n
+            .iter()
+            .any(|x| x.record_id.as_ref() == "b" && x.event == NotificationEvent::Remove));
+        // Deleting the record at the window's first slot promotes the
+        // record just past the tail (d) into the window.
+        let n = s.process(&write_event(
+            "posts",
+            "a",
+            quaestor_store::WriteKind::Delete,
+            scored("a", 15),
+            3,
+        ));
+        assert_eq!(s.window_ids(), vec!["c", "d"]);
+        assert!(n
+            .iter()
+            .any(|x| x.record_id.as_ref() == "a" && x.event == NotificationEvent::Remove));
+        assert!(n
+            .iter()
+            .any(|x| x.record_id.as_ref() == "d" && x.event == NotificationEvent::Add));
+    }
+
+    #[test]
     fn filter_still_applies() {
         let mut s = seeded();
         // Fails the predicate: kind != post.

@@ -4,8 +4,9 @@
 //! (§4.1), and clients "can directly subscribe to websocket-based query
 //! result change streams" (§3.2). Both are served by this fan-out bus:
 //! publishing clones the message to every live subscriber. Each
-//! [`Subscription`] carries an alive flag cleared on drop, so dead
-//! subscribers are pruned on the next publish to their channel.
+//! [`Subscription`] carries an alive flag cleared on drop; dead
+//! subscribers and emptied channel entries are pruned both on publish
+//! and on subscribe, so a bus with churning subscribers never leaks.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -69,6 +70,10 @@ struct Subscriber {
 #[derive(Default)]
 pub struct PubSub {
     channels: RwLock<FxHashMap<String, Vec<Subscriber>>>,
+    /// Full-bus sweeps run only when the channel count reaches this
+    /// watermark (then it doubles), so per-subscribe cleanup cost is
+    /// amortized O(1) instead of O(channels).
+    sweep_at: std::sync::atomic::AtomicUsize,
 }
 
 impl std::fmt::Debug for PubSub {
@@ -87,16 +92,31 @@ impl PubSub {
 
     /// Subscribe to `channel`.
     pub fn subscribe(&self, channel: &str) -> Subscription {
+        const MIN_SWEEP: usize = 8;
         let (tx, rx) = unbounded();
         let alive = Arc::new(AtomicBool::new(true));
-        self.channels
-            .write()
-            .entry(channel.to_owned())
-            .or_default()
-            .push(Subscriber {
-                tx,
-                alive: alive.clone(),
+        let mut chans = self.channels.write();
+        // Prune on subscribe as well as on publish, in two tiers: the
+        // target channel's dead subscribers go now (O(one vec)), and a
+        // full sweep dropping emptied channel entries runs only when the
+        // map has grown past a doubling watermark — channels that only
+        // ever see subscriptions must not leak forever, but a bus with
+        // 10k live query streams must not rescan all of them on every
+        // subscribe either.
+        if chans.len() >= self.sweep_at.load(Ordering::Relaxed) {
+            chans.retain(|_, subs| {
+                subs.retain(|s| s.alive.load(Ordering::Acquire));
+                !subs.is_empty()
             });
+            self.sweep_at
+                .store((chans.len() * 2).max(MIN_SWEEP), Ordering::Relaxed);
+        }
+        let subs = chans.entry(channel.to_owned()).or_default();
+        subs.retain(|s| s.alive.load(Ordering::Acquire));
+        subs.push(Subscriber {
+            tx,
+            alive: alive.clone(),
+        });
         Subscription {
             rx,
             channel: channel.to_owned(),
@@ -141,6 +161,12 @@ impl PubSub {
             .get(channel)
             .map(|v| v.iter().filter(|s| s.alive.load(Ordering::Acquire)).count())
             .unwrap_or(0)
+    }
+
+    /// Number of channel entries currently held in the map (dead channels
+    /// are pruned on subscribe and on publish-to-that-channel).
+    pub fn channel_count(&self) -> usize {
+        self.channels.read().len()
     }
 
     /// Drop all subscribers of a channel.
@@ -198,6 +224,27 @@ mod tests {
         drop(s);
         bus.publish("c", &b"m"[..]);
         assert_eq!(bus.subscriber_count("c"), 0);
+    }
+
+    #[test]
+    fn subscribe_prunes_dead_subscribers_and_empty_channels() {
+        let bus = PubSub::new();
+        // A burst of short-lived subscriptions across many channels: with
+        // publish-only pruning these entries would leak until someone
+        // published to each channel again.
+        for i in 0..16 {
+            let s = bus.subscribe(&format!("ephemeral-{i}"));
+            drop(s);
+        }
+        let _live = bus.subscribe("live");
+        assert_eq!(bus.channel_count(), 1, "subscribe must sweep dead channels");
+        // Dead subscriber inside a channel someone re-subscribes to.
+        let s1 = bus.subscribe("c");
+        drop(bus.subscribe("c"));
+        let s2 = bus.subscribe("c");
+        assert_eq!(bus.subscriber_count("c"), 2, "dead sibling pruned");
+        assert_eq!(bus.publish("c", &b"m"[..]), 2);
+        assert!(s1.try_recv().is_some() && s2.try_recv().is_some());
     }
 
     #[test]

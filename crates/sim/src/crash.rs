@@ -1,0 +1,236 @@
+//! Crash-recovery scenario: kill a durable origin mid-workload, reopen
+//! it, and account for every acknowledged write.
+//!
+//! The scenario drives concurrent writer threads against a durable
+//! [`QuaestorServer`], each recording the writes it saw acknowledged
+//! (returned `Ok`). At the kill point the server is dropped **without
+//! flushing** — the process-crash model: whatever sat in the group-commit
+//! buffer is gone, whatever the WAL called durable survives. A fresh
+//! server then recovers from the same directory and the report compares
+//! the recovered table state against the acknowledged model.
+//!
+//! Under [`FsyncPolicy::Always`] the contract is exact: **zero
+//! acknowledged writes lost**. Under `EveryN(n)` the loss is bounded by
+//! the group; under `OsDefault` it is bounded by what the page cache had
+//! not absorbed (in-process drop loses only the engine buffer, so this
+//! still recovers everything written out).
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use quaestor_common::{FxHashMap, ManualClock};
+use quaestor_core::{QuaestorServer, ServerConfig};
+use quaestor_document::{doc, Value};
+use quaestor_durability::{DurabilityConfig, FsyncPolicy};
+
+/// Scenario knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashConfig {
+    /// Concurrent writer threads.
+    pub writers: usize,
+    /// Total acknowledged operations after which the crash is triggered.
+    pub kill_after_ops: usize,
+    /// WAL fsync cadence for the run.
+    pub fsync: FsyncPolicy,
+    /// WAL group-commit batch size.
+    pub group_commit: usize,
+}
+
+impl Default for CrashConfig {
+    fn default() -> Self {
+        CrashConfig {
+            writers: 4,
+            kill_after_ops: 400,
+            fsync: FsyncPolicy::Always,
+            group_commit: 64,
+        }
+    }
+}
+
+/// What one record should look like if every acknowledged write survived.
+#[derive(Debug, Clone, PartialEq)]
+enum Expected {
+    /// Live at (version, counter value).
+    Live(u64, i64),
+    /// Acknowledged as deleted.
+    Deleted,
+}
+
+/// Outcome of the scenario.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// Distinct records with at least one acknowledged write before the
+    /// crash; each is audited against its *last* acknowledged state.
+    pub acknowledged: usize,
+    /// Audited records found exactly in their last acknowledged state.
+    pub recovered: usize,
+    /// Audited records missing or wrong after recovery.
+    pub lost: usize,
+    /// Wall-clock microseconds the reopen (recovery) took.
+    pub recovery_wall_us: u128,
+    /// Records in the recovered table.
+    pub recovered_records: usize,
+}
+
+impl CrashReport {
+    /// The headline property: no acknowledged write was lost.
+    pub fn zero_loss(&self) -> bool {
+        self.lost == 0
+    }
+}
+
+/// Run the kill-and-recover round trip in `dir` (must be empty/fresh).
+pub fn crash_recovery(dir: &Path, config: CrashConfig) -> CrashReport {
+    let durability = DurabilityConfig {
+        fsync: config.fsync,
+        group_commit: config.group_commit,
+        ..DurabilityConfig::default()
+    };
+    // Phase 1: workload until the kill point.
+    let acked: Vec<(String, Expected)> = {
+        let server =
+            QuaestorServer::open_with(dir, ServerConfig::default(), durability, ManualClock::new())
+                .expect("fresh open");
+        let ops_done = AtomicUsize::new(0);
+        let acked: Vec<Vec<(String, Expected)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..config.writers.max(1))
+                .map(|w| {
+                    let server = &server;
+                    let ops_done = &ops_done;
+                    s.spawn(move || {
+                        // Each writer owns its key space, so the expected
+                        // state needs no cross-thread ordering.
+                        let mut model: FxHashMap<String, Expected> = FxHashMap::default();
+                        let mut i = 0usize;
+                        while ops_done.fetch_add(1, Ordering::Relaxed) < config.kill_after_ops {
+                            let rec_idx = i / 3;
+                            let id = format!("w{w}-r{rec_idx}");
+                            // Per record: insert, update, then either a
+                            // delete (even records) or a second update
+                            // (odd records) — the recovered table keeps
+                            // half the records, exercising both live and
+                            // tombstone recovery.
+                            let inc = quaestor_document::Update::new().inc("balance", 1.0);
+                            let _acked = match (i % 3, rec_idx % 2) {
+                                (0, _) => server
+                                    .insert("accounts", &id, doc! { "balance" => 100 })
+                                    .map(|(v, _)| model.insert(id.clone(), Expected::Live(v, 100)))
+                                    .is_ok(),
+                                (1, _) => server
+                                    .update("accounts", &id, &inc)
+                                    .map(|(v, _)| model.insert(id.clone(), Expected::Live(v, 101)))
+                                    .is_ok(),
+                                (_, 0) => server
+                                    .delete("accounts", &id)
+                                    .map(|_| model.insert(id.clone(), Expected::Deleted))
+                                    .is_ok(),
+                                _ => server
+                                    .update("accounts", &id, &inc)
+                                    .map(|(v, _)| model.insert(id.clone(), Expected::Live(v, 102)))
+                                    .is_ok(),
+                            };
+                            // Un-acked ops (errors) leave the model on the
+                            // last acknowledged state: exactly what the
+                            // recovered store must reproduce.
+                            i += 1;
+                        }
+                        model.into_iter().collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // CRASH: drop the server (and its engine) without flush.
+        acked.into_iter().flatten().collect()
+    };
+
+    // Phase 2: recover and audit.
+    let start = std::time::Instant::now();
+    let server =
+        QuaestorServer::open_with(dir, ServerConfig::default(), durability, ManualClock::new())
+            .expect("recovery open");
+    let recovery_wall_us = start.elapsed().as_micros();
+
+    let table = server.database().table("accounts").ok();
+    let mut recovered = 0usize;
+    let mut lost = 0usize;
+    for (id, expected) in &acked {
+        let actual = table.as_ref().and_then(|t| t.get(id));
+        let ok = match (expected, &actual) {
+            (Expected::Deleted, None) => true,
+            (Expected::Live(version, balance), Some(rec)) => {
+                rec.version == *version && rec.doc["balance"] == Value::Int(*balance)
+            }
+            _ => false,
+        };
+        if ok {
+            recovered += 1;
+        } else {
+            lost += 1;
+        }
+    }
+    CrashReport {
+        acknowledged: acked.len(),
+        recovered,
+        lost,
+        recovery_wall_us,
+        recovered_records: table.map(|t| t.len()).unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_common::scratch_dir;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        scratch_dir(&format!("crash-{tag}"))
+    }
+
+    #[test]
+    fn always_fsync_loses_no_acknowledged_write() {
+        let dir = temp_dir("always");
+        let report = crash_recovery(
+            &dir,
+            CrashConfig {
+                writers: 4,
+                kill_after_ops: 300,
+                fsync: FsyncPolicy::Always,
+                group_commit: 32,
+            },
+        );
+        assert!(report.acknowledged > 0);
+        assert!(
+            report.zero_loss(),
+            "fsync=Always lost {} of {} acknowledged writes",
+            report.lost,
+            report.acknowledged
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_bounds_loss_to_the_buffer() {
+        let dir = temp_dir("group");
+        let group = 16;
+        let report = crash_recovery(
+            &dir,
+            CrashConfig {
+                writers: 2,
+                kill_after_ops: 200,
+                fsync: FsyncPolicy::EveryN(group),
+                group_commit: group,
+            },
+        );
+        // The crash can only eat what still sat in the engine buffer:
+        // strictly fewer than `group` frames (records can be touched by
+        // several buffered ops, so compare against frames, not records).
+        assert!(
+            report.lost < group,
+            "lost {} acknowledged writes, group is {group}",
+            report.lost
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

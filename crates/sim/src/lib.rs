@@ -16,12 +16,14 @@
 //! measured against globally ordered ground truth, exactly as the paper
 //! prescribes.
 
+pub mod crash;
 pub mod driver;
 pub mod latency;
 pub mod middleware;
 pub mod scenario;
 pub mod ttl_cdf;
 
+pub use crash::{crash_recovery, CrashConfig, CrashReport};
 pub use driver::{SimConfig, SimReport, Simulation, SystemVariant};
 pub use latency::LatencyModel;
 pub use middleware::LatencyInjector;

@@ -7,7 +7,8 @@ use quaestor_common::{ClockRef, Error, FxHashMap, Result, SystemClock};
 use quaestor_query::Query;
 
 use crate::changes::{ChangeStream, ChangeSubscription};
-use crate::table::Table;
+use crate::sink::WriteSink;
+use crate::table::{SinkSlot, Table};
 
 /// A multi-table document database.
 ///
@@ -16,6 +17,9 @@ use crate::table::Table;
 pub struct Database {
     tables: RwLock<FxHashMap<String, Arc<Table>>>,
     changes: Arc<ChangeStream>,
+    /// The attached durability sink, shared with every table. Swappable
+    /// at runtime so recovery can replay *before* attaching the log.
+    sink: SinkSlot,
     clock: ClockRef,
     shards_per_table: usize,
 }
@@ -45,9 +49,22 @@ impl Database {
         Arc::new(Database {
             tables: RwLock::new(FxHashMap::default()),
             changes: Arc::new(ChangeStream::new()),
+            sink: SinkSlot::default(),
             clock,
             shards_per_table,
         })
+    }
+
+    /// Attach a durability sink: from now on every write on every table
+    /// (existing and future) flows through it *before* acknowledgement,
+    /// and new tables are announced via [`WriteSink::table_created`].
+    pub fn attach_sink(&self, sink: Arc<dyn WriteSink>) {
+        *self.sink.write() = Some(sink);
+    }
+
+    /// Detach the durability sink (writes stop being logged).
+    pub fn detach_sink(&self) {
+        *self.sink.write() = None;
     }
 
     /// Create (or return the existing) table named `name`.
@@ -55,18 +72,32 @@ impl Database {
         if let Some(t) = self.tables.read().get(name) {
             return t.clone();
         }
-        let mut tables = self.tables.write();
-        tables
-            .entry(name.to_owned())
-            .or_insert_with(|| {
-                Arc::new(Table::new(
-                    name.to_owned(),
-                    self.shards_per_table,
-                    self.changes.clone(),
-                    self.clock.clone(),
-                ))
-            })
-            .clone()
+        let mut created = false;
+        let table = {
+            let mut tables = self.tables.write();
+            tables
+                .entry(name.to_owned())
+                .or_insert_with(|| {
+                    created = true;
+                    Arc::new(Table::new(
+                        name.to_owned(),
+                        self.shards_per_table,
+                        self.changes.clone(),
+                        self.sink.clone(),
+                        self.clock.clone(),
+                    ))
+                })
+                .clone()
+        };
+        if created {
+            // Best-effort metadata: a failed CreateTable frame only means
+            // an *empty* table might be absent after recovery — any table
+            // with data is reconstructed from its write frames.
+            if let Some(sink) = self.sink.read().clone() {
+                let _ = sink.table_created(name);
+            }
+        }
+        table
     }
 
     /// Look up an existing table.

@@ -16,12 +16,20 @@
 //!   record after-images provided with each incoming write operation"
 //!   (§4.1). Every insert/update/delete is published as a [`WriteEvent`]
 //!   carrying the full after-image.
+//! * A **durability seam**: an attachable [`WriteSink`] observes every
+//!   write synchronously *before* acknowledgement (how
+//!   `quaestor-durability` write-ahead-logs the store), and version-keyed
+//!   replay hooks ([`Table::apply_recovered_write`],
+//!   [`Table::set_seq_floor`]) let crash recovery rebuild tables
+//!   idempotently on the existing `seq` total order.
 
 pub mod changes;
 pub mod database;
 pub mod index;
+pub mod sink;
 pub mod table;
 
 pub use changes::{ChangeStream, WriteEvent, WriteKind};
 pub use database::Database;
+pub use sink::WriteSink;
 pub use table::{StoredRecord, Table};

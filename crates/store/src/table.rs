@@ -10,6 +10,15 @@ use quaestor_query::{matcher, Query};
 
 use crate::changes::{ChangeStream, WriteEvent, WriteKind};
 use crate::index::HashIndex;
+use crate::sink::WriteSink;
+
+/// Shared, swappable slot holding the database's attached [`WriteSink`]
+/// (one slot per database, cloned into every table).
+pub(crate) type SinkSlot = Arc<RwLock<Option<Arc<dyn WriteSink>>>>;
+
+/// A staged-but-not-yet-durable sink ticket; resolved by
+/// `Table::commit_pending` after the shard lock is released.
+type Pending = Option<(Arc<dyn WriteSink>, u64)>;
 
 /// A stored record: the document plus its version and write timestamp.
 #[derive(Debug, Clone)]
@@ -39,6 +48,7 @@ pub struct Table {
     indexes: RwLock<Vec<HashIndex>>,
     seq: AtomicU64,
     changes: Arc<ChangeStream>,
+    sink: SinkSlot,
     clock: ClockRef,
 }
 
@@ -56,6 +66,7 @@ impl Table {
         name: String,
         shards: usize,
         changes: Arc<ChangeStream>,
+        sink: SinkSlot,
         clock: ClockRef,
     ) -> Table {
         assert!(shards > 0);
@@ -65,6 +76,7 @@ impl Table {
             indexes: RwLock::new(Vec::new()),
             seq: AtomicU64::new(0),
             changes,
+            sink,
             clock,
         }
     }
@@ -127,6 +139,13 @@ impl Table {
         }
     }
 
+    /// Stage the event with the attached sink and fan it out. Callers
+    /// invoke this while still holding the record's shard write lock:
+    /// same-record events must reach the log in *apply order*, or a
+    /// delete + re-insert (which resets the version to 1) could replay
+    /// as insert-then-delete and lose the acknowledged re-insert. Only
+    /// the cheap staging happens under the lock — the fsync half lives
+    /// in [`commit_pending`](Self::commit_pending).
     fn publish(
         &self,
         id: Arc<str>,
@@ -134,7 +153,7 @@ impl Table {
         image: Arc<Document>,
         version: Version,
         at: Timestamp,
-    ) -> WriteEvent {
+    ) -> Result<(WriteEvent, Pending)> {
         // Zero-copy: table name and id travel as refcount bumps.
         let event = WriteEvent {
             table: self.name.clone(),
@@ -145,8 +164,31 @@ impl Table {
             seq: self.next_seq(),
             at,
         };
+        // Durability staging BEFORE acknowledgement: an attached sink
+        // (the WAL) sees the event synchronously; if it fails, the
+        // caller gets an error instead of an ack. The in-memory apply
+        // has already happened — the write is not silently lost, it is
+        // *unreported*, exactly what recovery-or-retry semantics need.
+        let pending = match self.sink.read().clone() {
+            Some(sink) => {
+                let ticket = sink.append(&event)?;
+                Some((sink, ticket))
+            }
+            None => None,
+        };
         self.changes.publish(event.clone());
-        event
+        Ok((event, pending))
+    }
+
+    /// Second durability phase, run after the shard lock is released:
+    /// wait for the staged ticket to be durable per the sink's fsync
+    /// policy. Concurrent writers batch here — one fsync covers every
+    /// ticket staged before it (group commit).
+    fn commit_pending(pending: Pending) -> Result<()> {
+        match pending {
+            Some((sink, ticket)) => sink.commit(ticket),
+            None => Ok(()),
+        }
     }
 
     /// Insert a new record. The document gets an `_id` field set to `id`.
@@ -156,25 +198,26 @@ impl Table {
         let now = self.clock.now();
         let arc = Arc::new(doc);
         let key: Arc<str> = Arc::from(id);
-        {
-            let mut shard = self.shard(id).write();
-            if shard.map.contains_key(id) {
-                return Err(Error::AlreadyExists {
-                    table: self.name.to_string(),
-                    id: id.to_owned(),
-                });
-            }
-            shard.map.insert(
-                key.clone(),
-                StoredRecord {
-                    doc: arc.clone(),
-                    version: 1,
-                    updated_at: now,
-                },
-            );
+        let mut shard = self.shard(id).write();
+        if shard.map.contains_key(id) {
+            return Err(Error::AlreadyExists {
+                table: self.name.to_string(),
+                id: id.to_owned(),
+            });
         }
+        shard.map.insert(
+            key.clone(),
+            StoredRecord {
+                doc: arc.clone(),
+                version: 1,
+                updated_at: now,
+            },
+        );
         self.index_insert(id, &arc);
-        Ok(self.publish(key, WriteKind::Insert, arc, 1, now))
+        let (event, pending) = self.publish(key, WriteKind::Insert, arc, 1, now)?;
+        drop(shard);
+        Self::commit_pending(pending)?;
+        Ok(event)
     }
 
     /// Read a record.
@@ -192,41 +235,42 @@ impl Table {
         expected_version: Option<Version>,
     ) -> Result<WriteEvent> {
         let now = self.clock.now();
-        let (key, old, new, version) = {
-            let mut shard = self.shard(id).write();
-            let key = shard
-                .map
-                .get_key_value(id)
-                .map(|(k, _)| k.clone())
-                .ok_or_else(|| Error::NotFound {
+        let mut shard = self.shard(id).write();
+        let key = shard
+            .map
+            .get_key_value(id)
+            .map(|(k, _)| k.clone())
+            .ok_or_else(|| Error::NotFound {
+                table: self.name.to_string(),
+                id: id.to_owned(),
+            })?;
+        let rec = shard.map.get_mut(id).expect("key just resolved");
+        if let Some(expected) = expected_version {
+            if rec.version != expected {
+                return Err(Error::VersionMismatch {
                     table: self.name.to_string(),
                     id: id.to_owned(),
-                })?;
-            let rec = shard.map.get_mut(id).expect("key just resolved");
-            if let Some(expected) = expected_version {
-                if rec.version != expected {
-                    return Err(Error::VersionMismatch {
-                        table: self.name.to_string(),
-                        id: id.to_owned(),
-                        expected,
-                        actual: rec.version,
-                    });
-                }
+                    expected,
+                    actual: rec.version,
+                });
             }
-            // Apply to a clone so a failed operator leaves the record
-            // untouched (atomicity of the update batch).
-            let mut doc = (*rec.doc).clone();
-            update.apply(&mut doc)?;
-            doc.insert("_id".to_owned(), Value::str(id));
-            let old = rec.doc.clone();
-            let new = Arc::new(doc);
-            rec.doc = new.clone();
-            rec.version += 1;
-            rec.updated_at = now;
-            (key, old, new, rec.version)
-        };
+        }
+        // Apply to a clone so a failed operator leaves the record
+        // untouched (atomicity of the update batch).
+        let mut doc = (*rec.doc).clone();
+        update.apply(&mut doc)?;
+        doc.insert("_id".to_owned(), Value::str(id));
+        let old = rec.doc.clone();
+        let new = Arc::new(doc);
+        rec.doc = new.clone();
+        rec.version += 1;
+        rec.updated_at = now;
+        let version = rec.version;
         self.index_update(id, &old, &new);
-        Ok(self.publish(key, WriteKind::Update, new, version, now))
+        let (event, pending) = self.publish(key, WriteKind::Update, new, version, now)?;
+        drop(shard);
+        Self::commit_pending(pending)?;
+        Ok(event)
     }
 
     /// Replace the whole document (upsert = false).
@@ -239,61 +283,63 @@ impl Table {
         doc.insert("_id".to_owned(), Value::str(id));
         let now = self.clock.now();
         let arc = Arc::new(doc);
-        let (key, old, version) = {
-            let mut shard = self.shard(id).write();
-            let key = shard
-                .map
-                .get_key_value(id)
-                .map(|(k, _)| k.clone())
-                .ok_or_else(|| Error::NotFound {
+        let mut shard = self.shard(id).write();
+        let key = shard
+            .map
+            .get_key_value(id)
+            .map(|(k, _)| k.clone())
+            .ok_or_else(|| Error::NotFound {
+                table: self.name.to_string(),
+                id: id.to_owned(),
+            })?;
+        let rec = shard.map.get_mut(id).expect("key just resolved");
+        if let Some(expected) = expected_version {
+            if rec.version != expected {
+                return Err(Error::VersionMismatch {
                     table: self.name.to_string(),
                     id: id.to_owned(),
-                })?;
-            let rec = shard.map.get_mut(id).expect("key just resolved");
-            if let Some(expected) = expected_version {
-                if rec.version != expected {
-                    return Err(Error::VersionMismatch {
-                        table: self.name.to_string(),
-                        id: id.to_owned(),
-                        expected,
-                        actual: rec.version,
-                    });
-                }
+                    expected,
+                    actual: rec.version,
+                });
             }
-            let old = rec.doc.clone();
-            rec.doc = arc.clone();
-            rec.version += 1;
-            rec.updated_at = now;
-            (key, old, rec.version)
-        };
+        }
+        let old = rec.doc.clone();
+        rec.doc = arc.clone();
+        rec.version += 1;
+        rec.updated_at = now;
+        let version = rec.version;
         self.index_update(id, &old, &arc);
-        Ok(self.publish(key, WriteKind::Update, arc, version, now))
+        let (event, pending) = self.publish(key, WriteKind::Update, arc, version, now)?;
+        drop(shard);
+        Self::commit_pending(pending)?;
+        Ok(event)
     }
 
     /// Delete a record. The event carries the before-image.
     pub fn delete(&self, id: &str, expected_version: Option<Version>) -> Result<WriteEvent> {
         let now = self.clock.now();
-        let (key, old, version) = {
-            let mut shard = self.shard(id).write();
-            let rec = shard.map.get(id).ok_or_else(|| Error::NotFound {
-                table: self.name.to_string(),
-                id: id.to_owned(),
-            })?;
-            if let Some(expected) = expected_version {
-                if rec.version != expected {
-                    return Err(Error::VersionMismatch {
-                        table: self.name.to_string(),
-                        id: id.to_owned(),
-                        expected,
-                        actual: rec.version,
-                    });
-                }
+        let mut shard = self.shard(id).write();
+        let rec = shard.map.get(id).ok_or_else(|| Error::NotFound {
+            table: self.name.to_string(),
+            id: id.to_owned(),
+        })?;
+        if let Some(expected) = expected_version {
+            if rec.version != expected {
+                return Err(Error::VersionMismatch {
+                    table: self.name.to_string(),
+                    id: id.to_owned(),
+                    expected,
+                    actual: rec.version,
+                });
             }
-            let (key, rec) = shard.map.remove_entry(id).unwrap();
-            (key, rec.doc, rec.version)
-        };
+        }
+        let (key, rec) = shard.map.remove_entry(id).unwrap();
+        let (old, version) = (rec.doc, rec.version);
         self.index_remove(id, &old);
-        Ok(self.publish(key, WriteKind::Delete, old, version, now))
+        let (event, pending) = self.publish(key, WriteKind::Delete, old, version, now)?;
+        drop(shard);
+        Self::commit_pending(pending)?;
+        Ok(event)
     }
 
     /// Execute a query. Uses a hash index when the filter pins an indexed
@@ -352,6 +398,117 @@ impl Table {
             .collect()
     }
 
+    // ---- durability hooks ------------------------------------------------
+
+    /// Current value of the per-table write-sequence counter (the `seq`
+    /// of the most recent write; 0 if none). Snapshotted by the
+    /// durability layer so recovery restores monotonic sequencing.
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Raise the sequence counter to at least `seq`. Recovery calls this
+    /// while replaying so post-recovery writes continue the total order
+    /// instead of re-issuing already-logged sequence numbers.
+    pub fn set_seq_floor(&self, seq: u64) {
+        self.seq.fetch_max(seq, Ordering::SeqCst);
+    }
+
+    /// Restore one record exactly as snapshotted: no event is published,
+    /// no sink is invoked, version and timestamp are taken verbatim.
+    pub fn restore_record(&self, id: &str, doc: Arc<Document>, version: Version, at: Timestamp) {
+        let key: Arc<str> = Arc::from(id);
+        {
+            let mut shard = self.shard(id).write();
+            shard.map.insert(
+                key,
+                StoredRecord {
+                    doc: doc.clone(),
+                    version,
+                    updated_at: at,
+                },
+            );
+        }
+        self.index_insert(id, &doc);
+    }
+
+    /// Replay one logged write during recovery, keyed on the recorded
+    /// version (and raising the seq floor to the recorded `seq`): the
+    /// event applies only if it is *newer* than the in-memory record, so
+    /// replay is idempotent and robust to log frames whose append order
+    /// raced the in-memory apply order. No event is published and no sink
+    /// is invoked. Returns true if the event changed state.
+    pub fn apply_recovered_write(
+        &self,
+        kind: WriteKind,
+        id: &str,
+        image: Arc<Document>,
+        version: Version,
+        seq: u64,
+        at: Timestamp,
+    ) -> bool {
+        self.set_seq_floor(seq);
+        match kind {
+            WriteKind::Delete => {
+                let removed = {
+                    let mut shard = self.shard(id).write();
+                    match shard.map.get(id) {
+                        // A delete tombstone beats any version at or
+                        // below it (the delete of v3 logs version 3).
+                        Some(rec) if rec.version <= version => {
+                            shard.map.remove_entry(id).map(|(_, rec)| rec.doc)
+                        }
+                        _ => None,
+                    }
+                };
+                match removed {
+                    Some(doc) => {
+                        self.index_remove(id, &doc);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            WriteKind::Insert | WriteKind::Update => {
+                let applied = {
+                    let mut shard = self.shard(id).write();
+                    match shard.map.get_mut(id) {
+                        Some(rec) if rec.version >= version => None,
+                        Some(rec) => {
+                            let old = rec.doc.clone();
+                            rec.doc = image.clone();
+                            rec.version = version;
+                            rec.updated_at = at;
+                            Some(Some(old))
+                        }
+                        None => {
+                            shard.map.insert(
+                                Arc::from(id),
+                                StoredRecord {
+                                    doc: image.clone(),
+                                    version,
+                                    updated_at: at,
+                                },
+                            );
+                            Some(None)
+                        }
+                    }
+                };
+                match applied {
+                    Some(Some(old)) => {
+                        self.index_update(id, &old, &image);
+                        true
+                    }
+                    Some(None) => {
+                        self.index_insert(id, &image);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
     /// Iterate a snapshot of all records (used for index builds and tests).
     pub fn snapshot(&self) -> Vec<(String, StoredRecord)> {
         let mut out = Vec::with_capacity(self.len());
@@ -374,7 +531,13 @@ mod tests {
         let changes = Arc::new(ChangeStream::new());
         let clock = ManualClock::new();
         (
-            Table::new("posts".into(), 4, changes.clone(), clock),
+            Table::new(
+                "posts".into(),
+                4,
+                changes.clone(),
+                SinkSlot::default(),
+                clock,
+            ),
             changes,
         )
     }
@@ -524,6 +687,93 @@ mod tests {
         let r = t.query(&q);
         let ns: Vec<i64> = r.iter().map(|d| d["n"].as_i64().unwrap()).collect();
         assert_eq!(ns, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn sink_sees_writes_before_ack_and_can_veto() {
+        struct Veto(std::sync::atomic::AtomicBool, std::sync::atomic::AtomicU64);
+        impl crate::sink::WriteSink for Veto {
+            fn append(&self, _event: &WriteEvent) -> Result<u64> {
+                let n = self.1.fetch_add(1, Ordering::Relaxed);
+                if self.0.load(Ordering::Relaxed) {
+                    Err(Error::Io("disk full".into()))
+                } else {
+                    Ok(n)
+                }
+            }
+        }
+        let (t, changes) = table();
+        let sink = Arc::new(Veto(
+            std::sync::atomic::AtomicBool::new(false),
+            std::sync::atomic::AtomicU64::new(0),
+        ));
+        *t.sink.write() = Some(sink.clone());
+        let sub = changes.subscribe();
+        t.insert("p1", doc! { "a" => 1 }).unwrap();
+        assert_eq!(sink.1.load(Ordering::Relaxed), 1, "sink saw the write");
+        // Failing sink => the operation errors and nothing reaches the
+        // change stream (no ack, no downstream fan-out).
+        sub.drain();
+        sink.0.store(true, Ordering::Relaxed);
+        let err = t.insert("p2", doc! { "a" => 2 }).unwrap_err();
+        assert_eq!(err.status_code(), 500);
+        assert!(sub.drain().is_empty(), "vetoed write must not fan out");
+    }
+
+    #[test]
+    fn recovery_replay_is_version_keyed_and_idempotent() {
+        let (t, _) = table();
+        t.restore_record(
+            "p1",
+            Arc::new(doc! { "_id" => "p1", "n" => 1 }),
+            2,
+            Timestamp::ZERO,
+        );
+        t.set_seq_floor(2);
+        // Stale replay (version 1 < stored 2): no-op.
+        assert!(!t.apply_recovered_write(
+            WriteKind::Update,
+            "p1",
+            Arc::new(doc! { "_id" => "p1", "n" => 0 }),
+            1,
+            1,
+            Timestamp::ZERO,
+        ));
+        assert_eq!(t.get("p1").unwrap().doc["n"], Value::Int(1));
+        // Newer replay applies; applying it twice is a no-op the second
+        // time (idempotent recovery).
+        let img = Arc::new(doc! { "_id" => "p1", "n" => 9 });
+        assert!(t.apply_recovered_write(
+            WriteKind::Update,
+            "p1",
+            img.clone(),
+            3,
+            3,
+            Timestamp::from_millis(5),
+        ));
+        assert!(!t.apply_recovered_write(
+            WriteKind::Update,
+            "p1",
+            img,
+            3,
+            3,
+            Timestamp::from_millis(5),
+        ));
+        assert_eq!(t.get("p1").unwrap().version, 3);
+        assert_eq!(t.seq(), 3, "seq floor follows the replayed frames");
+        // Delete tombstone at the current version removes the record.
+        assert!(t.apply_recovered_write(
+            WriteKind::Delete,
+            "p1",
+            Arc::new(doc! {}),
+            3,
+            4,
+            Timestamp::from_millis(6),
+        ));
+        assert!(t.get("p1").is_none());
+        // Post-recovery writes continue the sequence past the floor.
+        let ev = t.insert("p2", doc! { "x" => 1 }).unwrap();
+        assert_eq!(ev.seq, 5);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Durable server: write-ahead logging, a simulated crash, and recovery.
+//!
+//! ```sh
+//! cargo run --example durable_server
+//! ```
+//!
+//! Opens a Quaestor origin bound to an on-disk durability directory,
+//! takes some writes and registers a live query, then "crashes" (drops
+//! the server without any graceful shutdown) and reopens from the same
+//! directory: the data is back, the query is re-registered with InvaliDB,
+//! and the EBF remembers the deleted record.
+
+use quaestor::prelude::*;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("quaestor-durable-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let q = Query::table("articles").filter(Filter::eq("section", "frontpage"));
+
+    // ---- session 1: write, cache, crash ---------------------------------
+    {
+        let clock = ManualClock::new();
+        let server = QuaestorServer::open_with(
+            &dir,
+            ServerConfig::default(),
+            DurabilityConfig::default(), // fsync = Always: acked == on disk
+            clock.clone(),
+        )
+        .expect("open durability directory");
+
+        server
+            .insert(
+                "articles",
+                "a1",
+                doc! { "section" => "frontpage", "title" => "hello" },
+            )
+            .unwrap();
+        server
+            .insert(
+                "articles",
+                "a2",
+                doc! { "section" => "frontpage", "title" => "world" },
+            )
+            .unwrap();
+        server
+            .insert(
+                "articles",
+                "a3",
+                doc! { "section" => "archive", "title" => "old" },
+            )
+            .unwrap();
+
+        // A cache-miss evaluation registers the query with InvaliDB; the
+        // registration itself is logged, so it survives restarts.
+        let resp = server.query(&q).unwrap();
+        println!(
+            "session 1: query served {} articles (ttl {} ms)",
+            resp.ids.len(),
+            resp.ttl_ms
+        );
+
+        // A delete right before the crash: some CDN may still hold a3.
+        server.delete("articles", "a3").unwrap();
+
+        let lsn = server.flush().unwrap();
+        println!("session 1: wal durable up to lsn {lsn}");
+        // No graceful shutdown — the server (and its WAL handle) is
+        // simply dropped here. That is the crash.
+    }
+
+    // ---- session 2: recover ---------------------------------------------
+    let clock = ManualClock::new();
+    let server = QuaestorServer::open_with(
+        &dir,
+        ServerConfig::default(),
+        DurabilityConfig::default(),
+        clock.clone(),
+    )
+    .expect("recovery");
+
+    let report = server
+        .database()
+        .table("articles")
+        .map(|t| (t.len(), t.seq()))
+        .unwrap();
+    println!(
+        "session 2: recovered {} articles, seq counter at {}",
+        report.0, report.1
+    );
+    assert_eq!(report.0, 2, "a1 + a2 live, a3 deleted");
+
+    // The query came back registered: a new matching write invalidates it
+    // without anyone re-running the query first.
+    assert_eq!(server.active_query_count(), 1);
+    server
+        .insert(
+            "articles",
+            "a4",
+            doc! { "section" => "frontpage", "title" => "breaking" },
+        )
+        .unwrap();
+    let key = QueryKey::of(&q);
+    let (ebf, _) = server.ebf_snapshot();
+    assert!(ebf.contains(key.as_str().as_bytes()));
+    println!("session 2: recovered query registration invalidated by a new write ✓");
+
+    // And the pre-crash delete warm-started the EBF: a cached copy of a3
+    // will revalidate instead of being served stale.
+    assert!(ebf.contains(QueryKey::record("articles", "a3").as_str().as_bytes()));
+    println!("session 2: deleted record marked stale for surviving caches ✓");
+
+    // Checkpoint: snapshot the state, compact the log.
+    let snap_lsn = server.checkpoint().unwrap();
+    println!("session 2: checkpoint written at lsn {snap_lsn}, log compacted");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -106,6 +106,7 @@ pub use quaestor_client as client;
 pub use quaestor_common as common;
 pub use quaestor_core as core;
 pub use quaestor_document as document;
+pub use quaestor_durability as durability;
 pub use quaestor_invalidb as invalidb;
 pub use quaestor_kv as kv;
 pub use quaestor_query as query;
@@ -127,6 +128,7 @@ pub mod prelude {
         ShardRouter, Transaction,
     };
     pub use quaestor_document::{doc, varray, Document, Update, Value};
+    pub use quaestor_durability::{DurabilityConfig, FsyncPolicy};
     pub use quaestor_query::{Filter, Order, Query, QueryKey};
     pub use quaestor_sim::LatencyInjector;
     pub use quaestor_webcache::{Cache, ExpirationCache, InvalidationCache, ServedBy};
