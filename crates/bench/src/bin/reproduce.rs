@@ -63,6 +63,7 @@ fn main() {
             "shards",
             "matchidx",
             "durability",
+            "net",
         ]
     } else {
         targets
@@ -90,6 +91,7 @@ fn main() {
             "shards" => run_shards(scale),
             "matchidx" => run_matchidx(scale, &out),
             "durability" => run_durability(scale, &out),
+            "net" => run_net(scale, &out),
             other => {
                 eprintln!("unknown experiment '{other}' — see DESIGN.md for the index");
                 std::process::exit(2);
@@ -408,6 +410,34 @@ fn run_durability(scale: Scale, out: &std::path::Path) {
     t.print();
     let json = durability_json(&append, &recovery);
     write_bench_json(out, "durability", &json);
+}
+
+fn run_net(scale: Scale, out: &std::path::Path) {
+    println!("== Network layer: wire throughput & latency, in-process vs loopback TCP ==");
+    let rows = net_sweep(scale);
+    let mut t = TableWriter::new(&[
+        "mode", "conns", "depth", "ops", "req/s", "p50 (us)", "p99 (us)",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.mode.into(),
+            r.connections.to_string(),
+            r.pipeline_depth.to_string(),
+            r.ops.to_string(),
+            format!("{:.0}", r.throughput),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+        ]);
+    }
+    t.print();
+    let best_loopback = rows
+        .iter()
+        .filter(|r| r.mode == "loopback")
+        .map(|r| r.throughput)
+        .fold(0.0f64, f64::max);
+    println!("(best loopback throughput: {best_loopback:.0} req/s; identical client code in both modes — only the connect target changes)");
+    let json = net_json(&rows);
+    write_bench_json(out, "net", &json);
 }
 
 fn run_shards(scale: Scale) {

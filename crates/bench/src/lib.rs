@@ -11,7 +11,9 @@
 //! client↔origin 145 ms — the paper's measured values).
 
 pub mod experiments;
+pub mod netbench;
 pub mod table;
 
 pub use experiments::*;
+pub use netbench::{net_json, net_sweep, NetBenchRow};
 pub use table::TableWriter;

@@ -1,0 +1,148 @@
+//! The `net` reproduce experiment: throughput and latency of the wire
+//! protocol — in-process control vs real loopback TCP — swept over
+//! connection count and pipeline depth.
+//!
+//! The paper's evaluation drives its systems with thousands of
+//! concurrent HTTP connections (§6.1); this experiment measures the
+//! transport our reproduction would serve them through. Pipeline depth
+//! N means N concurrent callers share each pooled connection, keeping up
+//! to N requests in flight — the server answers each read burst with a
+//! single write, which is what makes deep pipelines pay.
+
+use quaestor_sim::{net_loopback, NetLoopConfig};
+
+use crate::experiments::Scale;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct NetBenchRow {
+    /// `"in-process"` (control) or `"loopback"` (real sockets).
+    pub mode: &'static str,
+    /// Pooled connections.
+    pub connections: usize,
+    /// Concurrent callers per connection.
+    pub pipeline_depth: usize,
+    /// Completed operations (90% reads, 10% inserts).
+    pub ops: usize,
+    /// Wall-clock of the measured phase (µs).
+    pub wall_us: u128,
+    /// Operations per second.
+    pub throughput: f64,
+    /// Median per-op latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile per-op latency (µs).
+    pub p99_us: u64,
+}
+
+/// Sweep `(connections, pipeline_depth)`; every configuration yields an
+/// in-process row and a loopback row driven by the identical workload.
+pub fn net_sweep(scale: Scale) -> Vec<NetBenchRow> {
+    let (configs, ops_per_caller): (&[(usize, usize)], usize) = match scale {
+        Scale::Quick => (&[(1, 1), (1, 16), (2, 16), (4, 16), (4, 32)], 300),
+        Scale::Full => (
+            &[(1, 1), (1, 16), (2, 16), (4, 16), (4, 32), (8, 32), (8, 64)],
+            1_500,
+        ),
+    };
+    let mut rows = Vec::new();
+    for &(connections, pipeline_depth) in configs {
+        let (local, remote) = net_loopback(NetLoopConfig {
+            connections,
+            pipeline_depth,
+            ops_per_caller,
+            write_every: 10,
+        });
+        for report in [local, remote] {
+            rows.push(NetBenchRow {
+                mode: report.mode,
+                connections: report.connections,
+                pipeline_depth: report.pipeline_depth,
+                ops: report.ops,
+                wall_us: report.wall_us,
+                throughput: report.throughput(),
+                p50_us: report.p50_us(),
+                p99_us: report.p99_us(),
+            });
+        }
+    }
+    rows
+}
+
+/// Render the machine-readable `BENCH_net.json` payload (hand-rolled
+/// like `matchidx_json`; the vendored serde stand-in has no derive).
+pub fn net_json(rows: &[NetBenchRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"net\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"connections\": {}, \"pipeline_depth\": {}, \
+             \"ops\": {}, \"wall_us\": {}, \"req_per_s\": {:.0}, \
+             \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+            r.mode,
+            r.connections,
+            r.pipeline_depth,
+            r.ops,
+            r.wall_us,
+            r.throughput,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_json_is_valid_and_complete() {
+        let rows = vec![
+            NetBenchRow {
+                mode: "in-process",
+                connections: 1,
+                pipeline_depth: 16,
+                ops: 1000,
+                wall_us: 5000,
+                throughput: 200_000.0,
+                p50_us: 3,
+                p99_us: 20,
+            },
+            NetBenchRow {
+                mode: "loopback",
+                connections: 1,
+                pipeline_depth: 16,
+                ops: 1000,
+                wall_us: 12_000,
+                throughput: 83_333.0,
+                p50_us: 90,
+                p99_us: 400,
+            },
+        ];
+        let json = net_json(&rows);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        let obj = parsed.as_object().unwrap();
+        let arr = obj.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        let second = arr[1].as_object().unwrap();
+        assert_eq!(second.get("mode").unwrap().as_str().unwrap(), "loopback");
+        assert_eq!(second.get("p99_us").unwrap().as_i64().unwrap(), 400);
+        let first = arr[0].as_object().unwrap();
+        assert_eq!(first.get("req_per_s").unwrap().as_i64().unwrap(), 200_000);
+    }
+
+    #[test]
+    fn tiny_sweep_produces_paired_rows() {
+        // A minimal real sweep (not Scale::Quick — keep unit tests fast).
+        let (local, remote) = net_loopback(NetLoopConfig {
+            connections: 1,
+            pipeline_depth: 2,
+            ops_per_caller: 25,
+            write_every: 5,
+        });
+        assert_eq!(local.mode, "in-process");
+        assert_eq!(remote.mode, "loopback");
+        assert_eq!(local.ops, remote.ops);
+    }
+}

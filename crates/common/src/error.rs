@@ -36,6 +36,12 @@ pub enum Error {
     /// A durability-layer failure: the write-ahead log or a snapshot
     /// could not be read or written, or was found corrupt.
     Io(String),
+    /// A transport-layer failure between a remote client and a server:
+    /// connect/read/write errors, request timeouts, a connection that
+    /// died with requests in flight, or an undecodable wire frame. The
+    /// request's fate on the server is unknown — it may or may not have
+    /// executed.
+    Net(String),
     /// Anything else.
     Internal(String),
 }
@@ -52,6 +58,7 @@ impl Error {
             Error::Capacity(_) => 429,
             Error::Closed(_) => 503,
             Error::Io(_) => 500,
+            Error::Net(_) => 503,
             Error::Internal(_) => 500,
         }
     }
@@ -79,6 +86,7 @@ impl fmt::Display for Error {
             Error::Capacity(msg) => write!(f, "capacity exceeded: {msg}"),
             Error::Closed(msg) => write!(f, "component closed: {msg}"),
             Error::Io(msg) => write!(f, "durability i/o error: {msg}"),
+            Error::Net(msg) => write!(f, "network error: {msg}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -21,9 +21,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
+use parking_lot::Mutex;
 use quaestor_bloom::BloomFilter;
-use quaestor_common::{stable_bucket, Error, Result, Timestamp, Version};
+use quaestor_common::{stable_bucket, Error, Histogram, Result, Timestamp, Version};
 use quaestor_document::{Document, Update};
 use quaestor_query::{Query, QueryKey};
 use quaestor_store::Table;
@@ -427,8 +429,27 @@ impl QuaestorServer {
     }
 }
 
+/// The request kinds tracked by per-kind latency histograms, in slot
+/// order ([`Request::kind`] strings).
+const LATENCY_KINDS: [&str; 10] = [
+    "get_record",
+    "query",
+    "insert",
+    "update",
+    "replace",
+    "delete",
+    "ebf_snapshot",
+    "batch",
+    "subscribe",
+    "flush",
+];
+
+fn latency_slot(kind: &str) -> Option<usize> {
+    LATENCY_KINDS.iter().position(|k| *k == kind)
+}
+
 /// Per-kind call counters for a [`MetricsLayer`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServiceMetrics {
     /// `GetRecord` calls.
     pub record_reads: AtomicU64,
@@ -450,6 +471,29 @@ pub struct ServiceMetrics {
     pub flushes: AtomicU64,
     /// Calls that returned an error.
     pub errors: AtomicU64,
+    /// Per-request-kind call latency in **microseconds**, one slot per
+    /// [`Request::kind`] (`LATENCY_KINDS` order). A fixed array of
+    /// per-kind locks rather than one shared map: the hot path takes
+    /// only the lock of the kind it records, so callers of different
+    /// kinds never contend.
+    latencies: [Mutex<Histogram>; LATENCY_KINDS.len()],
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        ServiceMetrics {
+            record_reads: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            ebf_snapshots: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_ops: AtomicU64::new(0),
+            subscribes: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latencies: std::array::from_fn(|_| Mutex::new(Histogram::new())),
+        }
+    }
 }
 
 impl ServiceMetrics {
@@ -462,6 +506,51 @@ impl ServiceMetrics {
             + self.batches.load(Ordering::Relaxed)
             + self.subscribes.load(Ordering::Relaxed)
             + self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Record one call's latency under its request kind.
+    pub fn record_latency(&self, kind: &str, micros: u64) {
+        if let Some(slot) = latency_slot(kind) {
+            self.latencies[slot].lock().record(micros);
+        }
+    }
+
+    /// Snapshot of one request kind's latency histogram (µs), if any
+    /// call of that kind has been observed.
+    pub fn latency(&self, kind: &str) -> Option<Histogram> {
+        let h = self.latencies[latency_slot(kind)?].lock();
+        if h.count() == 0 {
+            return None;
+        }
+        Some(h.clone())
+    }
+
+    /// `(p50, p95, p99)` latency in microseconds for one request kind.
+    pub fn latency_percentiles(&self, kind: &str) -> Option<(u64, u64, u64)> {
+        self.latency(kind)
+            .map(|h| (h.percentile(0.50), h.percentile(0.95), h.percentile(0.99)))
+    }
+
+    /// All-kinds latency histogram (µs), merged via
+    /// [`Histogram::merge`] — the same mechanism `RemoteService` uses to
+    /// aggregate per-connection histograms.
+    pub fn merged_latency(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for slot in &self.latencies {
+            merged.merge(&slot.lock());
+        }
+        merged
+    }
+
+    /// Merge another metrics object's latency observations into this
+    /// one (aggregation across layers, shards, or processes).
+    pub fn merge_latency_from(&self, other: &ServiceMetrics) {
+        for (ours, theirs) in self.latencies.iter().zip(&other.latencies) {
+            let theirs = theirs.lock();
+            if theirs.count() > 0 {
+                ours.lock().merge(&theirs);
+            }
+        }
     }
 }
 
@@ -496,6 +585,7 @@ impl MetricsLayer {
 
 impl Service for MetricsLayer {
     fn call(&self, req: Request) -> Result<Response> {
+        let kind = req.kind();
         let counter = match &req {
             Request::GetRecord { .. } => &self.metrics.record_reads,
             Request::Query(_) => &self.metrics.queries,
@@ -522,7 +612,10 @@ impl Service for MetricsLayer {
             Request::Flush => &self.metrics.flushes,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         let result = self.inner.call(req);
+        self.metrics
+            .record_latency(kind, started.elapsed().as_micros() as u64);
         if result.is_err() {
             self.metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -860,6 +953,31 @@ mod tests {
         assert_eq!(m.batched_ops.load(Ordering::Relaxed), 2);
         assert_eq!(m.errors.load(Ordering::Relaxed), 1);
         assert_eq!(m.total_calls(), 5);
+    }
+
+    #[test]
+    fn metrics_layer_records_per_kind_latency_histograms() {
+        let s = server();
+        let layer = MetricsLayer::new(s);
+        let svc: &dyn Service = &*layer;
+        for i in 0..10 {
+            svc.insert("t", &format!("r{i}"), doc! { "n" => i })
+                .unwrap();
+        }
+        svc.get_record("t", "r0").unwrap();
+        let m = layer.metrics();
+        let writes = m.latency("insert").expect("inserts were observed");
+        assert_eq!(writes.count(), 10);
+        let (p50, p95, p99) = m.latency_percentiles("insert").unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(m.latency("get_record").unwrap().count() == 1);
+        assert!(m.latency("query").is_none(), "no queries ran");
+        assert_eq!(m.merged_latency().count(), 11);
+        // Aggregation across metrics objects (shards / connections).
+        let other = ServiceMetrics::default();
+        other.record_latency("insert", 5);
+        m.merge_latency_from(&other);
+        assert_eq!(m.latency("insert").unwrap().count(), 11);
     }
 
     fn cluster(n: usize) -> (Arc<ShardRouter>, Vec<Arc<QuaestorServer>>) {

@@ -92,6 +92,14 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Length-prefixed raw byte run (the payload-carrying twin of
+    /// [`str`](Self::str); used by the wire protocol for opaque bodies
+    /// such as serialized responses and Bloom filter bitmaps).
+    pub fn bytes(&mut self) -> DResult<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
     fn count(&mut self, what: &str) -> DResult<usize> {
         let n = self.u32()? as usize;
         // A length prefix can never exceed the bytes that are left; this
@@ -150,6 +158,12 @@ impl Writer {
         self.put_u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }
+
+    /// Length-prefixed raw byte run.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
 }
 
 // ---- Value / Document ----------------------------------------------------
@@ -196,8 +210,28 @@ pub fn put_value(w: &mut Writer, v: &Value) {
     }
 }
 
+/// Hard ceiling on decoder recursion (nested arrays/objects, nested
+/// filter combinators). Real documents nest a handful of levels; the cap
+/// exists because these decoders also face *untrusted* bytes over the
+/// wire, where a few KB of crafted nesting tags would otherwise drive
+/// the recursion to a stack overflow — an abort, not a clean error.
+pub const MAX_DECODE_DEPTH: usize = 64;
+
+pub(crate) fn deeper(depth: usize, what: &str) -> DResult<usize> {
+    if depth >= MAX_DECODE_DEPTH {
+        return err(format!(
+            "{what} nesting exceeds depth cap {MAX_DECODE_DEPTH}"
+        ));
+    }
+    Ok(depth + 1)
+}
+
 /// Decode one [`Value`].
 pub fn get_value(r: &mut Reader<'_>) -> DResult<Value> {
+    get_value_at(r, 0)
+}
+
+fn get_value_at(r: &mut Reader<'_>, depth: usize) -> DResult<Value> {
     Ok(match r.u8()? {
         V_NULL => Value::Null,
         V_BOOL => Value::Bool(r.u8()? != 0),
@@ -205,14 +239,15 @@ pub fn get_value(r: &mut Reader<'_>) -> DResult<Value> {
         V_FLOAT => Value::Float(r.f64()?),
         V_STR => Value::Str(r.str()?),
         V_ARRAY => {
+            let depth = deeper(depth, "value")?;
             let n = r.count("array")?;
             let mut items = Vec::with_capacity(n);
             for _ in 0..n {
-                items.push(get_value(r)?);
+                items.push(get_value_at(r, depth)?);
             }
             Value::Array(items)
         }
-        V_OBJECT => Value::Object(get_document(r)?),
+        V_OBJECT => Value::Object(get_document_at(r, deeper(depth, "value")?)?),
         t => return err(format!("unknown value tag {t}")),
     })
 }
@@ -228,11 +263,15 @@ pub fn put_document(w: &mut Writer, doc: &Document) {
 
 /// Decode a [`Document`].
 pub fn get_document(r: &mut Reader<'_>) -> DResult<Document> {
+    get_document_at(r, 0)
+}
+
+fn get_document_at(r: &mut Reader<'_>, depth: usize) -> DResult<Document> {
     let n = r.count("document")?;
     let mut map = BTreeMap::new();
     for _ in 0..n {
         let k = r.str()?;
-        let v = get_value(r)?;
+        let v = get_value_at(r, depth)?;
         map.insert(k, v);
     }
     Ok(map)
@@ -360,11 +399,11 @@ fn put_filters(w: &mut Writer, fs: &[Filter]) {
     }
 }
 
-fn get_filters(r: &mut Reader<'_>) -> DResult<Vec<Filter>> {
+fn get_filters(r: &mut Reader<'_>, depth: usize) -> DResult<Vec<Filter>> {
     let n = r.count("filter list")?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        out.push(get_filter(r)?);
+        out.push(get_filter_at(r, depth)?);
     }
     Ok(out)
 }
@@ -399,16 +438,20 @@ pub fn put_filter(w: &mut Writer, f: &Filter) {
 
 /// Decode a [`Filter`] tree.
 pub fn get_filter(r: &mut Reader<'_>) -> DResult<Filter> {
+    get_filter_at(r, 0)
+}
+
+fn get_filter_at(r: &mut Reader<'_>, depth: usize) -> DResult<Filter> {
     Ok(match r.u8()? {
         F_TRUE => Filter::True,
         F_CMP => {
             let path = Path::new(r.str()?);
             Filter::Cmp(path, get_op(r)?)
         }
-        F_AND => Filter::And(get_filters(r)?),
-        F_OR => Filter::Or(get_filters(r)?),
-        F_NOR => Filter::Nor(get_filters(r)?),
-        F_NOT => Filter::Not(Box::new(get_filter(r)?)),
+        F_AND => Filter::And(get_filters(r, deeper(depth, "filter")?)?),
+        F_OR => Filter::Or(get_filters(r, deeper(depth, "filter")?)?),
+        F_NOR => Filter::Nor(get_filters(r, deeper(depth, "filter")?)?),
+        F_NOT => Filter::Not(Box::new(get_filter_at(r, deeper(depth, "filter")?)?)),
         t => return err(format!("unknown filter tag {t}")),
     })
 }

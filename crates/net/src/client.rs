@@ -1,0 +1,435 @@
+//! The remote [`Service`] client: a pooled, pipelined connection set
+//! that makes a [`NetServer`](crate::NetServer) indistinguishable from a
+//! local `Arc<dyn Service>`.
+//!
+//! * **Pooling** — `pool_size` connections, picked round-robin per call.
+//!   Concurrent callers naturally pipeline: many requests can be in
+//!   flight on one connection, correlated by request id.
+//! * **Demultiplexing** — each connection owns a reader thread that
+//!   routes `ResponseOk`/`ResponseErr` frames to the waiting caller and
+//!   `StreamPush` frames into a process-local [`PubSub`], from which
+//!   [`Response::Stream`] subscriptions are materialized.
+//! * **Failure** — connect/read/write errors, timeouts, and servers that
+//!   die mid-request all surface as [`Error::Net`]; a dead connection is
+//!   re-established lazily with exponential backoff on the next call
+//!   that lands on its pool slot. A caller whose request may have
+//!   reached the wire is *never* silently retried — writes are not
+//!   idempotent, so the ambiguity is the caller's to resolve (the
+//!   `Error::Net` docs say exactly that).
+//! * **Latency** — every completed call is recorded in a per-connection
+//!   microsecond histogram; [`RemoteService::latency_histogram`] merges
+//!   them (live and retired connections) for p50/p95/p99 queries.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use quaestor_common::{Error, FxHashMap, Histogram, Result};
+use quaestor_core::{Request, Response, Service};
+use quaestor_kv::PubSub;
+
+use crate::codec::{self, WireResponse};
+use crate::wire::{self, FrameDecode, FrameKind};
+
+/// Tunables for a [`RemoteService`].
+#[derive(Debug, Clone)]
+pub struct RemoteServiceConfig {
+    /// Number of pooled connections. Calls are spread round-robin; any
+    /// number of calls can be in flight per connection (pipelining), so
+    /// this bounds sockets, not concurrency.
+    pub pool_size: usize,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// End-to-end deadline for one call, including any reconnect
+    /// attempts. Expiry surfaces as [`Error::Net`].
+    pub request_timeout: Duration,
+    /// Initial delay between reconnect attempts; doubles per failure.
+    pub reconnect_backoff: Duration,
+    /// Ceiling for the reconnect backoff.
+    pub max_backoff: Duration,
+    /// Disable Nagle's algorithm (keep `true` for pipelined latency).
+    pub nodelay: bool,
+    /// Per-connection read chunk size.
+    pub read_chunk: usize,
+}
+
+impl Default for RemoteServiceConfig {
+    fn default() -> Self {
+        RemoteServiceConfig {
+            pool_size: 2,
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(10),
+            reconnect_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            nodelay: true,
+            read_chunk: 64 * 1024,
+        }
+    }
+}
+
+fn net_err(context: &str, e: impl std::fmt::Display) -> Error {
+    Error::Net(format!("{context}: {e}"))
+}
+
+/// A `Service` whose implementation lives across a TCP connection pool.
+pub struct RemoteService {
+    addr: SocketAddr,
+    config: RemoteServiceConfig,
+    slots: Vec<Mutex<Option<Arc<Conn>>>>,
+    next_slot: AtomicUsize,
+    next_id: AtomicU64,
+    /// Local bus that remote change streams are materialized from:
+    /// `StreamPush` frames publish into `stream-<request id>` channels.
+    bus: Arc<PubSub>,
+    /// Latency of calls on connections that have since been torn down.
+    retired_latency: Arc<Mutex<Histogram>>,
+}
+
+impl std::fmt::Debug for RemoteService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteService")
+            .field("addr", &self.addr)
+            .field("pool_size", &self.config.pool_size)
+            .finish()
+    }
+}
+
+/// One pooled connection.
+struct Conn {
+    writer: Mutex<TcpStream>,
+    /// For teardown: `shutdown` here unblocks the reader thread.
+    stream: TcpStream,
+    pending: Mutex<FxHashMap<u64, Sender<Result<WireResponse>>>>,
+    alive: AtomicBool,
+    latency_us: Mutex<Histogram>,
+}
+
+impl Conn {
+    fn teardown(&self) {
+        if self.alive.swap(false, Ordering::SeqCst) {
+            let _ = self.stream.shutdown(Shutdown::Both);
+        }
+        // Whoever gets here first drains the pending map; senders to
+        // callers that already timed out fail harmlessly.
+        let pending = std::mem::take(&mut *self.pending.lock());
+        for (_, tx) in pending {
+            let _ = tx.send(Err(Error::Net(
+                "connection closed with the request in flight; \
+                 it may or may not have executed"
+                    .into(),
+            )));
+        }
+    }
+}
+
+impl RemoteService {
+    /// Connect a pool to `addr`. The first connection is established
+    /// eagerly so misconfiguration fails here rather than on first use;
+    /// the rest are opened lazily.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        config: RemoteServiceConfig,
+    ) -> Result<Arc<RemoteService>> {
+        let svc = RemoteService::connect_lazy(addr, config)?;
+        let conn = svc.open_conn()?;
+        *svc.slots[0].lock() = Some(conn);
+        Ok(svc)
+    }
+
+    /// Like [`connect`](Self::connect), but without touching the network:
+    /// every connection is established on first use (with backoff). For
+    /// targets that are expected to come up later.
+    pub fn connect_lazy(
+        addr: impl ToSocketAddrs,
+        config: RemoteServiceConfig,
+    ) -> Result<Arc<RemoteService>> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| net_err("resolve", e))?
+            .next()
+            .ok_or_else(|| Error::Net("address resolved to nothing".into()))?;
+        assert!(config.pool_size > 0, "pool_size must be at least 1");
+        Ok(Arc::new(RemoteService {
+            addr,
+            slots: (0..config.pool_size).map(|_| Mutex::new(None)).collect(),
+            next_slot: AtomicUsize::new(0),
+            next_id: AtomicU64::new(1),
+            bus: PubSub::new(),
+            retired_latency: Arc::new(Mutex::new(Histogram::new())),
+            config,
+        }))
+    }
+
+    /// The server address this pool targets.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Close every pooled connection now. Pending calls fail with
+    /// [`Error::Net`]; subsequent calls reconnect with backoff. (Useful
+    /// for failover drills and tests; normal use never needs it.)
+    pub fn disconnect_all(&self) {
+        for slot in &self.slots {
+            if let Some(conn) = slot.lock().take() {
+                conn.teardown();
+                self.retire_latency(&conn);
+            }
+        }
+    }
+
+    /// Merged call-latency histogram (microseconds) across all pooled
+    /// connections, past and present.
+    pub fn latency_histogram(&self) -> Histogram {
+        let mut merged = self.retired_latency.lock().clone();
+        for slot in &self.slots {
+            if let Some(conn) = &*slot.lock() {
+                merged.merge(&conn.latency_us.lock());
+            }
+        }
+        merged
+    }
+
+    fn retire_latency(&self, conn: &Conn) {
+        self.retired_latency.lock().merge(&conn.latency_us.lock());
+    }
+
+    /// Open one connection and start its reader thread.
+    fn open_conn(&self) -> Result<Arc<Conn>> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+            .map_err(|e| net_err("connect", e))?;
+        if self.config.nodelay {
+            let _ = stream.set_nodelay(true);
+        }
+        let writer = stream.try_clone().map_err(|e| net_err("clone socket", e))?;
+        let reader = stream.try_clone().map_err(|e| net_err("clone socket", e))?;
+        let conn = Arc::new(Conn {
+            writer: Mutex::new(writer),
+            stream,
+            pending: Mutex::new(FxHashMap::default()),
+            alive: AtomicBool::new(true),
+            latency_us: Mutex::new(Histogram::new()),
+        });
+        let conn2 = conn.clone();
+        let bus = self.bus.clone();
+        let chunk_size = self.config.read_chunk;
+        std::thread::Builder::new()
+            .name("qnet-client-reader".to_owned())
+            .spawn(move || run_reader(conn2, reader, bus, chunk_size))
+            .map_err(|e| net_err("spawn reader thread", e))?;
+        Ok(conn)
+    }
+
+    /// Round-robin to a live connection, reconnecting its slot with
+    /// exponential backoff while the deadline allows.
+    ///
+    /// The slot mutex is held only for the check-and-install moments,
+    /// never across a connect attempt or a backoff sleep — callers that
+    /// share a dead slot reconnect concurrently (and `disconnect_all` /
+    /// `latency_histogram` never stall behind a retry loop). If two
+    /// callers race to repopulate a slot, the loser's connection is torn
+    /// down and the winner's is shared.
+    fn get_conn(&self, deadline: Instant) -> Result<Arc<Conn>> {
+        let idx = self.next_slot.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        let slot = &self.slots[idx];
+        let mut backoff = self.config.reconnect_backoff;
+        loop {
+            {
+                let mut guard = slot.lock();
+                if let Some(conn) = &*guard {
+                    if conn.alive.load(Ordering::Acquire) {
+                        return Ok(conn.clone());
+                    }
+                    conn.teardown();
+                    self.retire_latency(conn);
+                    *guard = None;
+                }
+            }
+            match self.open_conn() {
+                Ok(conn) => {
+                    let mut guard = slot.lock();
+                    if let Some(existing) = &*guard {
+                        if existing.alive.load(Ordering::Acquire) {
+                            // Someone repopulated the slot while we were
+                            // connecting; share theirs, discard ours.
+                            conn.teardown();
+                            return Ok(existing.clone());
+                        }
+                        existing.teardown();
+                        self.retire_latency(existing);
+                    }
+                    *guard = Some(conn.clone());
+                    return Ok(conn);
+                }
+                Err(e) => {
+                    if Instant::now() + backoff >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.config.max_backoff);
+                }
+            }
+        }
+    }
+
+    fn stream_channel(request_id: u64) -> String {
+        format!("stream-{request_id}")
+    }
+}
+
+impl Drop for RemoteService {
+    fn drop(&mut self) {
+        self.disconnect_all();
+    }
+}
+
+impl Service for RemoteService {
+    fn call(&self, req: Request) -> Result<Response> {
+        let started = Instant::now();
+        let deadline = started + self.config.request_timeout;
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+
+        // For subscriptions: open the local endpoint *before* the request
+        // leaves, so no push can slip past between response and subscribe.
+        let mut local_sub = if matches!(req, Request::Subscribe { .. }) {
+            Some(self.bus.subscribe(&Self::stream_channel(request_id)))
+        } else {
+            None
+        };
+
+        let body = codec::encode_request(&req);
+        if !wire::frame_fits(body.len()) {
+            return Err(Error::Net(format!(
+                "request too large for one frame ({} bytes > {} cap); split the batch",
+                body.len(),
+                wire::MAX_FRAME_PAYLOAD
+            )));
+        }
+        let mut frame = Vec::new();
+        wire::encode_frame(FrameKind::Request, request_id, &body, &mut frame);
+
+        let (tx, rx) = bounded::<Result<WireResponse>>(1);
+        // Send loop: a *write* that fails before the frame reaches the
+        // wire is safe to retry on a fresh connection — the server never
+        // saw it. Once write_all succeeds, retries stop being safe.
+        let conn = loop {
+            let conn = self.get_conn(deadline)?;
+            conn.pending.lock().insert(request_id, tx.clone());
+            let write_result = {
+                let mut w = conn.writer.lock();
+                w.write_all(&frame)
+            };
+            match write_result {
+                Ok(()) => break conn,
+                Err(e) => {
+                    conn.pending.lock().remove(&request_id);
+                    // Tear down but leave the slot to retire the
+                    // connection (and its latency record) exactly once.
+                    conn.teardown();
+                    if Instant::now() >= deadline {
+                        return Err(net_err("send", e));
+                    }
+                }
+            }
+        };
+
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let outcome = match rx.recv_timeout(remaining) {
+            Ok(result) => result,
+            Err(_) => {
+                conn.pending.lock().remove(&request_id);
+                return Err(Error::Net(format!(
+                    "request timed out after {:?}; it may or may not have executed",
+                    self.config.request_timeout
+                )));
+            }
+        };
+        conn.latency_us
+            .lock()
+            .record(started.elapsed().as_micros() as u64);
+        match outcome? {
+            WireResponse::Plain(resp) => Ok(resp),
+            WireResponse::Stream => match local_sub.take() {
+                Some(sub) => Ok(Response::Stream(sub)),
+                None => Err(Error::Net(
+                    "protocol violation: stream response to a non-subscribe request".into(),
+                )),
+            },
+        }
+    }
+}
+
+/// The per-connection demultiplexer: routes response frames to waiting
+/// callers and push frames onto the local bus.
+fn run_reader(conn: Arc<Conn>, mut stream: TcpStream, bus: Arc<PubSub>, chunk_size: usize) {
+    let mut buf = BytesMut::with_capacity(chunk_size);
+    let mut chunk = vec![0u8; chunk_size];
+    'conn: loop {
+        loop {
+            let advance = match wire::decode_frame(&buf) {
+                FrameDecode::Incomplete => break,
+                FrameDecode::Corrupt(_) => break 'conn,
+                FrameDecode::Frame(frame) => {
+                    match frame.kind {
+                        FrameKind::ResponseOk => {
+                            let result = codec::decode_response(frame.body)
+                                .map_err(|e| Error::Net(format!("undecodable response: {e}")));
+                            deliver(&conn, frame.request_id, result);
+                        }
+                        FrameKind::ResponseErr => {
+                            let result = match codec::decode_error(frame.body) {
+                                Ok(e) => Err(e),
+                                Err(e) => {
+                                    Err(Error::Net(format!("undecodable error response: {e}")))
+                                }
+                            };
+                            deliver(&conn, frame.request_id, result);
+                        }
+                        FrameKind::StreamPush => {
+                            let delivered = bus.publish(
+                                &RemoteService::stream_channel(frame.request_id),
+                                Bytes::from(frame.body.to_vec()),
+                            );
+                            if delivered == 0 {
+                                // The local subscription is gone (the
+                                // caller dropped it, or the subscribe
+                                // call failed): tell the server to
+                                // release its forwarder, bounding the
+                                // per-subscribe cost to one orphan push.
+                                let mut cancel = Vec::new();
+                                wire::encode_frame(
+                                    FrameKind::StreamCancel,
+                                    frame.request_id,
+                                    &[],
+                                    &mut cancel,
+                                );
+                                let _ = conn.writer.lock().write_all(&cancel);
+                            }
+                        }
+                        FrameKind::Request | FrameKind::StreamCancel => break 'conn, // servers don't ask
+                    }
+                    frame.size
+                }
+            };
+            buf.advance(advance);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    conn.teardown();
+}
+
+fn deliver(conn: &Conn, request_id: u64, result: Result<WireResponse>) {
+    if let Some(tx) = conn.pending.lock().remove(&request_id) {
+        let _ = tx.send(result);
+    }
+    // No waiter: the caller timed out and cleaned up — drop the result.
+}

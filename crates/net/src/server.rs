@@ -1,0 +1,450 @@
+//! The multithreaded TCP server: an accept loop plus one worker thread
+//! per connection, serving any [`Service`] over the wire protocol.
+//!
+//! Threading model (threads are the workspace's concurrency substrate —
+//! no async runtime, per the zero-dependency constraint):
+//!
+//! * one **accept thread** owns the listener;
+//! * one **connection worker** per accepted socket reads frames,
+//!   dispatches them to the wrapped service *in arrival order* (that is
+//!   the pipelining contract: responses to one connection preserve
+//!   request order, so a client may correlate by order or by id), and
+//!   writes responses back in batches — all responses parsed from one
+//!   read burst are flushed with a single `write` syscall, which is what
+//!   makes deep pipelines cheap;
+//! * `Subscribe` requests additionally spawn a **push forwarder** thread
+//!   that drains the server-side subscription and forwards every message
+//!   as a `StreamPush` frame tagged with the subscribing request's id.
+//!
+//! Backpressure is the socket itself: a client that stops reading
+//! eventually blocks the worker's `write`, which stops the worker's
+//! `read`, which fills the client's TCP window. Nothing buffers
+//! unboundedly.
+//!
+//! Shutdown is graceful and idempotent: stop accepting, shut down every
+//! connection socket (which unblocks blocked reads/writes), join every
+//! worker (workers join their forwarders). In-flight requests finish;
+//! their responses may or may not reach the client, whose pending calls
+//! surface [`Error::Net`](quaestor_common::Error::Net).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use quaestor_common::{Error, FxHashMap, Result};
+use quaestor_core::{Request, Response, Service};
+
+use crate::codec;
+use crate::wire::{self, FrameDecode, FrameKind};
+
+/// Tunables for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Size of the per-connection read chunk (bytes pulled per `read`
+    /// syscall into the connection's [`BytesMut`] buffer).
+    pub read_chunk: usize,
+    /// Disable Nagle's algorithm on accepted sockets. Pipelined
+    /// request/response traffic is latency-bound on small writes, so the
+    /// default is `true`.
+    pub nodelay: bool,
+    /// Poll interval at which push forwarders check connection liveness
+    /// while their stream is idle.
+    pub stream_poll: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            read_chunk: 64 * 1024,
+            nodelay: true,
+            stream_poll: Duration::from_millis(100),
+        }
+    }
+}
+
+fn net_err(context: &str, e: impl std::fmt::Display) -> Error {
+    Error::Net(format!("{context}: {e}"))
+}
+
+/// A running TCP server. Dropping it shuts it down.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+struct Shared {
+    service: Arc<dyn Service>,
+    config: NetServerConfig,
+    shutdown: AtomicBool,
+    workers: Mutex<Vec<Worker>>,
+    requests_served: AtomicU64,
+    connections_accepted: AtomicU64,
+}
+
+struct Worker {
+    stream: TcpStream,
+    handle: JoinHandle<()>,
+    done: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("local_addr", &self.local_addr)
+            .field(
+                "requests_served",
+                &self.shared.requests_served.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an OS-assigned port) and
+    /// start serving `service`.
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<dyn Service>) -> Result<NetServer> {
+        NetServer::bind_with(addr, service, NetServerConfig::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit tunables.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: Arc<dyn Service>,
+        config: NetServerConfig,
+    ) -> Result<NetServer> {
+        let listener = TcpListener::bind(addr).map_err(|e| net_err("bind", e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| net_err("local_addr", e))?;
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            shutdown: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+            requests_served: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+        });
+        let accept_shared = shared.clone();
+        let accept = std::thread::Builder::new()
+            .name(format!("qnet-accept-{local_addr}"))
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| net_err("spawn accept thread", e))?;
+        Ok(NetServer {
+            shared,
+            local_addr,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Total requests dispatched to the wrapped service (top-level
+    /// frames; batch sub-requests count as one).
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Total connections ever accepted.
+    pub fn connections_accepted(&self) -> u64 {
+        self.shared.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Gracefully stop: close the listener, tear down every connection,
+    /// and join all worker threads. Safe to call more than once.
+    pub fn shutdown(&self) {
+        let mut woke = true;
+        if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the blocking accept() with a throwaway connection. A
+            // wildcard bind address is not connectable — aim at the
+            // loopback of the same family instead.
+            let mut wake_addr = self.local_addr;
+            if wake_addr.ip().is_unspecified() {
+                wake_addr.set_ip(match wake_addr {
+                    SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            woke = TcpStream::connect_timeout(&wake_addr, Duration::from_millis(250)).is_ok();
+        }
+        if let Some(handle) = self.accept.lock().take() {
+            if woke {
+                let _ = handle.join();
+            }
+            // If the wake-up failed (firewalled loopback, fd exhaustion),
+            // dropping the handle leaks the accept thread until process
+            // exit — strictly better than deadlocking the caller (Drop
+            // runs this path too). The shutdown flag makes the thread
+            // exit on its next accepted connection.
+        }
+        // Tear down connections: shutting the socket down unblocks the
+        // worker's read/write, after which it exits and joins its
+        // forwarders.
+        let workers = std::mem::take(&mut *self.shared.workers.lock());
+        for w in &workers {
+            let _ = w.stream.shutdown(Shutdown::Both);
+        }
+        for w in workers {
+            let _ = w.handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
+            Err(_) => {
+                // Persistent accept errors (EMFILE under fd exhaustion)
+                // return immediately; without a pause this loop would
+                // spin a core exactly when the system is starved.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late arrival) during shutdown.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        if shared.config.nodelay {
+            let _ = stream.set_nodelay(true);
+        }
+        let Ok(worker_stream) = stream.try_clone() else {
+            continue;
+        };
+        let conn_shared = shared.clone();
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = done.clone();
+        let spawned = std::thread::Builder::new()
+            .name("qnet-conn".to_owned())
+            .spawn(move || {
+                run_connection(conn_shared, worker_stream);
+                done2.store(true, Ordering::Release);
+            });
+        match spawned {
+            Ok(handle) => {
+                let mut workers = shared.workers.lock();
+                // Reap finished workers so a long-lived server with
+                // churning connections does not accumulate handles.
+                workers.retain(|w| !w.done.load(Ordering::Acquire));
+                workers.push(Worker {
+                    stream,
+                    handle,
+                    done,
+                });
+            }
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// A push forwarder's cancel flag (set by `StreamCancel`) and the
+/// handle the worker joins on connection exit.
+type Forwarder = (Arc<AtomicBool>, JoinHandle<()>);
+
+/// Per-connection state shared with push-forwarder threads.
+struct ConnState {
+    /// Writer half; every frame (response or push) is written whole
+    /// under this lock.
+    writer: Mutex<TcpStream>,
+    /// Cleared when the read loop exits; forwarders poll it.
+    alive: AtomicBool,
+    /// Push forwarders by subscribing request id: the cancel flag (set
+    /// by a `StreamCancel` frame) and the handle the worker joins on
+    /// exit. A cancelled entry's thread exits and releases the origin
+    /// subscription; the spent handle stays until the connection ends.
+    forwarders: Mutex<FxHashMap<u64, Forwarder>>,
+}
+
+fn run_connection(shared: Arc<Shared>, stream: TcpStream) {
+    let Ok(writer_stream) = stream.try_clone() else {
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    };
+    let conn = Arc::new(ConnState {
+        writer: Mutex::new(writer_stream),
+        alive: AtomicBool::new(true),
+        forwarders: Mutex::new(FxHashMap::default()),
+    });
+    let mut reader = stream;
+    let mut buf = BytesMut::with_capacity(shared.config.read_chunk);
+    let mut chunk = vec![0u8; shared.config.read_chunk];
+    let mut out: Vec<u8> = Vec::new();
+
+    'conn: loop {
+        // Drain every complete frame in the buffer, answering into one
+        // write burst.
+        loop {
+            let advance = match wire::decode_frame(&buf) {
+                FrameDecode::Incomplete => break,
+                FrameDecode::Corrupt(_) => break 'conn, // framing lost
+                FrameDecode::Frame(frame) => {
+                    match frame.kind {
+                        FrameKind::Request => {
+                            handle_request(&shared, &conn, frame.request_id, frame.body, &mut out);
+                        }
+                        FrameKind::StreamCancel => {
+                            // The client dropped its end of this stream;
+                            // release the forwarder (and with it the
+                            // origin subscription).
+                            if let Some((cancel, _)) = conn.forwarders.lock().get(&frame.request_id)
+                            {
+                                cancel.store(true, Ordering::Release);
+                            }
+                        }
+                        _ => break 'conn, // protocol violation: only clients send
+                    }
+                    frame.size
+                }
+            };
+            buf.advance(advance);
+        }
+        if !out.is_empty() {
+            let mut w = conn.writer.lock();
+            if w.write_all(&out).is_err() {
+                break 'conn;
+            }
+            out.clear();
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => break 'conn,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break 'conn,
+        }
+    }
+
+    conn.alive.store(false, Ordering::Release);
+    let _ = conn.writer.lock().shutdown(Shutdown::Both);
+    let forwarders = std::mem::take(&mut *conn.forwarders.lock());
+    for (_, (_, handle)) in forwarders {
+        let _ = handle.join();
+    }
+}
+
+/// Decode and dispatch one request frame, appending the response frame
+/// to `out`.
+fn handle_request(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnState>,
+    request_id: u64,
+    body: &[u8],
+    out: &mut Vec<u8>,
+) {
+    shared.requests_served.fetch_add(1, Ordering::Relaxed);
+    let req = match codec::decode_request(body) {
+        Ok(req) => req,
+        Err(e) => {
+            // The frame was CRC-valid, so framing is intact — answer the
+            // bad request and keep the connection.
+            let err = Error::BadRequest(format!("undecodable request: {e}"));
+            wire::encode_frame(
+                FrameKind::ResponseErr,
+                request_id,
+                &codec::encode_error(&err),
+                out,
+            );
+            return;
+        }
+    };
+    let is_subscribe = matches!(req, Request::Subscribe { .. });
+    match shared.service.call(req) {
+        Ok(Response::Stream(subscription)) => {
+            // Accept the stream, then forward every message as a push
+            // frame tagged with this request's id.
+            wire::encode_frame(
+                FrameKind::ResponseOk,
+                request_id,
+                &codec::encode_stream_marker(),
+                out,
+            );
+            spawn_forwarder(shared, conn, request_id, subscription);
+        }
+        Ok(resp) => {
+            debug_assert!(!is_subscribe || matches!(resp, Response::Stream(_)));
+            let body = codec::encode_response(&resp);
+            if wire::frame_fits(body.len()) {
+                wire::encode_frame(FrameKind::ResponseOk, request_id, &body, out);
+            } else {
+                // An unframeable frame would be rejected as Corrupt and
+                // kill the connection for every pipelined caller; answer
+                // with a typed error instead.
+                let err = Error::Net(format!(
+                    "response too large for one frame ({} bytes > {} cap); \
+                     narrow the query or split the batch",
+                    body.len(),
+                    wire::MAX_FRAME_PAYLOAD
+                ));
+                wire::encode_frame(
+                    FrameKind::ResponseErr,
+                    request_id,
+                    &codec::encode_error(&err),
+                    out,
+                );
+            }
+        }
+        Err(e) => {
+            wire::encode_frame(
+                FrameKind::ResponseErr,
+                request_id,
+                &codec::encode_error(&e),
+                out,
+            );
+        }
+    }
+}
+
+fn spawn_forwarder(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnState>,
+    request_id: u64,
+    subscription: quaestor_kv::Subscription,
+) {
+    let conn2 = conn.clone();
+    let poll = shared.config.stream_poll;
+    let cancel = Arc::new(AtomicBool::new(false));
+    let cancelled = cancel.clone();
+    let spawned = std::thread::Builder::new()
+        .name("qnet-stream".to_owned())
+        .spawn(move || {
+            let mut frame = Vec::new();
+            while conn2.alive.load(Ordering::Acquire) && !cancelled.load(Ordering::Acquire) {
+                let Some(message) = subscription.recv_timeout(poll) else {
+                    continue;
+                };
+                if !wire::frame_fits(message.len()) {
+                    continue; // cannot frame it; drop rather than corrupt
+                }
+                frame.clear();
+                wire::encode_frame(FrameKind::StreamPush, request_id, &message, &mut frame);
+                if conn2.writer.lock().write_all(&frame).is_err() {
+                    return;
+                }
+            }
+        });
+    match spawned {
+        Ok(handle) => {
+            conn.forwarders.lock().insert(request_id, (cancel, handle));
+        }
+        Err(_) => { /* out of threads: the stream silently ends */ }
+    }
+}

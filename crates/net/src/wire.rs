@@ -1,0 +1,255 @@
+//! The frame layer: length-prefixed, CRC-checksummed, versioned frames
+//! with a request id for pipelining.
+//!
+//! Wire layout of one frame (everything little-endian):
+//!
+//! ```text
+//! [u32 payload_len][u32 crc32(payload)][payload]
+//! payload = [u8 version][u8 kind][u64 request_id][body]
+//! ```
+//!
+//! This extends the durability WAL's frame format (same outer
+//! `len + crc32` envelope, same CRC-32/IEEE implementation, shared via
+//! [`quaestor_durability::frame::crc32`]) with the two things a duplex
+//! socket needs that a log does not: a **protocol version** so that a
+//! server can refuse a client from the future with a clean error instead
+//! of garbage decodes, and a **request id** so that responses can return
+//! out of band of other traffic on the connection (pipelining, stream
+//! pushes) and still find their caller.
+//!
+//! A reader distinguishes three outcomes at every frame position, exactly
+//! like the WAL: a complete valid frame, *not enough bytes yet* (wait for
+//! more from the socket), and a corrupt frame (CRC mismatch, absurd
+//! length, unknown version) — which on a socket is unrecoverable, because
+//! framing is lost: the connection must be torn down.
+
+use quaestor_durability::frame::crc32;
+
+/// Current protocol version. Bump on any incompatible change to the
+/// payload layout; see `DESIGN.md` for the versioning rules.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling on a single frame's payload. Bounds the allocation a
+/// corrupt or hostile length prefix can trigger. Large batches and EBF
+/// snapshots fit comfortably; anything bigger is a protocol violation.
+pub const MAX_FRAME_PAYLOAD: u32 = 64 << 20;
+
+/// Frame header size on the wire: `len` + `crc`.
+pub const FRAME_HEADER: usize = 8;
+
+/// Payload prologue size: `version` + `kind` + `request_id`.
+pub const PAYLOAD_PROLOGUE: usize = 10;
+
+/// What a frame carries; the first byte after the version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: one encoded `Request`.
+    Request,
+    /// Server → client: the `Ok(Response)` for the request id.
+    ResponseOk,
+    /// Server → client: the `Err(Error)` for the request id.
+    ResponseErr,
+    /// Server → client: one pushed message on the change stream opened by
+    /// the `Subscribe` request with this request id. Zero or more of
+    /// these follow a `ResponseOk` carrying the `Stream` marker.
+    StreamPush,
+    /// Client → server: stop the change stream opened by the request
+    /// with this id (empty body). Sent when the client-side subscription
+    /// has been dropped, so the server can release its forwarder.
+    StreamCancel,
+}
+
+impl FrameKind {
+    fn tag(self) -> u8 {
+        match self {
+            FrameKind::Request => 0,
+            FrameKind::ResponseOk => 1,
+            FrameKind::ResponseErr => 2,
+            FrameKind::StreamPush => 3,
+            FrameKind::StreamCancel => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<FrameKind> {
+        Some(match tag {
+            0 => FrameKind::Request,
+            1 => FrameKind::ResponseOk,
+            2 => FrameKind::ResponseErr,
+            3 => FrameKind::StreamPush,
+            4 => FrameKind::StreamCancel,
+            _ => return None,
+        })
+    }
+}
+
+/// True if a body of this size fits in one frame. Callers must check
+/// before [`encode_frame`] — an oversized frame would be rejected as
+/// `Corrupt` by the peer, tearing down the connection for everyone
+/// pipelined on it.
+pub fn frame_fits(body_len: usize) -> bool {
+    body_len <= MAX_FRAME_PAYLOAD as usize - PAYLOAD_PROLOGUE
+}
+
+/// Append one complete frame (`kind`, `request_id`, `body`) to `out`.
+pub fn encode_frame(kind: FrameKind, request_id: u64, body: &[u8], out: &mut Vec<u8>) {
+    let payload_len = PAYLOAD_PROLOGUE + body.len();
+    debug_assert!(payload_len <= MAX_FRAME_PAYLOAD as usize);
+    out.reserve(FRAME_HEADER + payload_len);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    // CRC over the payload, computed incrementally below would need a
+    // streaming CRC; the prologue is tiny, so stage it and checksum once.
+    let crc_pos = out.len();
+    out.extend_from_slice(&[0; 4]); // crc placeholder
+    let payload_pos = out.len();
+    out.push(PROTOCOL_VERSION);
+    out.push(kind.tag());
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(body);
+    let crc = crc32(&out[payload_pos..]);
+    out[crc_pos..crc_pos + 4].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// One decoded frame, borrowing its body from the read buffer.
+#[derive(Debug)]
+pub struct Frame<'a> {
+    /// What the body is.
+    pub kind: FrameKind,
+    /// Correlation id chosen by the requester.
+    pub request_id: u64,
+    /// The encoded `Request` / `Response` / `Error` / push message.
+    pub body: &'a [u8],
+    /// Total on-wire size — advance the buffer by this much.
+    pub size: usize,
+}
+
+/// Outcome of trying to read a frame from the front of `buf`.
+#[derive(Debug)]
+pub enum FrameDecode<'a> {
+    /// A complete, CRC-valid frame.
+    Frame(Frame<'a>),
+    /// The buffer holds a valid prefix of a frame; read more bytes.
+    Incomplete,
+    /// Framing is broken (bad CRC, absurd length, unknown version or
+    /// kind). The connection cannot be resynchronized and must close.
+    Corrupt(String),
+}
+
+/// Try to decode the frame at the front of `buf`.
+pub fn decode_frame(buf: &[u8]) -> FrameDecode<'_> {
+    if buf.len() < FRAME_HEADER {
+        return FrameDecode::Incomplete;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_PAYLOAD {
+        return FrameDecode::Corrupt(format!("frame payload {len} exceeds cap"));
+    }
+    let len = len as usize;
+    if len < PAYLOAD_PROLOGUE {
+        return FrameDecode::Corrupt(format!("frame payload {len} shorter than prologue"));
+    }
+    if buf.len() < FRAME_HEADER + len {
+        return FrameDecode::Incomplete;
+    }
+    let want = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let payload = &buf[FRAME_HEADER..FRAME_HEADER + len];
+    let got = crc32(payload);
+    if got != want {
+        return FrameDecode::Corrupt(format!(
+            "frame crc mismatch: stored {want:#010x}, computed {got:#010x}"
+        ));
+    }
+    let version = payload[0];
+    if version != PROTOCOL_VERSION {
+        return FrameDecode::Corrupt(format!(
+            "unsupported protocol version {version} (speaking {PROTOCOL_VERSION})"
+        ));
+    }
+    let Some(kind) = FrameKind::from_tag(payload[1]) else {
+        return FrameDecode::Corrupt(format!("unknown frame kind {}", payload[1]));
+    };
+    let request_id = u64::from_le_bytes(payload[2..10].try_into().expect("8 bytes"));
+    FrameDecode::Frame(Frame {
+        kind,
+        request_id,
+        body: &payload[PAYLOAD_PROLOGUE..],
+        size: FRAME_HEADER + len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_with_request_id() {
+        let mut buf = Vec::new();
+        encode_frame(FrameKind::Request, 42, b"hello", &mut buf);
+        encode_frame(FrameKind::ResponseErr, u64::MAX, b"", &mut buf);
+        match decode_frame(&buf) {
+            FrameDecode::Frame(f) => {
+                assert_eq!(f.kind, FrameKind::Request);
+                assert_eq!(f.request_id, 42);
+                assert_eq!(f.body, b"hello");
+                match decode_frame(&buf[f.size..]) {
+                    FrameDecode::Frame(g) => {
+                        assert_eq!(g.kind, FrameKind::ResponseErr);
+                        assert_eq!(g.request_id, u64::MAX);
+                        assert!(g.body.is_empty());
+                        assert_eq!(f.size + g.size, buf.len());
+                    }
+                    other => panic!("second frame: {other:?}"),
+                }
+            }
+            other => panic!("first frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_incomplete_not_corrupt() {
+        let mut buf = Vec::new();
+        encode_frame(FrameKind::StreamPush, 7, b"payload-bytes", &mut buf);
+        for cut in 0..buf.len() {
+            match decode_frame(&buf[..cut]) {
+                FrameDecode::Incomplete => {}
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_corrupt() {
+        let mut buf = Vec::new();
+        encode_frame(FrameKind::Request, 9, b"abc", &mut buf);
+        // Flipping any payload byte (after the header) breaks the CRC.
+        for pos in FRAME_HEADER..buf.len() {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                matches!(decode_frame(&bad), FrameDecode::Corrupt(_)),
+                "flip at {pos} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn future_version_is_refused_cleanly() {
+        let mut buf = Vec::new();
+        encode_frame(FrameKind::Request, 1, b"", &mut buf);
+        buf[FRAME_HEADER] = PROTOCOL_VERSION + 1; // bump version byte
+        let crc = crc32(&buf[FRAME_HEADER..]); // re-seal so only version differs
+        buf[4..8].copy_from_slice(&crc.to_le_bytes());
+        match decode_frame(&buf) {
+            FrameDecode::Corrupt(msg) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_length_is_corrupt_without_allocating() {
+        let mut buf = vec![0xFF; 16];
+        assert!(matches!(decode_frame(&buf), FrameDecode::Corrupt(_)));
+        // A length below the prologue is equally unframeable.
+        buf[0..4].copy_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(decode_frame(&buf), FrameDecode::Corrupt(_)));
+    }
+}

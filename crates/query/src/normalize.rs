@@ -70,6 +70,17 @@ impl QueryKey {
         &self.canonical
     }
 
+    /// Rehydrate a key from a canonical string previously produced by
+    /// [`as_str`](Self::as_str) — the decode half of transporting keys
+    /// over the wire or storing them in a log. The string is trusted:
+    /// no re-normalization happens, so feeding anything that did not
+    /// come from a `QueryKey` yields a key that matches nothing.
+    pub fn from_canonical(canonical: impl Into<String>) -> QueryKey {
+        QueryKey {
+            canonical: canonical.into(),
+        }
+    }
+
     /// Stable 64-bit hash, used for partitioning queries across InvaliDB
     /// matching nodes and EBF shards.
     pub fn stable_hash(&self) -> u64 {

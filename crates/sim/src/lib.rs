@@ -20,6 +20,7 @@ pub mod crash;
 pub mod driver;
 pub mod latency;
 pub mod middleware;
+pub mod netloop;
 pub mod scenario;
 pub mod ttl_cdf;
 
@@ -27,5 +28,6 @@ pub use crash::{crash_recovery, CrashConfig, CrashReport};
 pub use driver::{SimConfig, SimReport, Simulation, SystemVariant};
 pub use latency::LatencyModel;
 pub use middleware::LatencyInjector;
+pub use netloop::{net_loopback, NetLoopConfig, NetLoopReport};
 pub use scenario::{flash_sale, page_load, FlashSaleReport, PageLoadReport, Region};
 pub use ttl_cdf::{ttl_estimation_cdf, TtlCdfReport};

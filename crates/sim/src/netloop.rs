@@ -1,0 +1,179 @@
+//! Loopback network scenario: the same closed-loop workload driven
+//! against an in-process `Service` and against the *identical* service
+//! behind a real TCP socket (`NetServer` + `RemoteService` on
+//! `127.0.0.1`).
+//!
+//! Unlike the Monte Carlo scenarios, this one runs on **real time** —
+//! the object under measurement is the transport itself: syscall and
+//! framing overhead, pipelining behavior, latency distribution. The
+//! in-process run is the control; the delta between the two rows *is*
+//! the cost of the wire.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use quaestor_common::{Histogram, SystemClock};
+use quaestor_core::{QuaestorServer, Service, ServiceExt};
+use quaestor_document::doc;
+use quaestor_net::{NetServer, RemoteService, RemoteServiceConfig};
+
+/// Scenario knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct NetLoopConfig {
+    /// Pooled TCP connections (the loopback row) — also the thread-group
+    /// count for the in-process control.
+    pub connections: usize,
+    /// Concurrent caller threads per connection: the pipeline depth.
+    /// Depth N keeps up to N requests in flight on one socket.
+    pub pipeline_depth: usize,
+    /// Operations per caller thread.
+    pub ops_per_caller: usize,
+    /// One write per this many operations (the rest are record reads).
+    pub write_every: usize,
+}
+
+impl Default for NetLoopConfig {
+    fn default() -> Self {
+        NetLoopConfig {
+            connections: 2,
+            pipeline_depth: 16,
+            ops_per_caller: 250,
+            write_every: 10,
+        }
+    }
+}
+
+/// One row of the scenario's outcome.
+#[derive(Debug, Clone)]
+pub struct NetLoopReport {
+    /// `"in-process"` or `"loopback"`.
+    pub mode: &'static str,
+    /// Pool size used.
+    pub connections: usize,
+    /// Caller threads per connection.
+    pub pipeline_depth: usize,
+    /// Total completed operations.
+    pub ops: usize,
+    /// Wall-clock duration of the measured phase, microseconds.
+    pub wall_us: u128,
+    /// Per-operation latency, microseconds.
+    pub latency_us: Histogram,
+}
+
+impl NetLoopReport {
+    /// Operations per second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_us == 0 {
+            0.0
+        } else {
+            self.ops as f64 / (self.wall_us as f64 / 1e6)
+        }
+    }
+
+    /// Median operation latency (µs).
+    pub fn p50_us(&self) -> u64 {
+        self.latency_us.percentile(0.50)
+    }
+
+    /// Tail operation latency (µs).
+    pub fn p99_us(&self) -> u64 {
+        self.latency_us.percentile(0.99)
+    }
+}
+
+/// Run the workload against a service; one caller group per
+/// "connection", `pipeline_depth` threads each.
+fn drive(service: Arc<dyn Service>, mode: &'static str, config: NetLoopConfig) -> NetLoopReport {
+    // Seed records so reads always hit.
+    for i in 0..64 {
+        service
+            .insert("netloop", &format!("seed-{i}"), doc! { "i" => i as i64 })
+            .expect("seed insert");
+    }
+    let callers = config.connections * config.pipeline_depth;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..callers)
+        .map(|c| {
+            let service = service.clone();
+            std::thread::spawn(move || {
+                let mut latency = Histogram::new();
+                for op in 0..config.ops_per_caller {
+                    let at = Instant::now();
+                    if op % config.write_every == 0 {
+                        service
+                            .insert(
+                                "netloop",
+                                &format!("w{c}-{op}"),
+                                doc! { "c" => c as i64, "op" => op as i64 },
+                            )
+                            .expect("write");
+                    } else {
+                        service
+                            .get_record("netloop", &format!("seed-{}", op % 64))
+                            .expect("read");
+                    }
+                    latency.record(at.elapsed().as_micros() as u64);
+                }
+                latency
+            })
+        })
+        .collect();
+    let mut latency_us = Histogram::new();
+    for h in handles {
+        latency_us.merge(&h.join().expect("caller thread"));
+    }
+    NetLoopReport {
+        mode,
+        connections: config.connections,
+        pipeline_depth: config.pipeline_depth,
+        ops: callers * config.ops_per_caller,
+        wall_us: started.elapsed().as_micros(),
+        latency_us,
+    }
+}
+
+/// Run the scenario: identical workload, in-process control first, then
+/// over a real loopback socket. Returns `(in_process, loopback)`.
+pub fn net_loopback(config: NetLoopConfig) -> (NetLoopReport, NetLoopReport) {
+    let in_process = {
+        let origin = QuaestorServer::with_defaults(SystemClock::shared());
+        drive(origin, "in-process", config)
+    };
+    let loopback = {
+        let origin = QuaestorServer::with_defaults(SystemClock::shared());
+        let server = NetServer::bind("127.0.0.1:0", origin).expect("bind loopback");
+        let remote = RemoteService::connect(
+            server.local_addr(),
+            RemoteServiceConfig {
+                pool_size: config.connections,
+                ..Default::default()
+            },
+        )
+        .expect("connect loopback");
+        let report = drive(remote, "loopback", config);
+        server.shutdown();
+        report
+    };
+    (in_process, loopback)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_scenario_runs_and_reports() {
+        let (local, remote) = net_loopback(NetLoopConfig {
+            connections: 1,
+            pipeline_depth: 4,
+            ops_per_caller: 30,
+            write_every: 5,
+        });
+        assert_eq!(local.ops, 120);
+        assert_eq!(remote.ops, 120);
+        assert_eq!(local.latency_us.count(), 120);
+        assert_eq!(remote.latency_us.count(), 120);
+        assert!(local.throughput() > 0.0 && remote.throughput() > 0.0);
+        assert!(remote.p50_us() <= remote.p99_us());
+    }
+}

@@ -96,6 +96,7 @@
 //! | [`webcache`] | expiration & invalidation web-cache substrate |
 //! | [`store`] | document store substrate (MongoDB stand-in) |
 //! | [`kv`] | key-value store substrate (Redis stand-in) |
+//! | [`net`] | binary wire protocol, TCP server, remote `Service` client |
 //! | [`query`] | MongoDB-style query language + normalization |
 //! | [`document`] | nested document model + update operators |
 //! | [`sim`] | Monte Carlo simulation of the whole stack |
@@ -109,6 +110,7 @@ pub use quaestor_document as document;
 pub use quaestor_durability as durability;
 pub use quaestor_invalidb as invalidb;
 pub use quaestor_kv as kv;
+pub use quaestor_net as net;
 pub use quaestor_query as query;
 pub use quaestor_sim as sim;
 pub use quaestor_store as store;
@@ -129,6 +131,7 @@ pub mod prelude {
     };
     pub use quaestor_document::{doc, varray, Document, Update, Value};
     pub use quaestor_durability::{DurabilityConfig, FsyncPolicy};
+    pub use quaestor_net::{NetServer, RemoteService, RemoteServiceConfig};
     pub use quaestor_query::{Filter, Order, Query, QueryKey};
     pub use quaestor_sim::LatencyInjector;
     pub use quaestor_webcache::{Cache, ExpirationCache, InvalidationCache, ServedBy};

@@ -85,6 +85,86 @@ fn same_client_code_against_one_node_and_cluster() {
     assert_eq!(observed[0], vec![10, 3]);
 }
 
+/// Like [`topology`], but every node sits behind its own real TCP server
+/// and is reached through a `RemoteService` pool. The returned servers
+/// keep the sockets alive for the test's duration.
+fn networked_topology(
+    shards: usize,
+    clock: Arc<ManualClock>,
+) -> (Arc<dyn Service>, Vec<quaestor::net::NetServer>) {
+    let servers: Vec<quaestor::net::NetServer> = (0..shards)
+        .map(|_| {
+            quaestor::net::NetServer::bind(
+                "127.0.0.1:0",
+                QuaestorServer::with_defaults(clock.clone()),
+            )
+            .expect("bind loopback")
+        })
+        .collect();
+    let remotes: Vec<Arc<dyn Service>> = servers
+        .iter()
+        .map(|s| {
+            RemoteService::connect(s.local_addr(), RemoteServiceConfig::default())
+                .expect("connect loopback") as Arc<dyn Service>
+        })
+        .collect();
+    let service = if shards == 1 {
+        remotes.into_iter().next().unwrap()
+    } else {
+        ShardRouter::new(remotes) as Arc<dyn Service>
+    };
+    (service, servers)
+}
+
+#[test]
+fn same_client_code_against_remote_node_and_remote_cluster() {
+    // The conformance promise, extended across the wire: the *identical*
+    // workload (`drive_unmodified_client`, byte-for-byte the same client
+    // code as the in-process test above) runs against a remote single
+    // node and a remote 4-shard cluster and observes identical results.
+    let mut observed = Vec::new();
+    for shards in [1usize, 4] {
+        let clock = ManualClock::new();
+        let (service, servers) = networked_topology(shards, clock.clone());
+        let client =
+            QuaestorClient::connect_service(service, &[], ClientConfig::default(), clock.clone());
+        observed.push(drive_unmodified_client(&client, &clock));
+        for s in &servers {
+            assert!(s.requests_served() > 0, "traffic actually crossed the wire");
+            s.shutdown();
+        }
+    }
+    assert_eq!(
+        observed[0],
+        vec![10, 3],
+        "remote topologies must be observationally identical to local ones"
+    );
+    assert_eq!(observed[0], observed[1]);
+}
+
+#[test]
+fn metrics_layer_over_remote_service_reports_real_network_latency() {
+    let clock = ManualClock::new();
+    let (service, servers) = networked_topology(1, clock.clone());
+    let metrics = MetricsLayer::new(service);
+    let svc: &dyn Service = &*metrics;
+    for i in 0..20 {
+        svc.insert("t", &format!("r{i}"), doc! { "i" => i })
+            .unwrap();
+    }
+    svc.get_record("t", "r0").unwrap();
+    let m = metrics.metrics();
+    let inserts = m.latency("insert").expect("inserts observed");
+    assert_eq!(inserts.count(), 20);
+    let (p50, _p95, p99) = m.latency_percentiles("insert").unwrap();
+    assert!(p50 > 0, "a TCP round trip takes at least a microsecond");
+    assert!(p50 <= p99);
+    assert_eq!(m.latency("get_record").unwrap().count(), 1);
+    for s in &servers {
+        s.shutdown();
+    }
+}
+
 #[test]
 fn cluster_spreads_tables_and_serves_through_cdn() {
     let clock = ManualClock::new();

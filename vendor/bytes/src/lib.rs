@@ -1,6 +1,7 @@
 //! Workspace-local stand-in for the `bytes` crate: an immutable,
-//! cheaply clonable byte buffer backed by `Arc<[u8]>`. Only the subset
-//! the workspace uses is provided.
+//! cheaply clonable byte buffer backed by `Arc<[u8]>`, plus a growable
+//! [`BytesMut`] accumulation buffer used by the network layer. Only the
+//! subset the workspace uses is provided.
 
 use std::fmt;
 use std::sync::Arc;
@@ -135,6 +136,101 @@ impl fmt::Debug for Bytes {
     }
 }
 
+/// A growable byte buffer with an amortized-O(1) consume-from-the-front
+/// operation — the shape a streaming socket reader needs: append whatever
+/// `read` returned at the tail, parse frames off the head.
+///
+/// `bytes` proper implements this with reference-counted views; here a
+/// `Vec` plus a start offset suffices. Consumed bytes are reclaimed
+/// lazily: the buffer compacts only when the dead prefix outgrows the
+/// live suffix, so repeated `advance` calls do not turn parsing into
+/// O(n²) copying.
+#[derive(Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    /// Unconsumed length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True if no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append bytes at the tail.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Consume `cnt` bytes from the front.
+    ///
+    /// # Panics
+    /// If `cnt` exceeds [`len`](Self::len).
+    pub fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.len(),
+            "advance({cnt}) past end ({})",
+            self.len()
+        );
+        self.start += cnt;
+        // Compact when the dead prefix dominates; amortized O(1) per byte.
+        if self.start > self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Drop all content (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    /// Freeze the unconsumed bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(Arc::from(&self.buf[self.start..]))
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BytesMut")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +242,41 @@ mod tests {
         assert_eq!(b, Bytes::from_static(b"hello"));
         assert_eq!(b.clone().to_vec(), b"hello".to_vec());
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn bytes_mut_append_and_consume() {
+        let mut m = BytesMut::with_capacity(8);
+        m.extend_from_slice(b"hello ");
+        m.extend_from_slice(b"world");
+        assert_eq!(&m[..], b"hello world");
+        m.advance(6);
+        assert_eq!(&m[..], b"world");
+        m.extend_from_slice(b"!");
+        assert_eq!(&m[..], b"world!");
+        assert_eq!(m.freeze(), Bytes::from_static(b"world!"));
+    }
+
+    #[test]
+    fn bytes_mut_compaction_keeps_content() {
+        let mut m = BytesMut::new();
+        for i in 0..1000u32 {
+            m.extend_from_slice(&i.to_le_bytes());
+            if i % 3 == 0 {
+                m.advance(4); // consume one record
+            }
+        }
+        // 1000 appended, 334 consumed.
+        assert_eq!(m.len(), (1000 - 334) * 4);
+        let first = u32::from_le_bytes(m[..4].try_into().unwrap());
+        assert_eq!(first, 334);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance")]
+    fn bytes_mut_advance_past_end_panics() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"ab");
+        m.advance(3);
     }
 }

@@ -117,6 +117,30 @@ impl Value {
         }
     }
 
+    /// Integer view (mirrors `serde_json::Value::as_i64`).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Float view (ints widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
     /// True if this is a string.
     pub fn is_string(&self) -> bool {
         matches!(self, Value::String(_))
