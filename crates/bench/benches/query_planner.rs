@@ -1,0 +1,82 @@
+//! Query-planner micro-benchmarks: the same query through the planner
+//! (`Table::query`) and through the forced reference scan
+//! (`Table::scan_query`), at point / range / sorted-limit shapes over
+//! 10k and 100k documents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quaestor_document::doc;
+use quaestor_query::{Filter, Order, Query};
+use quaestor_store::{Database, IndexKind, Table};
+use std::sync::Arc;
+
+fn load(n: usize) -> Arc<Table> {
+    let db = Database::new();
+    db.declare_index("bench", "category", IndexKind::Hash);
+    db.declare_index("bench", "score", IndexKind::Ordered);
+    let table = db.create_table("bench");
+    let domain = (n / 10).max(1);
+    for i in 0..n {
+        table
+            .insert(
+                &format!("d{i:07}"),
+                doc! {
+                    "category" => (i % domain) as i64,
+                    "score" => i as i64,
+                    "noise" => ((i as u64).wrapping_mul(2_654_435_761) % n as u64) as i64
+                },
+            )
+            .unwrap();
+    }
+    table
+}
+
+fn shapes(n: usize) -> Vec<(&'static str, Query)> {
+    let domain = (n / 10).max(1);
+    let mid = (n / 2) as i64;
+    vec![
+        (
+            "point",
+            Query::table("bench").filter(Filter::eq("category", (domain / 2) as i64)),
+        ),
+        (
+            "range",
+            Query::table("bench").filter(Filter::and([
+                Filter::gte("score", mid),
+                Filter::lt("score", mid + 10),
+            ])),
+        ),
+        (
+            "sorted-limit",
+            Query::table("bench")
+                .sort_by("score", Order::Desc)
+                .limit(10),
+        ),
+        (
+            "topk",
+            Query::table("bench").sort_by("noise", Order::Asc).limit(10),
+        ),
+    ]
+}
+
+fn planner_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_planner");
+    for &n in &[10_000usize, 100_000] {
+        let table = load(n);
+        for (shape, q) in shapes(n) {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{shape}/indexed"), n),
+                &q,
+                |b, q| b.iter(|| table.query(q)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{shape}/forced-scan"), n),
+                &q,
+                |b, q| b.iter(|| table.scan_query(q)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, planner_benches);
+criterion_main!(benches);

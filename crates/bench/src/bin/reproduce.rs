@@ -62,6 +62,7 @@ fn main() {
             "batch",
             "shards",
             "matchidx",
+            "query",
             "durability",
             "net",
         ]
@@ -90,6 +91,7 @@ fn main() {
             "batch" => run_batch(scale),
             "shards" => run_shards(scale),
             "matchidx" => run_matchidx(scale, &out),
+            "query" => run_query(scale, &out),
             "durability" => run_durability(scale, &out),
             "net" => run_net(scale, &out),
             other => {
@@ -380,6 +382,35 @@ fn run_matchidx(scale: Scale, out: &std::path::Path) {
     t.print();
     let json = matchidx_json(&rows);
     write_bench_json(out, "matching", &json);
+}
+
+fn run_query(scale: Scale, out: &std::path::Path) {
+    println!("== Query engine: planner vs forced reference scan ==");
+    let rows = query_engine_comparison(scale);
+    let mut t = TableWriter::new(&[
+        "docs",
+        "shape",
+        "plan",
+        "results",
+        "planner (us)",
+        "scan (us)",
+        "speedup",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.docs.to_string(),
+            r.shape.into(),
+            r.plan.clone(),
+            r.result_len.to_string(),
+            format!("{:.1}", r.planner_us),
+            format!("{:.1}", r.scan_us),
+            format!("{:.0}x", r.speedup()),
+        ]);
+    }
+    t.print();
+    println!("(every row asserted planner == reference scan before timing)");
+    let json = query_engine_json(&rows);
+    write_bench_json(out, "query", &json);
 }
 
 fn run_durability(scale: Scale, out: &std::path::Path) {

@@ -806,6 +806,177 @@ pub fn matchidx_json(rows: &[MatchIdxRow]) -> String {
     out
 }
 
+// -------------------------------------------------------------- query engine
+
+/// One row of the `query` experiment: the same query through the planner
+/// and through the forced reference scan.
+#[derive(Debug, Clone)]
+pub struct QueryEngineRow {
+    /// Table size.
+    pub docs: usize,
+    /// Query shape label (`point`, `range`, `sorted-limit`, `topk`).
+    pub shape: &'static str,
+    /// Access path + sort strategy the planner chose.
+    pub plan: String,
+    /// Result cardinality.
+    pub result_len: usize,
+    /// Mean wall-clock per planner-served query (µs).
+    pub planner_us: f64,
+    /// Mean wall-clock per forced-scan query (µs).
+    pub scan_us: f64,
+}
+
+impl QueryEngineRow {
+    /// `scan_us / planner_us` — the headline number per row.
+    pub fn speedup(&self) -> f64 {
+        self.scan_us / self.planner_us.max(0.001)
+    }
+}
+
+fn plan_label(plan: &quaestor_store::QueryPlan) -> String {
+    use quaestor_store::{AccessPath, SortStrategy};
+    let access = match &plan.access {
+        AccessPath::HashProbe { .. } => "hash-probe",
+        AccessPath::RangeScan { .. } => "range-scan",
+        AccessPath::FullScan { .. } => "full-scan",
+        AccessPath::Empty => "empty",
+    };
+    let sort = match &plan.sort {
+        SortStrategy::IndexOrder { .. } => "index-order",
+        SortStrategy::TopK { .. } => "top-k",
+        SortStrategy::FullSort => "full-sort",
+    };
+    format!("{access}+{sort}")
+}
+
+/// Core of the `query` experiment over explicit table sizes: four query
+/// shapes per size — an indexed point lookup, a selective indexed range,
+/// a sorted `LIMIT` on the ordered-indexed path, and a sorted `LIMIT` on
+/// an unindexed path (the bounded top-k case) — each timed through
+/// `Table::query` (planner) and `Table::scan_query` (forced reference
+/// scan). Asserts result equivalence as it goes: a bench run that
+/// diverged would be measuring a bug.
+pub fn query_engine_comparison_sizes(sizes: &[usize]) -> Vec<QueryEngineRow> {
+    use quaestor_document::doc;
+    use quaestor_query::{Filter, Order, Query};
+    use quaestor_store::{Database, IndexKind};
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let db = Database::new();
+        db.declare_index("bench", "category", IndexKind::Hash);
+        db.declare_index("bench", "score", IndexKind::Ordered);
+        let table = db.create_table("bench");
+        // ~10 docs per category (the paper's average result size); a
+        // unique monotone score; a decorrelated unindexed noise field.
+        let domain = (n / 10).max(1);
+        for i in 0..n {
+            table
+                .insert(
+                    &format!("d{i:07}"),
+                    doc! {
+                        "category" => (i % domain) as i64,
+                        "score" => i as i64,
+                        "noise" => ((i as u64).wrapping_mul(2_654_435_761) % n as u64) as i64
+                    },
+                )
+                .unwrap();
+        }
+        let mid = (n / 2) as i64;
+        let shapes: Vec<(&'static str, Query)> = vec![
+            (
+                "point",
+                Query::table("bench").filter(Filter::eq("category", (domain / 2) as i64)),
+            ),
+            (
+                "range",
+                Query::table("bench").filter(Filter::and([
+                    Filter::gte("score", mid),
+                    Filter::lt("score", mid + 10),
+                ])),
+            ),
+            (
+                "sorted-limit",
+                Query::table("bench")
+                    .sort_by("score", Order::Desc)
+                    .limit(10),
+            ),
+            (
+                "topk",
+                Query::table("bench").sort_by("noise", Order::Asc).limit(10),
+            ),
+        ];
+        for (shape, q) in shapes {
+            let ids = |docs: &[std::sync::Arc<quaestor_document::Document>]| -> Vec<String> {
+                docs.iter()
+                    .map(|d| d["_id"].as_str().unwrap().to_owned())
+                    .collect()
+            };
+            let planned = table.query(&q);
+            let reference = table.scan_query(&q);
+            assert_eq!(
+                ids(&planned),
+                ids(&reference),
+                "planner diverged from the reference scan on {shape}@{n}"
+            );
+            let planner_iters = (1_000_000 / n).clamp(10, 1_000);
+            let scan_iters = (300_000 / n).clamp(1, 300);
+            let start = std::time::Instant::now();
+            for _ in 0..planner_iters {
+                std::hint::black_box(table.query(&q));
+            }
+            let planner_us = start.elapsed().as_micros() as f64 / planner_iters as f64;
+            let start = std::time::Instant::now();
+            for _ in 0..scan_iters {
+                std::hint::black_box(table.scan_query(&q));
+            }
+            let scan_us = start.elapsed().as_micros() as f64 / scan_iters as f64;
+            rows.push(QueryEngineRow {
+                docs: n,
+                shape,
+                plan: plan_label(&table.explain(&q)),
+                result_len: planned.len(),
+                planner_us,
+                scan_us,
+            });
+        }
+    }
+    rows
+}
+
+/// The `query` experiment at the standard scales: 1k → 100k quick,
+/// 1k → 1M full (the Table-1 sweep sizes).
+pub fn query_engine_comparison(scale: Scale) -> Vec<QueryEngineRow> {
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[1_000, 10_000, 100_000],
+        Scale::Full => &[1_000, 10_000, 100_000, 1_000_000],
+    };
+    query_engine_comparison_sizes(sizes)
+}
+
+/// Render `query` rows as the machine-readable `BENCH_query.json` payload
+/// (hand-rolled like `matchidx_json`; the vendored serde stand-in has no
+/// derive).
+pub fn query_engine_json(rows: &[QueryEngineRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"query\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"docs\": {}, \"shape\": \"{}\", \"plan\": \"{}\", \"result_len\": {}, \
+             \"planner_us\": {:.1}, \"scan_us\": {:.1}, \"speedup\": {:.1}}}{}\n",
+            r.docs,
+            r.shape,
+            r.plan,
+            r.result_len,
+            r.planner_us,
+            r.scan_us,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 // ---------------------------------------------------------------- durability
 
 /// One row of the append-throughput half of the `durability` experiment.
@@ -1000,6 +1171,25 @@ mod tests {
         assert!(json.contains("\"appends_per_sec\": 2000"));
         assert!(json.contains("\"recovery_wall_us\": 12345"));
         assert!(json.contains("\"experiment\": \"durability\""));
+    }
+
+    #[test]
+    fn query_engine_rows_use_the_expected_plans() {
+        // Small size: the test asserts plan shapes and equivalence (the
+        // experiment asserts result equality internally); wall-clock
+        // claims live in the release-mode reproduce run.
+        let rows = query_engine_comparison_sizes(&[2_000]);
+        let by = |shape: &str| rows.iter().find(|r| r.shape == shape).unwrap();
+        assert_eq!(by("point").plan, "hash-probe+full-sort");
+        assert_eq!(by("range").plan, "range-scan+full-sort");
+        assert_eq!(by("sorted-limit").plan, "full-scan+index-order");
+        assert_eq!(by("topk").plan, "full-scan+top-k");
+        assert_eq!(by("point").result_len, 10);
+        assert_eq!(by("range").result_len, 10);
+        assert_eq!(by("sorted-limit").result_len, 10);
+        let json = query_engine_json(&rows);
+        assert!(json.contains("\"shape\": \"point\""));
+        assert!(json.contains("\"speedup\""));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod transaction;
 pub use api::{MetricsLayer, Request, Response, Service, ServiceExt, ServiceMetrics, ShardRouter};
 pub use config::ServerConfig;
 pub use metrics::ServerMetrics;
+pub use quaestor_store::IndexKind;
 pub use response::{QueryResponse, RecordResponse};
 pub use server::QuaestorServer;
 pub use transaction::{Transaction, WriteOp};

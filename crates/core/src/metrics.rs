@@ -31,6 +31,15 @@ pub struct ServerMetrics {
     /// InvaliDB candidate evaluations pruned by the predicate index; the
     /// pruning ratio is `pruned / (pruned + evaluations)`.
     pub match_evaluations_pruned: AtomicU64,
+    /// Queries the store's planner served via a hash-index probe.
+    pub query_index_probes: AtomicU64,
+    /// Queries served via an ordered-index range scan.
+    pub query_range_scans: AtomicU64,
+    /// Queries that fell back to the reference shard scan.
+    pub query_full_scans: AtomicU64,
+    /// Queries whose sort was cut short (bounded top-k heap, or in-order
+    /// index emission stopping at `offset + limit`).
+    pub query_topk_short_circuits: AtomicU64,
 }
 
 /// Bump a counter by one (relaxed: metrics tolerate reordering).
@@ -69,6 +78,22 @@ impl ServerMetrics {
                 "match_evaluations_pruned",
                 self.match_evaluations_pruned.load(Ordering::Relaxed),
             ),
+            (
+                "query_index_probes",
+                self.query_index_probes.load(Ordering::Relaxed),
+            ),
+            (
+                "query_range_scans",
+                self.query_range_scans.load(Ordering::Relaxed),
+            ),
+            (
+                "query_full_scans",
+                self.query_full_scans.load(Ordering::Relaxed),
+            ),
+            (
+                "query_topk_short_circuits",
+                self.query_topk_short_circuits.load(Ordering::Relaxed),
+            ),
         ]
     }
 
@@ -100,8 +125,9 @@ mod tests {
         let m = ServerMetrics::default();
         m.writes.fetch_add(3, Ordering::Relaxed);
         let snap = m.snapshot();
-        assert_eq!(snap.len(), 12);
+        assert_eq!(snap.len(), 16);
         assert!(snap.contains(&("writes", 3)));
+        assert!(snap.contains(&("query_full_scans", 0)));
         assert_eq!(m.origin_reads(), 0);
     }
 

@@ -9,7 +9,7 @@ use quaestor_document::{Document, Update, Value};
 use quaestor_durability::{DurabilityConfig, DurabilityEngine};
 use quaestor_invalidb::{InvaliDbCluster, Notification};
 use quaestor_query::{Query, QueryKey};
-use quaestor_store::{Database, WriteEvent};
+use quaestor_store::{Database, IndexKind, WriteEvent};
 use quaestor_ttl::{
     ActiveList, AdmissionDecision, CapacityManager, CostModel, QueryState, Representation,
     TtlEstimator, WriteRateSampler,
@@ -196,18 +196,41 @@ impl QuaestorServer {
         &self.db
     }
 
+    /// Declare a secondary index for `table`'s `path` (idempotent),
+    /// creating the table if it does not exist yet. On a durable server
+    /// this is the post-[`open`](Self::open) registration hook: recovery
+    /// rebuilds tables *before* the application runs, so declaring here
+    /// indexes the recovered data immediately — and the declaration
+    /// sticks to any table of that name created later (schemaless
+    /// auto-creation included).
+    pub fn declare_index(
+        &self,
+        table: &str,
+        path: impl Into<quaestor_document::Path>,
+        kind: IndexKind,
+    ) {
+        self.db.create_table(table);
+        self.db.declare_index(table, path, kind);
+    }
+
     /// Server metrics. The InvaliDB matching counters are refreshed here,
     /// on the read path: summing them takes every matching-node lock in
-    /// the grid, which must stay off the per-write hot path.
+    /// the grid, which must stay off the per-write hot path. The query
+    /// planner's access-path counters are copied from the store the same
+    /// way.
     pub fn metrics(&self) -> &ServerMetrics {
-        self.metrics.match_evaluations.store(
-            self.invalidb.total_evaluations(),
-            std::sync::atomic::Ordering::Relaxed,
-        );
-        self.metrics.match_evaluations_pruned.store(
-            self.invalidb.total_evaluations_skipped(),
-            std::sync::atomic::Ordering::Relaxed,
-        );
+        use std::sync::atomic::Ordering::Relaxed;
+        self.metrics
+            .match_evaluations
+            .store(self.invalidb.total_evaluations(), Relaxed);
+        self.metrics
+            .match_evaluations_pruned
+            .store(self.invalidb.total_evaluations_skipped(), Relaxed);
+        let (probes, ranges, fulls, topk) = self.db.query_stats().snapshot();
+        self.metrics.query_index_probes.store(probes, Relaxed);
+        self.metrics.query_range_scans.store(ranges, Relaxed);
+        self.metrics.query_full_scans.store(fulls, Relaxed);
+        self.metrics.query_topk_short_circuits.store(topk, Relaxed);
         &self.metrics
     }
 
@@ -920,6 +943,52 @@ mod tests {
         let (mem, _) = server();
         assert_eq!(mem.flush().unwrap(), 0);
         assert!(mem.checkpoint().is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn declared_indexes_cover_recovered_tables_and_planner_metrics() {
+        use quaestor_query::Order;
+        use quaestor_store::AccessPath;
+        let dir = temp_dir("declare-idx");
+        {
+            let s = open_durable(&dir);
+            for i in 0..40i64 {
+                s.insert("posts", &format!("p{i:02}"), doc! { "likes" => i })
+                    .unwrap();
+            }
+        }
+        // Reopen: recovery rebuilds the table *before* the app declares
+        // its indexes; the declaration must index the recovered data.
+        let s = open_durable(&dir);
+        s.declare_index("posts", "likes", IndexKind::Ordered);
+        let table = s.database().table("posts").unwrap();
+        let range = Query::table("posts").filter(Filter::and([
+            quaestor_query::Filter::gte("likes", 10),
+            quaestor_query::Filter::lt("likes", 13),
+        ]));
+        assert!(matches!(
+            table.explain(&range).access,
+            AccessPath::RangeScan { estimated: 3, .. }
+        ));
+        let resp = s.query(&range).unwrap();
+        assert_eq!(resp.ids.len(), 3);
+        // A sorted LIMIT over an unindexed path takes the top-k path.
+        let topk = Query::table("posts")
+            .sort_by("missing", Order::Asc)
+            .limit(2);
+        s.query(&topk).unwrap();
+        let m = s.metrics();
+        let get = |name: &str| {
+            m.snapshot()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("query_range_scans"), 1);
+        assert!(get("query_topk_short_circuits") >= 1);
+        assert!(get("query_full_scans") >= 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

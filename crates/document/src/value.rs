@@ -294,9 +294,15 @@ impl Ord for Value {
 
 impl std::hash::Hash for Value {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        // Hash through the canonical rendering so Int(3) == Float(3.0)
-        // hash identically (they compare equal).
-        state.write(self.canonical().as_bytes());
+        // Hash through the *equality-consistent* rendering so any two
+        // values comparing `Equal` hash identically. `canonical()` is not
+        // enough: equality projects numbers through f64, so above 2^53 an
+        // `Int` and a `Float` can compare equal while their canonical
+        // strings differ — a hash map keyed on `Value` (e.g. the store's
+        // hash index) would miss the lookup.
+        let mut s = String::new();
+        self.eq_canonical_into(&mut s);
+        state.write(s.as_bytes());
     }
 }
 
@@ -483,6 +489,22 @@ mod tests {
         // Ordinary values keep their canonical rendering.
         assert_eq!(eq_key(&Value::Int(5)), "5");
         assert_eq!(eq_key(&Value::str("5")), "\"5\"");
+        // Hash agrees with equality across the 2^53 boundary, so hash
+        // maps keyed on Value (the store's hash index) stay exact.
+        let h = |v: &Value| {
+            use std::hash::{Hash, Hasher};
+            let mut s = std::collections::hash_map::DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(
+            h(&Value::Int(9_007_199_254_740_993)),
+            h(&Value::Float(9_007_199_254_740_992.0))
+        );
+        let big_int = Value::Int(1 << 60);
+        let big_float = Value::Float((1u64 << 60) as f64);
+        assert_eq!(big_int, big_float);
+        assert_eq!(h(&big_int), h(&big_float));
     }
 
     #[test]
@@ -568,6 +590,19 @@ mod tests {
         fn equal_values_have_equal_canonical(a in arb_value(), b in arb_value()) {
             if a == b {
                 prop_assert_eq!(a.canonical(), b.canonical());
+            }
+        }
+
+        #[test]
+        fn equal_values_hash_equal(a in arb_value(), b in arb_value()) {
+            fn h(v: &Value) -> u64 {
+                use std::hash::{Hash, Hasher};
+                let mut s = std::collections::hash_map::DefaultHasher::new();
+                v.hash(&mut s);
+                s.finish()
+            }
+            if a == b {
+                prop_assert_eq!(h(&a), h(&b));
             }
         }
 

@@ -22,4 +22,4 @@ pub mod normalize;
 
 pub use filter::{Filter, Op, Order, Query, SortKey};
 pub use matcher::matches;
-pub use normalize::QueryKey;
+pub use normalize::{index_bindings, normalize_filter, IndexBinding, QueryKey};

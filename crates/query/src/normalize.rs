@@ -14,6 +14,7 @@
 //! normalized query string or record id) is hashed", §3.1).
 
 use quaestor_common::fx_hash_str;
+use quaestor_document::{Path, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::filter::{Filter, Op, Order, Query};
@@ -105,6 +106,102 @@ impl std::fmt::Display for QueryKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.canonical)
     }
+}
+
+/// One index-servable conjunct of a filter: a predicate every matching
+/// document *must* satisfy, in a shape a secondary index can serve.
+///
+/// Extracted by [`index_bindings`]; consumed by the store's query planner
+/// (equality → hash-index probe, range → ordered-index scan).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexBinding {
+    /// The field at `path` equals `value` (or, for array fields, some
+    /// element does — the matcher's implicit `$elemMatch`).
+    Eq {
+        /// Pinned field path.
+        path: Path,
+        /// Pinned value.
+        value: Value,
+    },
+    /// The field at `path` (or some array element) lies in a half-open
+    /// interval under the canonical BSON-style value order. Exactly one
+    /// side is set per extracted conjunct (`$gt`/`$gte` → `lower`,
+    /// `$lt`/`$lte` → `upper`); the planner merges sides per path where
+    /// that is semantically safe.
+    Range {
+        /// Bounded field path.
+        path: Path,
+        /// Lower bound `(value, inclusive)`.
+        lower: Option<(Value, bool)>,
+        /// Upper bound `(value, inclusive)`.
+        upper: Option<(Value, bool)>,
+    },
+}
+
+impl IndexBinding {
+    /// The bound field path.
+    pub fn path(&self) -> &Path {
+        match self {
+            IndexBinding::Eq { path, .. } | IndexBinding::Range { path, .. } => path,
+        }
+    }
+}
+
+/// Decompose a filter's top-level conjunction into index-servable
+/// conjuncts. Every returned binding is a *necessary* condition: a
+/// document violating it cannot match the filter, so an index probe over
+/// the binding plus a residual re-check of the full filter is exact.
+///
+/// Call this on a [`normalize_filter`]-normalized filter — normalization
+/// flattens nested `And`s and collapses singleton combinators, so the
+/// top-level walk here sees every conjunct. (On a non-normalized filter
+/// the result is still sound, merely incomplete.) Operators that missing
+/// fields can satisfy (`$ne`, `$nin`, `$exists:false`) and operators with
+/// value semantics an equality/order index cannot mirror (`$contains` on
+/// strings is substring match, `$in` is a union, …) are never extracted.
+pub fn index_bindings(filter: &Filter) -> Vec<IndexBinding> {
+    let mut out = Vec::new();
+    match filter {
+        Filter::And(fs) => {
+            for f in fs {
+                push_binding(f, &mut out);
+            }
+        }
+        f => push_binding(f, &mut out),
+    }
+    out
+}
+
+fn push_binding(f: &Filter, out: &mut Vec<IndexBinding>) {
+    let Filter::Cmp(path, op) = f else { return };
+    let binding = match op {
+        Op::Eq(v) => IndexBinding::Eq {
+            path: path.clone(),
+            value: v.clone(),
+        },
+        Op::Gt(v) => IndexBinding::Range {
+            path: path.clone(),
+            lower: Some((v.clone(), false)),
+            upper: None,
+        },
+        Op::Gte(v) => IndexBinding::Range {
+            path: path.clone(),
+            lower: Some((v.clone(), true)),
+            upper: None,
+        },
+        Op::Lt(v) => IndexBinding::Range {
+            path: path.clone(),
+            lower: None,
+            upper: Some((v.clone(), false)),
+        },
+        Op::Lte(v) => IndexBinding::Range {
+            path: path.clone(),
+            lower: None,
+            upper: Some((v.clone(), true)),
+        },
+        _ => return,
+    };
+    out.push(binding);
 }
 
 /// Structurally normalize a filter:
@@ -375,6 +472,53 @@ mod tests {
         let a = Query::table("t").filter(Filter::eq("x", 5));
         let b = Query::table("t").filter(Filter::eq("x", 5.0));
         assert_eq!(QueryKey::of(&a), QueryKey::of(&b));
+    }
+
+    #[test]
+    fn index_bindings_decompose_conjunctions() {
+        let f = normalize_filter(&Filter::and([
+            Filter::eq("topic", "db"),
+            Filter::gt("likes", 5),
+            Filter::lte("likes", 20),
+            Filter::or([Filter::eq("a", 1), Filter::eq("b", 2)]),
+            Filter::not(Filter::eq("c", 3)),
+            Filter::ne("d", 4),
+        ]));
+        let bindings = index_bindings(&f);
+        assert_eq!(bindings.len(), 3, "eq + two range sides, nothing else");
+        assert!(bindings.contains(&IndexBinding::Eq {
+            path: "topic".into(),
+            value: Value::str("db"),
+        }));
+        assert!(bindings.contains(&IndexBinding::Range {
+            path: "likes".into(),
+            lower: Some((Value::Int(5), false)),
+            upper: None,
+        }));
+        assert!(bindings.contains(&IndexBinding::Range {
+            path: "likes".into(),
+            lower: None,
+            upper: Some((Value::Int(20), true)),
+        }));
+    }
+
+    #[test]
+    fn index_bindings_on_single_predicates() {
+        let gte = index_bindings(&Filter::gte("n", 7));
+        assert_eq!(
+            gte,
+            vec![IndexBinding::Range {
+                path: "n".into(),
+                lower: Some((Value::Int(7), true)),
+                upper: None,
+            }]
+        );
+        assert_eq!(gte[0].path().as_str(), "n");
+        assert!(index_bindings(&Filter::True).is_empty());
+        assert!(index_bindings(&Filter::or([Filter::eq("a", 1)])).is_empty());
+        // Normalization collapses the singleton Or, making it extractable.
+        let collapsed = normalize_filter(&Filter::or([Filter::eq("a", 1)]));
+        assert_eq!(index_bindings(&collapsed).len(), 1);
     }
 
     fn arb_filter() -> impl Strategy<Value = Filter> {

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use quaestor_client::{ClientConfig, QuaestorClient};
 use quaestor_common::{Histogram, ManualClock, Timestamp};
 use quaestor_core::{QuaestorServer, ServerConfig};
-use quaestor_store::Database;
+use quaestor_store::{Database, IndexKind};
 use quaestor_webcache::{InvalidationCache, ServedBy};
 use quaestor_workload::{Operation, WorkloadConfig, WorkloadGenerator};
 use rand::rngs::StdRng;
@@ -221,16 +221,20 @@ impl Simulation {
         let clock = ManualClock::new();
         let db = Database::with_clock(clock.clone());
 
-        // Populate the dataset; index the queried field so origin query
-        // evaluation is O(result), as a production MongoDB would be.
+        // Declare indexes over the queried field *before* loading, so
+        // origin query evaluation is O(result), as a production MongoDB
+        // would be: a hash index serves the workload's equality queries
+        // and an ordered index covers range/sorted shapes. Declarations
+        // attach to the tables as the loader creates them.
+        for t in 0..cfg.workload.tables {
+            let table = WorkloadConfig::table_name(t);
+            db.declare_index(&table, "category", IndexKind::Hash);
+            db.declare_index(&table, "category", IndexKind::Ordered);
+        }
         let mut seed_rng = StdRng::seed_from_u64(cfg.seed);
         let gen0 = WorkloadGenerator::new(cfg.workload);
         for (table, id, doc) in gen0.dataset(&mut seed_rng) {
             db.create_table(&table).insert(&id, doc).unwrap();
-        }
-        for t in 0..cfg.workload.tables {
-            db.create_table(&WorkloadConfig::table_name(t))
-                .create_index("category");
         }
 
         let server = QuaestorServer::new(db, cfg.server, clock.clone());

@@ -4,9 +4,12 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use quaestor_common::{ClockRef, Error, FxHashMap, Result, SystemClock};
+use quaestor_document::Path;
 use quaestor_query::Query;
 
 use crate::changes::{ChangeStream, ChangeSubscription};
+use crate::index::IndexKind;
+use crate::plan::{QueryStats, QueryStatsRef};
 use crate::sink::WriteSink;
 use crate::table::{SinkSlot, Table};
 
@@ -20,6 +23,13 @@ pub struct Database {
     /// The attached durability sink, shared with every table. Swappable
     /// at runtime so recovery can replay *before* attaching the log.
     sink: SinkSlot,
+    /// Declarative index specs by table name: applied to the named table
+    /// the moment it exists — whether it is created *after* the
+    /// declaration or already was (including tables rebuilt by crash
+    /// recovery before the application re-declares its indexes).
+    index_registry: RwLock<FxHashMap<String, Vec<(Path, IndexKind)>>>,
+    /// Planner decision counters shared by every table.
+    query_stats: QueryStatsRef,
     clock: ClockRef,
     shards_per_table: usize,
 }
@@ -50,6 +60,8 @@ impl Database {
             tables: RwLock::new(FxHashMap::default()),
             changes: Arc::new(ChangeStream::new()),
             sink: SinkSlot::default(),
+            index_registry: RwLock::new(FxHashMap::default()),
+            query_stats: Arc::new(QueryStats::default()),
             clock,
             shards_per_table,
         })
@@ -67,7 +79,9 @@ impl Database {
         *self.sink.write() = None;
     }
 
-    /// Create (or return the existing) table named `name`.
+    /// Create (or return the existing) table named `name`. Indexes
+    /// declared for the name via [`declare_index`](Self::declare_index)
+    /// are created with the table.
     pub fn create_table(&self, name: &str) -> Arc<Table> {
         if let Some(t) = self.tables.read().get(name) {
             return t.clone();
@@ -85,11 +99,17 @@ impl Database {
                         self.changes.clone(),
                         self.sink.clone(),
                         self.clock.clone(),
+                        self.query_stats.clone(),
                     ))
                 })
                 .clone()
         };
         if created {
+            if let Some(specs) = self.index_registry.read().get(name) {
+                for (path, kind) in specs {
+                    table.ensure_index(path, *kind);
+                }
+            }
             // Best-effort metadata: a failed CreateTable frame only means
             // an *empty* table might be absent after recovery — any table
             // with data is reconstructed from its write frames.
@@ -98,6 +118,30 @@ impl Database {
             }
         }
         table
+    }
+
+    /// Declare an index over `table`'s `path` (idempotent). Applies to
+    /// the table immediately if it exists — including tables just rebuilt
+    /// by crash recovery — and to any table of that name created later,
+    /// so one declaration site covers fresh and recovered deployments
+    /// alike.
+    pub fn declare_index(&self, table: &str, path: impl Into<Path>, kind: IndexKind) {
+        let path = path.into();
+        {
+            let mut reg = self.index_registry.write();
+            let specs = reg.entry(table.to_owned()).or_default();
+            if !specs.iter().any(|(p, k)| *p == path && *k == kind) {
+                specs.push((path.clone(), kind));
+            }
+        }
+        if let Some(t) = self.tables.read().get(table).cloned() {
+            t.ensure_index(&path, kind);
+        }
+    }
+
+    /// Planner decision counters, aggregated across all tables.
+    pub fn query_stats(&self) -> &QueryStatsRef {
+        &self.query_stats
     }
 
     /// Look up an existing table.

@@ -8,7 +8,10 @@
 //!   like the paper's MongoDB cluster ("documents were sharded through
 //!   their hashed primary key", §6.1).
 //! * **Query execution** over single tables (the InvaliDB scope: no joins,
-//!   no aggregations), with optional hash indexes for equality predicates.
+//!   no aggregations) through a cost-aware planner: hash indexes serve
+//!   equality predicates, ordered (BTree) indexes serve ranges and
+//!   sort/limit pushdown, and a bounded top-k heap replaces full sorts on
+//!   `LIMIT` queries — see [`plan`] and `DESIGN.md`.
 //! * **Monotonic writes**: a per-record version sequence and a global
 //!   sequence number per table; "monotonic writes ... are assumed to be
 //!   given by the database" (§3.2).
@@ -26,10 +29,13 @@
 pub mod changes;
 pub mod database;
 pub mod index;
+pub mod plan;
 pub mod sink;
 pub mod table;
 
 pub use changes::{ChangeStream, WriteEvent, WriteKind};
 pub use database::Database;
+pub use index::{HashIndex, IndexKind, OrderedIndex};
+pub use plan::{AccessPath, QueryPlan, QueryStats, SortStrategy};
 pub use sink::WriteSink;
 pub use table::{StoredRecord, Table};
