@@ -1,0 +1,219 @@
+//! Parser for `analyze/lock-order.toml`.
+//!
+//! A hand-rolled reader for the small TOML subset the config uses
+//! (no crates.io access, so no `toml` crate): `[section]` tables,
+//! `[[lock]]` array-of-tables entries, and `key = value` pairs where a
+//! value is an integer, a `"string"`, or an array of strings. Unknown
+//! keys are rejected so typos fail loudly instead of silently relaxing
+//! a rule.
+
+use std::path::Path;
+
+/// One declared lock class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSpec {
+    /// Hierarchy name, e.g. `store.shard` — must match the name passed
+    /// to `Mutex::with_rank` at the construction site.
+    pub name: String,
+    /// Rank; acquisitions must be strictly increasing per thread.
+    pub rank: u32,
+    /// Identifiers whose `.read(` / `.write(` / `.lock(` token sequences
+    /// count as acquiring this lock in the static check.
+    pub idents: Vec<String>,
+}
+
+/// The full linter configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Declared lock hierarchy, sorted by rank.
+    pub locks: Vec<LockSpec>,
+    /// Crate directory names (under `crates/`) whose non-test code may
+    /// not use naked `.unwrap()` / `.expect(`.
+    pub io_crates: Vec<String>,
+    /// Workspace-relative paths of codec files whose `get_*`/`decode_*`
+    /// pub fns must evidence a recursion-depth cap.
+    pub depth_cap_files: Vec<String>,
+}
+
+impl Config {
+    /// Look up a lock spec by matcher identifier.
+    pub fn lock_for_ident(&self, ident: &str) -> Option<&LockSpec> {
+        self.locks
+            .iter()
+            .find(|l| l.idents.iter().any(|i| i == ident))
+    }
+
+    /// Load from a file.
+    pub fn load(path: &Path) -> Result<Config, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        parse(&text)
+    }
+}
+
+/// Parse the configuration text.
+pub fn parse(text: &str) -> Result<Config, String> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Rules,
+        Lock,
+    }
+    let mut cfg = Config::default();
+    let mut section = Section::None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[lock]]" {
+            cfg.locks.push(LockSpec {
+                name: String::new(),
+                rank: 0,
+                idents: Vec::new(),
+            });
+            section = Section::Lock;
+            continue;
+        }
+        if line == "[rules]" {
+            section = Section::Rules;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {lineno}: unknown section {line}"));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected key = value, got {line:?}"))?;
+        let (key, value) = (key.trim(), value.trim());
+        match section {
+            Section::None => return Err(format!("line {lineno}: key {key:?} outside any section")),
+            Section::Rules => match key {
+                "io_crates" => cfg.io_crates = parse_string_array(value, lineno)?,
+                "depth_cap_files" => cfg.depth_cap_files = parse_string_array(value, lineno)?,
+                _ => return Err(format!("line {lineno}: unknown [rules] key {key:?}")),
+            },
+            Section::Lock => {
+                let lock = cfg.locks.last_mut().expect("entered via [[lock]]");
+                match key {
+                    "name" => lock.name = parse_string(value, lineno)?,
+                    "rank" => {
+                        lock.rank = value
+                            .parse()
+                            .map_err(|_| format!("line {lineno}: bad rank {value:?}"))?
+                    }
+                    "idents" => lock.idents = parse_string_array(value, lineno)?,
+                    _ => return Err(format!("line {lineno}: unknown [[lock]] key {key:?}")),
+                }
+            }
+        }
+    }
+
+    for lock in &cfg.locks {
+        if lock.name.is_empty() {
+            return Err("a [[lock]] entry is missing `name`".into());
+        }
+    }
+    let mut seen = std::collections::BTreeMap::new();
+    for lock in &cfg.locks {
+        if let Some(prev) = seen.insert(lock.rank, &lock.name) {
+            return Err(format!(
+                "locks {:?} and {:?} share rank {} — ranks must be unique",
+                prev, lock.name, lock.rank
+            ));
+        }
+    }
+    cfg.locks.sort_by_key(|l| l.rank);
+    Ok(cfg)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Good enough for this config: `#` never appears inside the quoted
+    // strings we use (names and paths).
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_owned())
+    } else {
+        Err(format!("line {lineno}: expected \"string\", got {v:?}"))
+    }
+}
+
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| format!("line {lineno}: expected [\"a\", \"b\"], got {v:?}"))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = parse(
+            r#"
+            # comment
+            [rules]
+            io_crates = ["net", "client"]
+            depth_cap_files = ["crates/net/src/codec.rs"]
+
+            [[lock]]
+            name = "store.shard" # trailing comment
+            rank = 20
+            idents = ["shard", "shards"]
+
+            [[lock]]
+            name = "store.index"
+            rank = 30
+            idents = ["indexes"]
+            "#,
+        )
+        .expect("parse");
+        assert_eq!(cfg.io_crates, vec!["net", "client"]);
+        assert_eq!(cfg.locks.len(), 2);
+        assert_eq!(cfg.lock_for_ident("shards").map(|l| l.rank), Some(20));
+        assert_eq!(
+            cfg.lock_for_ident("indexes").map(|l| l.name.as_str()),
+            Some("store.index")
+        );
+        assert!(cfg.lock_for_ident("nope").is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_duplicate_ranks() {
+        assert!(parse("[rules]\nbogus = [\"x\"]").is_err());
+        assert!(parse("[bogus]\n").is_err());
+        assert!(parse("x = 1\n").is_err());
+        let dup = r#"
+            [[lock]]
+            name = "a"
+            rank = 5
+            idents = ["a"]
+            [[lock]]
+            name = "b"
+            rank = 5
+            idents = ["b"]
+        "#;
+        assert!(parse(dup).unwrap_err().contains("share rank"));
+    }
+}

@@ -1,0 +1,377 @@
+//! A lightweight, comment- and string-aware Rust token scanner.
+//!
+//! This is deliberately *not* a real Rust lexer (no `syn` — the build
+//! environment has no crates.io access, and the rules only need token
+//! shapes, not syntax trees). It produces identifier and punctuation
+//! tokens with line numbers, skips string/char/numeric literal *content*
+//! (so `"std::sync::Mutex"` in a string can never trip a rule), and
+//! collects comment text separately so the `// analyze: allow(...)`
+//! annotation mechanism can read it.
+//!
+//! Handled literal forms: line comments, nesting block comments, plain
+//! and raw strings (`r"…"`, `r#"…"#`, any `#` depth), byte strings,
+//! char literals, and the char-vs-lifetime ambiguity (`'a'` vs `'a`).
+
+/// One scanned token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `shard`, `unwrap`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `(`, `[`, `:`, …).
+    Punct(char),
+    /// A literal (string/char/number); content is intentionally dropped.
+    Lit,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+/// Scan output: the token stream plus comment text by line.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment, non-whitespace tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `(line, text)` for every comment, in source order. Block comments
+    /// are recorded on their *starting* line with inner newlines kept.
+    pub comments: Vec<(u32, String)>,
+}
+
+impl Token {
+    fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// Scan `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Byte-oriented scan: every multi-byte UTF-8 sequence starts with a
+    // byte >= 0x80, which falls through to the Punct arm and is skipped
+    // whole below; ASCII structure is all the rules care about.
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments
+                    .push((line, String::from_utf8_lossy(&b[start..j]).into_owned()));
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push((
+                    start_line,
+                    String::from_utf8_lossy(&b[start..end]).into_owned(),
+                ));
+                i = j;
+            }
+            b'"' => {
+                let l = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Token {
+                    line: l,
+                    tok: Tok::Lit,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let l = line;
+                i = skip_prefixed_string(b, i, &mut line);
+                out.tokens.push(Token {
+                    line: l,
+                    tok: Tok::Lit,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'a'`,
+                // `'\n'`): a lifetime is `'` + ident NOT followed by a
+                // closing quote.
+                let is_lifetime =
+                    i + 1 < b.len() && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_') && {
+                        let mut j = i + 2;
+                        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                            j += 1;
+                        }
+                        j >= b.len() || b[j] != b'\''
+                    };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    // Lifetimes are invisible to the rules; skip whole.
+                    i = j;
+                } else {
+                    let l = line;
+                    i = skip_char_literal(b, i);
+                    out.tokens.push(Token {
+                        line: l,
+                        tok: Tok::Lit,
+                    });
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                let word = std::str::from_utf8(&b[start..j]).unwrap_or("").to_owned();
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Ident(word),
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i;
+                // Loose number scan (covers hex/underscores/suffixes);
+                // exact numeric value is irrelevant to every rule.
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Lit,
+                });
+                i = j;
+            }
+            _ => {
+                if c < 0x80 {
+                    out.tokens.push(Token {
+                        line,
+                        tok: Tok::Punct(c as char),
+                    });
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // r"…", r#"…"#, b"…", br"…", br#"…"#
+    let rest = &b[i..];
+    let after_b = if rest.first() == Some(&b'b') { 1 } else { 0 };
+    let after_r = if rest.get(after_b) == Some(&b'r') {
+        after_b + 1
+    } else {
+        // b"…" (no r): only valid when we started on `b`.
+        if after_b == 1 && rest.get(1) == Some(&b'"') {
+            return true;
+        }
+        return false;
+    };
+    let mut j = after_r;
+    while rest.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    rest.get(j) == Some(&b'"')
+}
+
+fn skip_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    // start points at the opening quote.
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_prefixed_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start;
+    if b.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    let raw = b.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(b.get(i), Some(&b'"'));
+    i += 1;
+    if !raw {
+        // b"…": escapes apply.
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                b'\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                b'"' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        return i;
+    }
+    // Raw: ends at `"` followed by the same number of `#`.
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|c| **c == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn skip_char_literal(b: &[u8], start: usize) -> usize {
+    // start points at the opening quote of a char literal.
+    let mut i = start + 1;
+    if i < b.len() && b[i] == b'\\' {
+        i += 2;
+        // \u{…} escapes.
+        while i < b.len() && b[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1).min(b.len());
+    }
+    while i < b.len() && b[i] != b'\'' {
+        i += 1;
+    }
+    (i + 1).min(b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // std::sync::Mutex in a comment
+            /* block std::sync::RwLock */
+            let s = "std::sync::Mutex";
+            let r = r#"std::sync::RwLock"#;
+            let real = foo;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Mutex".to_owned()));
+        assert!(ids.contains(&"foo".to_owned()));
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].1.contains("Mutex"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let ids = idents(src);
+        // `a` from the lifetime is skipped entirely; `x` the parameter
+        // remains; the char literal 'x' is a Lit.
+        assert_eq!(
+            ids,
+            vec!["fn", "f", "x", "str", "char"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let lx = lex(src);
+        let b_tok = lx.tokens.iter().find(|t| t.is_ident("b")).expect("b token");
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let".to_owned(), "x".to_owned()]);
+    }
+
+    #[test]
+    fn unwrap_variants_tokenize_distinctly() {
+        let ids = idents("a.unwrap(); b.unwrap_or(c); d.expect(\"m\");");
+        assert!(ids.contains(&"unwrap".to_owned()));
+        assert!(ids.contains(&"unwrap_or".to_owned()));
+        assert!(ids.contains(&"expect".to_owned()));
+    }
+}

@@ -1,0 +1,58 @@
+//! CLI: `cargo run -p quaestor-analyze -- lint [--root <path>]`.
+//!
+//! Prints one diagnostic per line (`file:line: [rule] message`) and
+//! exits nonzero if any un-allowed diagnostic is found, so CI can gate
+//! on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = PathBuf::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "lint" if cmd.is_none() => cmd = Some("lint"),
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = PathBuf::from(p),
+                    None => {
+                        eprintln!("--root requires a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: quaestor-analyze lint [--root <workspace>]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if cmd != Some("lint") {
+        eprintln!("usage: quaestor-analyze lint [--root <workspace>]");
+        return ExitCode::from(2);
+    }
+
+    match quaestor_analyze::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            eprintln!("analyze: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!("analyze: {} diagnostic(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("analyze: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: allow-suppression — every finding carries a reasoned allow,
+//! so the file must lint clean.
+
+// analyze: allow(std-sync-lock) fixture proves reasoned allows suppress
+use std::sync::Mutex;
+
+pub fn shipped(x: Option<u32>) -> u32 {
+    // analyze: allow(unwrap-in-io-crate) fixture value is always Some
+    x.unwrap()
+}
+
+impl Table {
+    pub fn index_then_shard(&self) {
+        let _idxs = self.indexes.read();
+        // analyze: allow(lock-order) fixture demonstrates suppression
+        let _shard = self.shards[0].read();
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: `bad-allow` — reason-less and unknown-rule allows are
+//! findings themselves, and suppress nothing.
+
+pub fn shipped(x: Option<u32>) -> u32 {
+    // analyze: allow(unwrap-in-io-crate)
+    x.unwrap()
+}
+
+pub fn also(x: Option<u32>) -> u32 {
+    // analyze: allow(no-such-rule) reason present but rule unknown
+    x.expect("present")
+}

@@ -1,0 +1,16 @@
+//! Fixture: `depth-cap` — decoders over untrusted bytes must evidence
+//! a recursion-depth cap.
+
+pub fn get_value(r: &mut Reader) -> Value {
+    get_value_at(r, 0)
+}
+
+pub fn decode_frame(r: &mut Reader, depth: usize) -> Frame {
+    walk(r, depth)
+}
+
+pub fn get_naked(r: &mut Reader) -> Value {
+    r.next()
+}
+
+pub fn helper(r: &mut Reader) {}

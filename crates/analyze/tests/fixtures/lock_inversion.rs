@@ -1,0 +1,16 @@
+//! Fixture: `lock-order` — mirrors the seeded runtime inversion in
+//! `quaestor_store::Table::seeded_index_then_shard_inversion` (see
+//! `crates/store/tests/lockcheck_inversion.rs`): the index registry
+//! (rank 30) is taken before a shard (rank 20).
+
+impl Table {
+    pub fn index_then_shard(&self) {
+        let _idxs = self.indexes.read();
+        let _shard = self.shards[0].read();
+    }
+
+    pub fn documented_order(&self) {
+        let _shard = self.shards[0].write();
+        let _idxs = self.indexes.read();
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: `std-sync-lock` — direct paths and use-group imports.
+
+use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
+use std::sync::atomic::AtomicUsize;
+
+pub struct Holder {
+    slot: std::sync::Mutex<u32>,
+    gate: std::sync::RwLock<Vec<u8>>,
+    hits: AtomicUsize,
+    arc: Arc<u32>,
+}

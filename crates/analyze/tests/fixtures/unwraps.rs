@@ -1,0 +1,21 @@
+//! Fixture: `unwrap-in-io-crate` — flagged in shipped code, exempt in tests.
+
+pub fn shipped(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn also_shipped(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        Some(1).unwrap();
+    }
+}

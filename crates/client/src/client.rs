@@ -171,6 +171,7 @@ impl QuaestorClient {
         clock: ClockRef,
     ) -> QuaestorClient {
         Self::try_connect_service(service, cdns, config, clock)
+            // analyze: allow(unwrap-in-io-crate) documented `# Panics` contract; fallible twin is try_connect_service
             .expect("initial EBF snapshot must succeed on connect")
     }
 
@@ -657,7 +658,9 @@ fn parse_body(body: &[u8]) -> Result<ParsedBody> {
         .ok_or_else(|| Error::Internal("cached query body is not an array".into()))?;
     if arr.iter().all(|e| e.is_string()) && !arr.is_empty() {
         Ok(ParsedBody::Ids(
-            arr.iter().map(|e| e.as_str().unwrap().to_owned()).collect(),
+            arr.iter()
+                .filter_map(|e| e.as_str().map(str::to_owned))
+                .collect(),
         ))
     } else {
         let mut docs = Vec::with_capacity(arr.len());

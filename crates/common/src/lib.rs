@@ -12,11 +12,14 @@
 //! * [`histogram`] — a fixed-bucket latency histogram with percentile
 //!   queries, used by the workload driver and the benchmarks.
 //! * [`error`] — the shared [`Error`] type.
+//! * [`lock_rank`] — the workspace-wide lock-rank hierarchy enforced by
+//!   the `lockcheck` runtime detector and the `quaestor-analyze` linter.
 
 pub mod clock;
 pub mod error;
 pub mod hash;
 pub mod histogram;
+pub mod lock_rank;
 pub mod scratch;
 
 pub use clock::{Clock, ClockRef, ManualClock, SystemClock, Timestamp};

@@ -1,0 +1,73 @@
+//! The workspace lock-rank hierarchy.
+//!
+//! Every long-lived lock in the workspace is constructed with
+//! [`parking_lot::Mutex::with_rank`] using a `(name, rank)` pair from this
+//! table. Under `RUSTFLAGS="--cfg lockcheck"` the vendored `parking_lot`
+//! enforces that locks are only acquired in strictly increasing rank order
+//! per thread (same-name lock *classes*, like the table shards, are exempt
+//! so slice-ordered sweeps stay legal); an inversion panics with both
+//! acquisition sites.
+//!
+//! The static linter (`cargo run -p quaestor-analyze -- lint`) checks a
+//! token-level projection of the same hierarchy from
+//! `analyze/lock-order.toml`. Keep all three in sync: this table, that
+//! TOML file, and `crates/analyze/DESIGN.md`.
+//!
+//! Rank gaps are deliberate — new locks slot in between existing ones
+//! without renumbering the world.
+
+/// A `(name, rank)` pair for [`parking_lot::Mutex::with_rank`].
+pub type LockRank = (&'static str, u32);
+
+/// `QuaestorServer`'s global commit lock — held across whole BOCC
+/// validate+apply cycles, so it is the outermost lock in the system.
+pub const CORE_COMMIT: LockRank = ("core.commit", 5);
+/// `DurabilityEngine::snapshot_gate` — serialises snapshot attempts. Held
+/// across `Database::table()` lookups and per-shard reads during
+/// `snapshot()`, so it ranks *below* `store.db.tables` and `store.shard`
+/// despite living in the durability crate (found empirically by the
+/// `lockcheck` detector, not by reading the code).
+pub const DURABILITY_SNAPSHOT_GATE: LockRank = ("durability.snapshot_gate", 8);
+/// `Database::tables` — the table map, outermost store lock.
+pub const STORE_DB_TABLES: LockRank = ("store.db.tables", 10);
+/// `Database::index_registry` — declarative index specs; held (via an
+/// `if let` scrutinee temporary) across `ensure_index`, so it must rank
+/// below every lock `ensure_index` takes.
+pub const STORE_DB_INDEX_REGISTRY: LockRank = ("store.db.index_registry", 12);
+/// `Table::shards[i]` — one per shard; a lock *class* (same name), so
+/// slice-ordered multi-shard sweeps (`ensure_index`, `snapshot`) are
+/// exempt from the order check among themselves.
+pub const STORE_SHARD: LockRank = ("store.shard", 20);
+/// `Table::indexes` — acquired while a shard write lock is held
+/// (shard → index is the documented store order from PR 5).
+pub const STORE_INDEX: LockRank = ("store.index", 30);
+/// `Database::sink` / `Table::sink` — the shared durability-sink slot,
+/// read while a shard write lock (and the index lock path) is active.
+pub const STORE_SINK: LockRank = ("store.sink", 40);
+/// `ChangeStream::taps` — publish fan-out, called under the sink read.
+pub const STORE_CHANGES: LockRank = ("store.changes", 45);
+/// `DurabilityEngine::state` — WAL writer state; appends run under a
+/// shard write lock via the sink.
+pub const DURABILITY_WAL: LockRank = ("durability.wal", 55);
+/// `PubSub::channels` — kv fan-out map (leaf; nothing nests inside it).
+pub const KV_PUBSUB_CHANNELS: LockRank = ("kv.pubsub.channels", 60);
+/// `Server::accept` — accept-thread handle slot.
+pub const NET_SERVER_ACCEPT: LockRank = ("net.server.accept", 65);
+/// `Server::workers` — worker-thread handles.
+pub const NET_SERVER_WORKERS: LockRank = ("net.server.workers", 66);
+/// `RemoteService::slots[i]` — connection-pool slots (a class: one per
+/// slot, only ever one held at a time).
+pub const NET_CLIENT_SLOT: LockRank = ("net.client.slot", 70);
+/// Server-side per-connection subscription forwarder map.
+pub const NET_SERVER_FORWARDERS: LockRank = ("net.server.conn.forwarders", 71);
+/// Server-side per-connection write half.
+pub const NET_SERVER_WRITER: LockRank = ("net.server.conn.writer", 72);
+/// Client-side per-connection write half (acquired under a pool slot).
+pub const NET_CLIENT_WRITER: LockRank = ("net.client.conn.writer", 74);
+/// Client-side pending-response map (acquired under the write half).
+pub const NET_CLIENT_PENDING: LockRank = ("net.client.conn.pending", 78);
+/// Pool-wide retired-connection latency histogram.
+pub const NET_CLIENT_RETIRED_LATENCY: LockRank = ("net.client.retired_latency", 82);
+/// Per-connection latency histogram (merged into `retired_latency` while
+/// that lock is held, so it ranks above it).
+pub const NET_CLIENT_LATENCY: LockRank = ("net.client.conn.latency", 86);

@@ -381,6 +381,7 @@ impl QuaestorServer {
                 out.push(self.call(req));
                 continue;
             }
+            // analyze: allow(unwrap-in-io-crate) is_write() variants all structurally carry a table name
             let table_name = req.table().expect("writes always carry a table").to_owned();
             let handle = match &cached {
                 Some((name, t)) if *name == table_name => t.clone(),
@@ -684,6 +685,7 @@ impl ShardRouter {
                 }
             });
         }
+        // analyze: allow(unwrap-in-io-crate) shard count is asserted nonzero at construction
         let (filter, at) = union.expect("at least one shard");
         Ok(Response::Ebf { filter, at })
     }
@@ -726,6 +728,7 @@ impl ShardRouter {
         Ok(Response::Batch(
             slots
                 .into_iter()
+                // analyze: allow(unwrap-in-io-crate) flush_pending fills every slot exactly once by construction
                 .map(|s| s.expect("every position filled exactly once"))
                 .collect(),
         ))

@@ -14,7 +14,7 @@
 //! versions under a global commit lock and applies the writes atomically.
 
 use parking_lot::Mutex;
-use quaestor_common::{Error, Result, Version};
+use quaestor_common::{lock_rank, Error, Result, Version};
 use quaestor_document::{Document, Update};
 
 use crate::metrics::bump;
@@ -109,7 +109,8 @@ impl Transaction {
 /// The server-side commit lock: BOCC validates against a stable snapshot,
 /// which a single global mutex provides (the paper's scheme validates in
 /// the server tier; contention is low because transactions are short).
-static COMMIT_LOCK: Mutex<()> = Mutex::new(());
+static COMMIT_LOCK: Mutex<()> =
+    Mutex::with_rank((), lock_rank::CORE_COMMIT.0, lock_rank::CORE_COMMIT.1);
 
 impl QuaestorServer {
     /// Validate and atomically apply a transaction.

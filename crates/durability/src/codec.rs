@@ -57,6 +57,15 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// `take` into a fixed-size array (for the integer decoders) without
+    /// a fallible slice conversion.
+    fn take_array<const N: usize>(&mut self) -> DResult<[u8; N]> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Ok(out)
+    }
+
     /// One byte.
     pub fn u8(&mut self) -> DResult<u8> {
         Ok(self.take(1)?[0])
@@ -64,17 +73,17 @@ impl<'a> Reader<'a> {
 
     /// Little-endian u32.
     pub fn u32(&mut self) -> DResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Little-endian u64.
     pub fn u64(&mut self) -> DResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Little-endian i64.
     pub fn i64(&mut self) -> DResult<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
 
     /// IEEE-754 f64 from its bit pattern.
@@ -476,6 +485,7 @@ pub fn put_query(w: &mut Writer, q: &Query) {
 }
 
 /// Decode a full [`Query`].
+// analyze: allow(depth-cap) only the filter recurses, via depth-capped get_filter_at
 pub fn get_query(r: &mut Reader<'_>) -> DResult<Query> {
     let table = r.str()?;
     let filter = get_filter(r)?;

@@ -19,7 +19,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use quaestor_common::{Error, FxHashMap, Result, Timestamp};
+use quaestor_common::{lock_rank, Error, FxHashMap, Result, Timestamp};
 use quaestor_query::{Query, QueryKey};
 use quaestor_store::{Database, WriteEvent, WriteSink};
 
@@ -363,13 +363,21 @@ impl DurabilityEngine {
         let engine = Arc::new(DurabilityEngine {
             dir,
             config,
-            state: Mutex::new(EngineState {
-                wal,
-                queries,
-                tombstones,
-                frames_since_snapshot: 0,
-            }),
-            snapshot_gate: Mutex::new(()),
+            state: Mutex::with_rank(
+                EngineState {
+                    wal,
+                    queries,
+                    tombstones,
+                    frames_since_snapshot: 0,
+                },
+                lock_rank::DURABILITY_WAL.0,
+                lock_rank::DURABILITY_WAL.1,
+            ),
+            snapshot_gate: Mutex::with_rank(
+                (),
+                lock_rank::DURABILITY_SNAPSHOT_GATE.0,
+                lock_rank::DURABILITY_SNAPSHOT_GATE.1,
+            ),
             lock_path,
         });
         Ok((engine, recovery))

@@ -93,7 +93,7 @@ pub fn read_frame(buf: &[u8], offset: usize) -> FrameRead {
     if rest.len() < 8 {
         return FrameRead::BadTail(format!("short frame header: {} bytes", rest.len()));
     }
-    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+    let len = le_u32(rest, 0);
     if len > MAX_FRAME_PAYLOAD {
         return FrameRead::BadTail(format!("frame length {len} exceeds cap"));
     }
@@ -131,7 +131,14 @@ pub fn read_frame(buf: &[u8], offset: usize) -> FrameRead {
 }
 
 fn crc32_from(rest: &[u8]) -> u32 {
-    u32::from_le_bytes(rest[4..8].try_into().unwrap())
+    le_u32(rest, 4)
+}
+
+/// Little-endian u32 at `at`; caller guarantees `b.len() >= at + 4`.
+fn le_u32(b: &[u8], at: usize) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[at..at + 4]);
+    u32::from_le_bytes(a)
 }
 
 #[cfg(test)]

@@ -167,9 +167,15 @@ pub fn read_snapshot(path: &Path) -> Result<(u64, SnapshotData)> {
     if &bytes[0..8] != MAGIC {
         return fail("bad magic");
     }
-    let lsn = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-    let body_len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
-    let want_crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    let mut lsn_a = [0u8; 8];
+    lsn_a.copy_from_slice(&bytes[8..16]);
+    let lsn = u64::from_le_bytes(lsn_a);
+    let mut len_a = [0u8; 4];
+    len_a.copy_from_slice(&bytes[16..20]);
+    let body_len = u32::from_le_bytes(len_a) as usize;
+    let mut crc_a = [0u8; 4];
+    crc_a.copy_from_slice(&bytes[20..24]);
+    let want_crc = u32::from_le_bytes(crc_a);
     if bytes.len() != 24 + body_len {
         return fail("length mismatch");
     }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
-use quaestor_common::FxHashMap;
+use quaestor_common::{lock_rank, FxHashMap};
 
 /// A subscription handle: a receiver of messages published to one channel.
 #[derive(Debug)]
@@ -67,13 +67,25 @@ struct Subscriber {
 }
 
 /// A multi-channel fan-out message bus.
-#[derive(Default)]
 pub struct PubSub {
     channels: RwLock<FxHashMap<String, Vec<Subscriber>>>,
     /// Full-bus sweeps run only when the channel count reaches this
     /// watermark (then it doubles), so per-subscribe cleanup cost is
     /// amortized O(1) instead of O(channels).
     sweep_at: std::sync::atomic::AtomicUsize,
+}
+
+impl Default for PubSub {
+    fn default() -> PubSub {
+        PubSub {
+            channels: RwLock::with_rank(
+                FxHashMap::default(),
+                lock_rank::KV_PUBSUB_CHANNELS.0,
+                lock_rank::KV_PUBSUB_CHANNELS.1,
+            ),
+            sweep_at: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
 }
 
 impl std::fmt::Debug for PubSub {

@@ -1,0 +1,76 @@
+//! Concurrent stress test for `PubSub`'s channel map and sweep path.
+//!
+//! Exercises `subscribe` / `publish` / drop churn from many threads while
+//! a reader hammers `channel_count()` (the amortized-sweep path). Runs
+//! under both the plain and `RUSTFLAGS="--cfg lockcheck"` CI jobs — under
+//! the latter, every `channels` acquisition is rank-checked against the
+//! workspace hierarchy, so an accidental nested acquisition inside the
+//! sweep would panic the test.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use quaestor_kv::PubSub;
+
+#[test]
+fn concurrent_churn_keeps_channel_count_consistent() {
+    let bus = PubSub::new();
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads = 4;
+    let rounds = 250;
+
+    let mut workers = Vec::new();
+    for t in 0..threads {
+        let bus = bus.clone();
+        workers.push(std::thread::spawn(move || {
+            for r in 0..rounds {
+                let channel = format!("chan-{t}-{}", r % 7);
+                let sub = bus.subscribe(&channel);
+                let delivered = bus.publish(&channel, format!("m{r}").into_bytes());
+                assert!(delivered >= 1, "own subscriber must be reachable");
+                assert_eq!(
+                    sub.recv_timeout(std::time::Duration::from_secs(5))
+                        .as_deref(),
+                    Some(format!("m{r}").as_bytes())
+                );
+                // Subscription dropped here: the channel entry becomes
+                // sweepable garbage for later subscribes/publishes.
+            }
+        }));
+    }
+
+    // Reader thread: channel_count must never panic or report more than
+    // the live upper bound while sweeps run concurrently.
+    let counter = {
+        let bus = bus.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut max_seen = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                let n = bus.channel_count();
+                assert!(
+                    n <= threads * 7,
+                    "channel_count {n} exceeds the {threads}x7 live channel bound"
+                );
+                max_seen = max_seen.max(n);
+            }
+            max_seen
+        })
+    };
+
+    for w in workers {
+        w.join().expect("worker");
+    }
+    stop.store(true, Ordering::Release);
+    counter.join().expect("counter");
+
+    // All subscriptions are dropped; one more publish per channel prunes
+    // the dead entries, after which the map must be empty.
+    for t in 0..threads {
+        for r in 0..7 {
+            bus.publish(&format!("chan-{t}-{r}"), &b"sweep"[..]);
+        }
+    }
+    assert_eq!(bus.channel_count(), 0);
+    assert_eq!(bus.subscriber_count("chan-0-0"), 0);
+}

@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
-use quaestor_common::{Error, FxHashMap, Histogram, Result};
+use quaestor_common::{lock_rank, Error, FxHashMap, Histogram, Result};
 use quaestor_core::{Request, Response, Service};
 use quaestor_kv::PubSub;
 
@@ -156,11 +156,23 @@ impl RemoteService {
         assert!(config.pool_size > 0, "pool_size must be at least 1");
         Ok(Arc::new(RemoteService {
             addr,
-            slots: (0..config.pool_size).map(|_| Mutex::new(None)).collect(),
+            slots: (0..config.pool_size)
+                .map(|_| {
+                    Mutex::with_rank(
+                        None,
+                        lock_rank::NET_CLIENT_SLOT.0,
+                        lock_rank::NET_CLIENT_SLOT.1,
+                    )
+                })
+                .collect(),
             next_slot: AtomicUsize::new(0),
             next_id: AtomicU64::new(1),
             bus: PubSub::new(),
-            retired_latency: Arc::new(Mutex::new(Histogram::new())),
+            retired_latency: Arc::new(Mutex::with_rank(
+                Histogram::new(),
+                lock_rank::NET_CLIENT_RETIRED_LATENCY.0,
+                lock_rank::NET_CLIENT_RETIRED_LATENCY.1,
+            )),
             config,
         }))
     }
@@ -187,6 +199,7 @@ impl RemoteService {
     pub fn latency_histogram(&self) -> Histogram {
         let mut merged = self.retired_latency.lock().clone();
         for slot in &self.slots {
+            // analyze: allow(lock-order) retired_latency guard above is a statement temporary, dropped before any slot is taken
             if let Some(conn) = &*slot.lock() {
                 merged.merge(&conn.latency_us.lock());
             }
@@ -208,11 +221,23 @@ impl RemoteService {
         let writer = stream.try_clone().map_err(|e| net_err("clone socket", e))?;
         let reader = stream.try_clone().map_err(|e| net_err("clone socket", e))?;
         let conn = Arc::new(Conn {
-            writer: Mutex::new(writer),
+            writer: Mutex::with_rank(
+                writer,
+                lock_rank::NET_CLIENT_WRITER.0,
+                lock_rank::NET_CLIENT_WRITER.1,
+            ),
             stream,
-            pending: Mutex::new(FxHashMap::default()),
+            pending: Mutex::with_rank(
+                FxHashMap::default(),
+                lock_rank::NET_CLIENT_PENDING.0,
+                lock_rank::NET_CLIENT_PENDING.1,
+            ),
             alive: AtomicBool::new(true),
-            latency_us: Mutex::new(Histogram::new()),
+            latency_us: Mutex::with_rank(
+                Histogram::new(),
+                lock_rank::NET_CLIENT_LATENCY.0,
+                lock_rank::NET_CLIENT_LATENCY.1,
+            ),
         });
         let conn2 = conn.clone();
         let bus = self.bus.clone();
@@ -320,6 +345,7 @@ impl Service for RemoteService {
             let conn = self.get_conn(deadline)?;
             conn.pending.lock().insert(request_id, tx.clone());
             let write_result = {
+                // analyze: allow(lock-order) pending guard above is a statement temporary, released before the writer lock
                 let mut w = conn.writer.lock();
                 w.write_all(&frame)
             };

@@ -90,6 +90,7 @@ pub fn put_update(w: &mut Writer, update: &Update) {
 }
 
 /// Decode an [`Update`].
+// analyze: allow(depth-cap) op count bounded by remaining(); values recurse via depth-capped get_value
 pub fn get_update(r: &mut Reader<'_>) -> DResult<Update> {
     let n = {
         let n = r.u32()? as usize;
@@ -350,6 +351,7 @@ pub fn put_error(w: &mut Writer, e: &Error) {
 }
 
 /// Decode an [`Error`].
+// analyze: allow(depth-cap) flat tag-plus-strings decode, no recursion
 pub fn get_error(r: &mut Reader<'_>) -> DResult<Error> {
     Ok(match r.u8()? {
         E_UNKNOWN_TABLE => Error::UnknownTable(r.str()?),
@@ -622,6 +624,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 }
 
 /// Decode a frame body as a request, consuming it exactly.
+// analyze: allow(depth-cap) thin wrapper over depth-capped get_request
 pub fn decode_request(body: &[u8]) -> DResult<Request> {
     let mut r = Reader::new(body);
     let req = get_request(&mut r)?;
@@ -639,6 +642,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
 }
 
 /// Decode a frame body as a response, consuming it exactly.
+// analyze: allow(depth-cap) thin wrapper over depth-capped get_response
 pub fn decode_response(body: &[u8]) -> DResult<WireResponse> {
     let mut r = Reader::new(body);
     let resp = get_response(&mut r)?;
@@ -662,6 +666,7 @@ pub fn encode_error(e: &Error) -> Vec<u8> {
 }
 
 /// Decode a frame body as an error, consuming it exactly.
+// analyze: allow(depth-cap) thin wrapper over flat get_error
 pub fn decode_error(body: &[u8]) -> DResult<Error> {
     let mut r = Reader::new(body);
     let e = get_error(&mut r)?;

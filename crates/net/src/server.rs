@@ -36,7 +36,7 @@ use std::time::Duration;
 
 use bytes::BytesMut;
 use parking_lot::Mutex;
-use quaestor_common::{Error, FxHashMap, Result};
+use quaestor_common::{lock_rank, Error, FxHashMap, Result};
 use quaestor_core::{Request, Response, Service};
 
 use crate::codec;
@@ -126,7 +126,11 @@ impl NetServer {
             service,
             config,
             shutdown: AtomicBool::new(false),
-            workers: Mutex::new(Vec::new()),
+            workers: Mutex::with_rank(
+                Vec::new(),
+                lock_rank::NET_SERVER_WORKERS.0,
+                lock_rank::NET_SERVER_WORKERS.1,
+            ),
             requests_served: AtomicU64::new(0),
             connections_accepted: AtomicU64::new(0),
         });
@@ -138,7 +142,11 @@ impl NetServer {
         Ok(NetServer {
             shared,
             local_addr,
-            accept: Mutex::new(Some(accept)),
+            accept: Mutex::with_rank(
+                Some(accept),
+                lock_rank::NET_SERVER_ACCEPT.0,
+                lock_rank::NET_SERVER_ACCEPT.1,
+            ),
         })
     }
 
@@ -281,9 +289,17 @@ fn run_connection(shared: Arc<Shared>, stream: TcpStream) {
         return;
     };
     let conn = Arc::new(ConnState {
-        writer: Mutex::new(writer_stream),
+        writer: Mutex::with_rank(
+            writer_stream,
+            lock_rank::NET_SERVER_WRITER.0,
+            lock_rank::NET_SERVER_WRITER.1,
+        ),
         alive: AtomicBool::new(true),
-        forwarders: Mutex::new(FxHashMap::default()),
+        forwarders: Mutex::with_rank(
+            FxHashMap::default(),
+            lock_rank::NET_SERVER_FORWARDERS.0,
+            lock_rank::NET_SERVER_FORWARDERS.1,
+        ),
     });
     let mut reader = stream;
     let mut buf = BytesMut::with_capacity(shared.config.read_chunk);
@@ -335,6 +351,7 @@ fn run_connection(shared: Arc<Shared>, stream: TcpStream) {
 
     conn.alive.store(false, Ordering::Release);
     let _ = conn.writer.lock().shutdown(Shutdown::Both);
+    // analyze: allow(lock-order) writer guard above is a statement temporary, released before forwarders
     let forwarders = std::mem::take(&mut *conn.forwarders.lock());
     for (_, (_, handle)) in forwarders {
         let _ = handle.join();
@@ -443,6 +460,7 @@ fn spawn_forwarder(
         });
     match spawned {
         Ok(handle) => {
+            // analyze: allow(lock-order) the writer acquisition above runs on the spawned forwarder thread, never held here
             conn.forwarders.lock().insert(request_id, (cancel, handle));
         }
         Err(_) => { /* out of threads: the stream silently ends */ }

@@ -134,12 +134,26 @@ pub enum FrameDecode<'a> {
     Corrupt(String),
 }
 
+/// Little-endian u32 at `at`; caller guarantees `b.len() >= at + 4`.
+fn le_u32(b: &[u8], at: usize) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[at..at + 4]);
+    u32::from_le_bytes(a)
+}
+
+/// Little-endian u64 at `at`; caller guarantees `b.len() >= at + 8`.
+fn le_u64(b: &[u8], at: usize) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[at..at + 8]);
+    u64::from_le_bytes(a)
+}
+
 /// Try to decode the frame at the front of `buf`.
 pub fn decode_frame(buf: &[u8]) -> FrameDecode<'_> {
     if buf.len() < FRAME_HEADER {
         return FrameDecode::Incomplete;
     }
-    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    let len = le_u32(buf, 0);
     if len > MAX_FRAME_PAYLOAD {
         return FrameDecode::Corrupt(format!("frame payload {len} exceeds cap"));
     }
@@ -150,7 +164,7 @@ pub fn decode_frame(buf: &[u8]) -> FrameDecode<'_> {
     if buf.len() < FRAME_HEADER + len {
         return FrameDecode::Incomplete;
     }
-    let want = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let want = le_u32(buf, 4);
     let payload = &buf[FRAME_HEADER..FRAME_HEADER + len];
     let got = crc32(payload);
     if got != want {
@@ -167,7 +181,7 @@ pub fn decode_frame(buf: &[u8]) -> FrameDecode<'_> {
     let Some(kind) = FrameKind::from_tag(payload[1]) else {
         return FrameDecode::Corrupt(format!("unknown frame kind {}", payload[1]));
     };
-    let request_id = u64::from_le_bytes(payload[2..10].try_into().expect("8 bytes"));
+    let request_id = le_u64(payload, 2);
     FrameDecode::Frame(Frame {
         kind,
         request_id,

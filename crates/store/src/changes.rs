@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use quaestor_common::lock_rank;
 use quaestor_common::{Timestamp, Version};
 use quaestor_document::Document;
 
@@ -57,9 +58,20 @@ struct Tap {
 /// and table-scoped: InvaliDB's changestream-ingestion tasks subscribe
 /// here ("every instance ... transactionally pulls newly arrived data
 /// items from the source", §4.1).
-#[derive(Default)]
 pub struct ChangeStream {
     taps: Mutex<Vec<Tap>>,
+}
+
+impl Default for ChangeStream {
+    fn default() -> ChangeStream {
+        ChangeStream {
+            taps: Mutex::with_rank(
+                Vec::new(),
+                lock_rank::STORE_CHANGES.0,
+                lock_rank::STORE_CHANGES.1,
+            ),
+        }
+    }
 }
 
 impl std::fmt::Debug for ChangeStream {

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use quaestor_common::lock_rank;
 use quaestor_common::{ClockRef, Error, FxHashMap, Result, SystemClock};
 use quaestor_document::Path;
 use quaestor_query::Query;
@@ -11,7 +12,7 @@ use crate::changes::{ChangeStream, ChangeSubscription};
 use crate::index::IndexKind;
 use crate::plan::{QueryStats, QueryStatsRef};
 use crate::sink::WriteSink;
-use crate::table::{SinkSlot, Table};
+use crate::table::{new_sink_slot, SinkSlot, Table};
 
 /// A multi-table document database.
 ///
@@ -57,10 +58,18 @@ impl Database {
     /// servers" in the paper's MongoDB deployment).
     pub fn with_config(clock: ClockRef, shards_per_table: usize) -> Arc<Database> {
         Arc::new(Database {
-            tables: RwLock::new(FxHashMap::default()),
+            tables: RwLock::with_rank(
+                FxHashMap::default(),
+                lock_rank::STORE_DB_TABLES.0,
+                lock_rank::STORE_DB_TABLES.1,
+            ),
             changes: Arc::new(ChangeStream::new()),
-            sink: SinkSlot::default(),
-            index_registry: RwLock::new(FxHashMap::default()),
+            sink: new_sink_slot(),
+            index_registry: RwLock::with_rank(
+                FxHashMap::default(),
+                lock_rank::STORE_DB_INDEX_REGISTRY.0,
+                lock_rank::STORE_DB_INDEX_REGISTRY.1,
+            ),
             query_stats: Arc::new(QueryStats::default()),
             clock,
             shards_per_table,
@@ -134,6 +143,7 @@ impl Database {
                 specs.push((path.clone(), kind));
             }
         }
+        // analyze: allow(lock-order) registry write guard is block-scoped above and already released
         if let Some(t) = self.tables.read().get(table).cloned() {
             t.ensure_index(&path, kind);
         }

@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use quaestor_common::lock_rank;
 use quaestor_common::{fx_hash_str, ClockRef, Error, FxHashMap, Result, Timestamp, Version};
 use quaestor_document::{Document, Path, Update, Value};
 use quaestor_query::{matcher, Query};
@@ -19,6 +20,16 @@ use quaestor_query::Filter;
 /// Shared, swappable slot holding the database's attached [`WriteSink`]
 /// (one slot per database, cloned into every table).
 pub(crate) type SinkSlot = Arc<RwLock<Option<Arc<dyn WriteSink>>>>;
+
+/// A fresh, empty [`SinkSlot`] registered under [`lock_rank::STORE_SINK`]
+/// (the alias can't carry the rank through `Default`).
+pub(crate) fn new_sink_slot() -> SinkSlot {
+    Arc::new(RwLock::with_rank(
+        None,
+        lock_rank::STORE_SINK.0,
+        lock_rank::STORE_SINK.1,
+    ))
+}
 
 /// A staged-but-not-yet-durable sink ticket; resolved by
 /// `Table::commit_pending` after the shard lock is released.
@@ -78,8 +89,20 @@ impl Table {
         assert!(shards > 0);
         Table {
             name: Arc::from(name),
-            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
-            indexes: RwLock::new(IndexSet::default()),
+            shards: (0..shards)
+                .map(|_| {
+                    RwLock::with_rank(
+                        Shard::default(),
+                        lock_rank::STORE_SHARD.0,
+                        lock_rank::STORE_SHARD.1,
+                    )
+                })
+                .collect(),
+            indexes: RwLock::with_rank(
+                IndexSet::default(),
+                lock_rank::STORE_INDEX.0,
+                lock_rank::STORE_INDEX.1,
+            ),
             stats,
             seq: AtomicU64::new(0),
             changes,
@@ -771,6 +794,19 @@ impl Table {
         }
         out
     }
+
+    /// Deliberately acquires the index lock and *then* a shard lock —
+    /// the exact inversion of the documented shard → index order. Exists
+    /// only so the `lockcheck` regression test can prove the runtime
+    /// detector fires with both acquisition sites named; compiled solely
+    /// under `RUSTFLAGS="--cfg lockcheck"`.
+    #[cfg(lockcheck)]
+    #[doc(hidden)]
+    pub fn seeded_index_then_shard_inversion(&self) {
+        let _idxs = self.indexes.read();
+        // analyze: allow(lock-order) deliberate seeded inversion; the lockcheck regression test asserts the detector panic
+        let _shard = self.shards[0].read();
+    }
 }
 
 #[cfg(test)]
@@ -788,7 +824,7 @@ mod tests {
                 "posts".into(),
                 4,
                 changes.clone(),
-                SinkSlot::default(),
+                new_sink_slot(),
                 clock,
                 QueryStatsRef::default(),
             ),

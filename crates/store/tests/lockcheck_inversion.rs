@@ -1,0 +1,58 @@
+//! Seeded lock-order inversion regression test.
+//!
+//! Runs only under `RUSTFLAGS="--cfg lockcheck"` (the `test-lockcheck`
+//! CI job): proves the instrumented `parking_lot` detector catches the
+//! index → shard inversion that the store's documented hierarchy
+//! forbids, and that its panic names *both* acquisition sites so the
+//! report is actionable. The static linter flags the same pattern — see
+//! `crates/analyze/tests/fixtures/lock_inversion.rs` for the mirror
+//! fixture.
+#![cfg(lockcheck)]
+
+use std::panic::{self, AssertUnwindSafe};
+
+use quaestor_document::doc;
+use quaestor_store::Database;
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        String::new()
+    }
+}
+
+#[test]
+fn seeded_inversion_panics_with_both_sites_named() {
+    let db = Database::new();
+    let table = db.create_table("posts");
+    let err = panic::catch_unwind(AssertUnwindSafe(|| {
+        table.seeded_index_then_shard_inversion();
+    }))
+    .expect_err("the lockcheck detector must panic on index -> shard");
+    let msg = panic_message(err);
+    assert!(
+        msg.contains("lock-order inversion"),
+        "unexpected panic message: {msg}"
+    );
+    assert!(msg.contains("`store.shard`"), "missing lock name: {msg}");
+    assert!(msg.contains("`store.index`"), "missing lock name: {msg}");
+    // Both acquisition sites (the seeded fn's two statements) are named.
+    assert_eq!(
+        msg.matches("crates/store/src/table.rs").count(),
+        2,
+        "expected both acquisition sites in: {msg}"
+    );
+}
+
+#[test]
+fn documented_shard_then_index_order_is_clean() {
+    // The real write path (shard write lock, then index maintenance)
+    // must stay silent under the same detector.
+    let db = Database::new();
+    let table = db.create_table("posts");
+    table.insert("a", doc! { "x" => 1 }).expect("insert");
+    assert_eq!(table.len(), 1);
+}

@@ -2,26 +2,270 @@
 //! `std::sync`. The build environment has no network access to crates.io,
 //! so the workspace vendors the thin subset it uses: `Mutex` and `RwLock`
 //! with infallible, poison-ignoring guard acquisition.
+//!
+//! # Lock-order checking (`--cfg lockcheck`)
+//!
+//! Built with `RUSTFLAGS="--cfg lockcheck"`, every lock constructed via
+//! [`Mutex::with_rank`] / [`RwLock::with_rank`] participates in a runtime
+//! lock-order detector:
+//!
+//! - each thread keeps a stack of the ranked locks it currently holds,
+//!   with the `file:line` of every acquisition (`#[track_caller]`);
+//! - acquiring a lock whose rank is *not strictly greater* than an
+//!   already-held lock of a different name panics immediately, naming
+//!   both acquisition sites (same-name locks are exempt: lock classes
+//!   such as table shards are acquired in slice order by convention);
+//! - independently, a process-global acquisition-order graph accumulates
+//!   every observed `held → acquired` edge; an edge that closes a cycle
+//!   panics with the current site and the site of the first conflicting
+//!   edge, so an inversion split across two threads that never actually
+//!   deadlocks in this run is still caught.
+//!
+//! Unranked locks (plain [`Mutex::new`] / [`RwLock::new`]) are never
+//! tracked. The rank table lives in `analyze/lock-order.toml` at the
+//! workspace root and is documented in `crates/analyze/DESIGN.md`; the
+//! static half of the checker is `cargo run -p quaestor-analyze -- lint`.
 
 use std::fmt;
-use std::sync::{MutexGuard as StdMutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(lockcheck)]
+mod lockcheck {
+    use std::cell::RefCell;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    /// Static identity of a ranked lock: a name (shared by every lock of
+    /// the same class) and its position in the global hierarchy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Rank {
+        pub name: &'static str,
+        pub rank: u32,
+    }
+
+    struct Held {
+        name: &'static str,
+        rank: u32,
+        site: &'static Location<'static>,
+        token: u64,
+    }
+
+    /// One observed `from held while acquiring to` pair, with the sites
+    /// of the acquisition that witnessed it first.
+    struct Edge {
+        from: &'static str,
+        to: &'static str,
+        from_site: &'static Location<'static>,
+        to_site: &'static Location<'static>,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+    static GRAPH: StdMutex<Vec<Edge>> = StdMutex::new(Vec::new());
+
+    fn reachable(edges: &[Edge], from: &'static str, to: &'static str) -> bool {
+        // Tiny graphs (tens of named locks): a depth-first walk over the
+        // edge list is plenty.
+        let mut stack = vec![from];
+        let mut visited: Vec<&'static str> = Vec::new();
+        while let Some(node) = stack.pop() {
+            if node == to {
+                return true;
+            }
+            if visited.contains(&node) {
+                continue;
+            }
+            visited.push(node);
+            for e in edges {
+                if e.from == node {
+                    stack.push(e.to);
+                }
+            }
+        }
+        false
+    }
+
+    /// Record a non-blocking (`try_lock`-style) acquisition: it joins the
+    /// held stack so *later* blocking acquisitions are checked against
+    /// it, but is itself exempt from order checks — an acquisition that
+    /// cannot block cannot close a deadlock's circular wait.
+    pub fn acquired_nonblocking(rank: Rank, site: &'static Location<'static>) -> u64 {
+        push_held(rank, site)
+    }
+
+    /// Run the order checks for acquiring `rank` at `site`, record the
+    /// acquisition on the thread's held stack, and return the token the
+    /// guard must release on drop. Panics on an inversion.
+    pub fn acquired(rank: Rank, site: &'static Location<'static>) -> u64 {
+        HELD.with(|held| {
+            let held = held.borrow();
+            for prior in held.iter() {
+                if prior.name == rank.name {
+                    // Same lock class (e.g. two table shards): ordered by
+                    // an external convention (slice order), not by rank.
+                    continue;
+                }
+                if rank.rank <= prior.rank {
+                    panic!(
+                        "lock-order inversion: acquiring `{}` (rank {}) at {} \
+                         while holding `{}` (rank {}) acquired at {}; \
+                         the declared hierarchy (analyze/lock-order.toml) \
+                         requires strictly increasing ranks",
+                        rank.name, rank.rank, site, prior.name, prior.rank, prior.site,
+                    );
+                }
+            }
+            // Feed the acquisition-order graph: one edge per held lock.
+            let mut graph = match GRAPH.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            for prior in held.iter() {
+                if prior.name == rank.name {
+                    continue;
+                }
+                let known = graph
+                    .iter()
+                    .any(|e| e.from == prior.name && e.to == rank.name);
+                if known {
+                    continue;
+                }
+                if reachable(&graph, rank.name, prior.name) {
+                    let back = graph
+                        .iter()
+                        .find(|e| e.from == rank.name)
+                        .expect("a reachable path starts with an outgoing edge");
+                    panic!(
+                        "lock-order cycle: acquiring `{}` at {} while holding `{}` \
+                         (acquired at {}) contradicts the previously observed order \
+                         `{}` -> `{}` (held at {}, acquired at {})",
+                        rank.name,
+                        site,
+                        prior.name,
+                        prior.site,
+                        back.from,
+                        back.to,
+                        back.from_site,
+                        back.to_site,
+                    );
+                }
+                graph.push(Edge {
+                    from: prior.name,
+                    to: rank.name,
+                    from_site: prior.site,
+                    to_site: site,
+                });
+            }
+        });
+        push_held(rank, site)
+    }
+
+    fn push_held(rank: Rank, site: &'static Location<'static>) -> u64 {
+        let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        HELD.with(|held| {
+            held.borrow_mut().push(Held {
+                name: rank.name,
+                rank: rank.rank,
+                site,
+                token,
+            });
+        });
+        token
+    }
+
+    /// Pop the acquisition identified by `token` off the held stack
+    /// (guards can drop out of LIFO order, so search from the top).
+    pub fn released(token: u64) {
+        if token == 0 {
+            return;
+        }
+        // The thread-local may already be torn down during thread exit;
+        // a guard dropped that late has nothing left to release.
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(idx) = held.iter().rposition(|h| h.token == token) {
+                held.remove(idx);
+            }
+        });
+    }
+}
+
+#[cfg(lockcheck)]
+use lockcheck::Rank;
+
+/// Check in with the detector before blocking on the underlying lock:
+/// panicking *before* the acquisition turns a would-be deadlock into a
+/// diagnostic. Returns the release token for the guard (0 = untracked).
+#[cfg(lockcheck)]
+#[track_caller]
+fn trace_acquire(meta: &Option<Rank>) -> u64 {
+    match meta {
+        Some(rank) => lockcheck::acquired(*rank, std::panic::Location::caller()),
+        None => 0,
+    }
+}
+
+/// Non-blocking variant: records the hold without order checks.
+#[cfg(lockcheck)]
+#[track_caller]
+fn trace_try_acquire(meta: &Option<Rank>) -> u64 {
+    match meta {
+        Some(rank) => lockcheck::acquired_nonblocking(*rank, std::panic::Location::caller()),
+        None => 0,
+    }
+}
 
 /// A mutex whose `lock` never returns a poison error: a panicked holder
 /// simply passes the (possibly inconsistent) data on, as parking_lot does.
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(lockcheck)]
+    meta: Option<Rank>,
+    inner: std::sync::Mutex<T>,
+}
 
 /// Guard returned by [`Mutex::lock`].
-pub struct MutexGuard<'a, T: ?Sized>(StdMutexGuard<'a, T>);
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(lockcheck)]
+    token: u64,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lockcheck::released(self.token);
+    }
+}
 
 impl<T> Mutex<T> {
     /// Create a new mutex (usable in `static` initializers).
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            #[cfg(lockcheck)]
+            meta: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Create a mutex with a name and a position in the global lock-rank
+    /// hierarchy (`analyze/lock-order.toml`). Under `--cfg lockcheck`
+    /// every acquisition is order-checked against all other ranked locks
+    /// the thread holds; otherwise identical to [`Mutex::new`].
+    #[allow(unused_variables)]
+    pub const fn with_rank(value: T, name: &'static str, rank: u32) -> Mutex<T> {
+        Mutex {
+            #[cfg(lockcheck)]
+            meta: Some(Rank { name, rank }),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -30,25 +274,44 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking the current thread.
+    #[cfg_attr(lockcheck, track_caller)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(match self.0.lock() {
+        #[cfg(lockcheck)]
+        let token = trace_acquire(&self.meta);
+        let inner = match self.inner.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
-        })
+        };
+        MutexGuard {
+            #[cfg(lockcheck)]
+            token,
+            inner,
+        }
     }
 
     /// Try to acquire the lock without blocking.
+    #[cfg_attr(lockcheck, track_caller)]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(g)),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        // A successful try_lock cannot deadlock, but it still *holds* the
+        // lock: record it (unchecked) so later blocking acquisitions see
+        // it.
+        #[cfg(lockcheck)]
+        let token = trace_try_acquire(&self.meta);
+        Some(MutexGuard {
+            #[cfg(lockcheck)]
+            token,
+            inner,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
+        match self.inner.get_mut() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -73,28 +336,77 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
     }
 }
 
 /// A readers-writer lock with infallible, poison-ignoring acquisition.
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(lockcheck)]
+    meta: Option<Rank>,
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(lockcheck)]
+    token: u64,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(lockcheck)]
+    token: u64,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lockcheck::released(self.token);
+    }
+}
+
+#[cfg(lockcheck)]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lockcheck::released(self.token);
+    }
+}
 
 impl<T> RwLock<T> {
     /// Create a new lock (usable in `static` initializers).
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            #[cfg(lockcheck)]
+            meta: None,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Create a lock with a name and a position in the global lock-rank
+    /// hierarchy (`analyze/lock-order.toml`). Under `--cfg lockcheck`
+    /// every `read`/`write` acquisition is order-checked; otherwise
+    /// identical to [`RwLock::new`].
+    #[allow(unused_variables)]
+    pub const fn with_rank(value: T, name: &'static str, rank: u32) -> RwLock<T> {
+        RwLock {
+            #[cfg(lockcheck)]
+            meta: Some(Rank { name, rank }),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -103,24 +415,40 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read guard.
+    #[cfg_attr(lockcheck, track_caller)]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        match self.0.read() {
+        #[cfg(lockcheck)]
+        let token = trace_acquire(&self.meta);
+        let inner = match self.inner.read() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard {
+            #[cfg(lockcheck)]
+            token,
+            inner,
         }
     }
 
     /// Acquire an exclusive write guard.
+    #[cfg_attr(lockcheck, track_caller)]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        match self.0.write() {
+        #[cfg(lockcheck)]
+        let token = trace_acquire(&self.meta);
+        let inner = match self.inner.write() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard {
+            #[cfg(lockcheck)]
+            token,
+            inner,
         }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
+        match self.inner.get_mut() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -135,10 +463,30 @@ impl<T: Default> Default for RwLock<T> {
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.0.try_read() {
+        match self.inner.try_read() {
             Ok(g) => f.debug_tuple("RwLock").field(&&*g).finish(),
             _ => f.write_str("RwLock(<locked>)"),
         }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
     }
 }
 
@@ -164,5 +512,97 @@ mod tests {
     fn const_static_init() {
         static M: Mutex<()> = Mutex::new(());
         let _g = M.lock();
+    }
+
+    #[test]
+    fn ranked_const_static_init() {
+        static M: Mutex<()> = Mutex::with_rank((), "test.static", 999);
+        let _g = M.lock();
+    }
+
+    #[test]
+    fn ranked_in_order_acquisition_is_fine() {
+        let low = Mutex::with_rank(1, "test.low", 10);
+        let high = RwLock::with_rank(2, "test.high", 20);
+        let a = low.lock();
+        let b = high.read();
+        assert_eq!(*a + *b, 3);
+        drop(b);
+        drop(a);
+        // Re-acquire solo to prove the held stack unwound cleanly.
+        let _b = high.write();
+    }
+
+    #[cfg(lockcheck)]
+    mod lockcheck_behavior {
+        use super::super::*;
+
+        fn panic_message(result: std::thread::Result<()>) -> String {
+            let err = result.expect_err("expected a lockcheck panic");
+            match err.downcast::<String>() {
+                Ok(s) => *s,
+                Err(other) => match other.downcast::<&'static str>() {
+                    Ok(s) => (*s).to_owned(),
+                    Err(_) => String::from("<non-string panic payload>"),
+                },
+            }
+        }
+
+        #[test]
+        fn inversion_panics_with_both_sites() {
+            let low = Mutex::with_rank((), "test.inv.low", 10);
+            let high = Mutex::with_rank((), "test.inv.high", 20);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _h = high.lock();
+                let _l = low.lock(); // 10 after 20: inversion
+            }));
+            let msg = panic_message(result);
+            assert!(msg.contains("test.inv.low"), "{msg}");
+            assert!(msg.contains("test.inv.high"), "{msg}");
+            // Both acquisition sites are named (this file, twice).
+            assert_eq!(msg.matches("lib.rs").count(), 2, "{msg}");
+        }
+
+        #[test]
+        fn same_name_class_is_exempt() {
+            let a = Mutex::with_rank((), "test.class", 30);
+            let b = Mutex::with_rank((), "test.class", 30);
+            let _a = a.lock();
+            let _b = b.lock(); // shard-style sibling: allowed
+        }
+
+        #[test]
+        fn cross_thread_inversion_is_detected() {
+            let a = std::sync::Arc::new(Mutex::with_rank((), "test.cyc.a", 40));
+            let b = std::sync::Arc::new(Mutex::with_rank((), "test.cyc.b", 41));
+            // Thread 1 teaches the graph a -> b (rank-legal).
+            {
+                let (a, b) = (a.clone(), b.clone());
+                std::thread::spawn(move || {
+                    let _a = a.lock();
+                    let _b = b.lock();
+                })
+                .join()
+                .unwrap();
+            }
+            // Thread 2 attempts b -> a.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _b = b.lock();
+                let _a = a.lock();
+            }));
+            let msg = panic_message(result);
+            assert!(
+                msg.contains("test.cyc.a") && msg.contains("test.cyc.b"),
+                "{msg}"
+            );
+        }
+
+        #[test]
+        fn unranked_locks_are_untracked() {
+            let plain = Mutex::new(());
+            let ranked = Mutex::with_rank((), "test.unranked.peer", 5);
+            let _p = plain.lock();
+            let _r = ranked.lock(); // no rank relation to check
+        }
     }
 }
