@@ -64,6 +64,7 @@ fn main() {
             "matchidx",
             "query",
             "durability",
+            "replication",
             "net",
         ]
     } else {
@@ -93,6 +94,7 @@ fn main() {
             "matchidx" => run_matchidx(scale, &out),
             "query" => run_query(scale, &out),
             "durability" => run_durability(scale, &out),
+            "replication" => run_replication(scale, &out),
             "net" => run_net(scale, &out),
             other => {
                 eprintln!("unknown experiment '{other}' — see DESIGN.md for the index");
@@ -441,6 +443,39 @@ fn run_durability(scale: Scale, out: &std::path::Path) {
     t.print();
     let json = durability_json(&append, &recovery);
     write_bench_json(out, "durability", &json);
+}
+
+fn run_replication(scale: Scale, out: &std::path::Path) {
+    println!("== Replication: replica lag vs write rate (async shipping) ==");
+    let rows = replication_lag(scale);
+    let mut t = TableWriter::new(&[
+        "target rate",
+        "writes",
+        "achieved rate",
+        "mean lag",
+        "max lag",
+        "drain (ms)",
+        "converged",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            if r.target_rate == 0 {
+                "unthrottled".into()
+            } else {
+                format!("{}/s", r.target_rate)
+            },
+            r.writes.to_string(),
+            format!("{:.0}/s", r.achieved_rate),
+            format!("{:.2}", r.mean_lag_frames),
+            r.max_lag_frames.to_string(),
+            format!("{:.1}", r.convergence_ms),
+            r.converged.to_string(),
+        ]);
+    }
+    t.print();
+    println!("(lag in WAL frames = acked-but-not-replica-durable writes a crash at that instant would hand to failover)");
+    let json = replication_json(&rows);
+    write_bench_json(out, "replication", &json);
 }
 
 fn run_net(scale: Scale, out: &std::path::Path) {

@@ -1148,6 +1148,157 @@ pub fn durability_json(
     out
 }
 
+// -------------------------------------------------------------- replication
+
+/// One row of the replication-lag experiment: a primary/replica pair
+/// driven at a target write rate, sampling how far the replica's
+/// *durable* LSN trails the primary's log tip.
+#[derive(Debug, Clone)]
+pub struct ReplicationRow {
+    /// Target write rate (writes/s); `0` means unthrottled.
+    pub target_rate: usize,
+    /// Writes driven through the primary.
+    pub writes: usize,
+    /// Write rate actually achieved (writes/s) — sleep granularity makes
+    /// the throttled rows land below their target.
+    pub achieved_rate: f64,
+    /// Mean sampled lag, in WAL frames.
+    pub mean_lag_frames: f64,
+    /// Worst sampled lag, in WAL frames.
+    pub max_lag_frames: u64,
+    /// Time from the last write until the replica's durable LSN reached
+    /// the primary's (ms) — the drain time of the shipping pipeline.
+    pub convergence_ms: f64,
+    /// Whether the replica durably converged within the deadline (a
+    /// `false` here is a bug, not a measurement).
+    pub converged: bool,
+}
+
+/// Replication lag vs write rate: one primary + one replica per row,
+/// asynchronous shipping (`ack_replicas = 0` — the semi-sync gate would
+/// clamp lag to zero by construction and measure only the gate).
+///
+/// Lag is sampled every few writes as `primary.last_lsn -
+/// replica.durable_lsn`: the number of acknowledged-but-not-yet-
+/// replica-durable frames a primary crash at that instant would hand to
+/// the failover audit. After the last write the convergence time is the
+/// pipeline's drain latency.
+pub fn replication_lag(scale: Scale) -> Vec<ReplicationRow> {
+    use quaestor_document::doc;
+    use quaestor_repl::{ReplConfig, ReplNode};
+    use std::time::{Duration, Instant};
+
+    let writes = match scale {
+        Scale::Quick => 400,
+        Scale::Full => 4_000,
+    };
+    let rates: &[usize] = &[200, 1_000, 0];
+    let cfg = ReplConfig {
+        io_timeout: Duration::from_millis(2),
+        reconnect_backoff: Duration::from_millis(20),
+        ..ReplConfig::default()
+    };
+    let mut rows = Vec::new();
+    for &rate in rates {
+        let dir = bench_temp_dir("replication");
+        let primary = ReplNode::open_primary(dir.join("primary"), cfg).expect("open primary");
+        let replica = ReplNode::open_replica(dir.join("replica"), primary.repl_addr(), cfg)
+            .expect("open replica");
+        // Warm-up: prove the shipping session is live before the clock
+        // starts, so the first connect doesn't count as lag.
+        primary
+            .server()
+            .insert("t", "warm", doc! {})
+            .expect("warm-up write");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while replica.status().durable_lsn < primary.status().durable_lsn {
+            assert!(
+                Instant::now() < deadline,
+                "replica never caught up after connect"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let pause = (rate > 0).then(|| Duration::from_secs_f64(1.0 / rate as f64));
+        let mut lags: Vec<u64> = Vec::new();
+        let start = Instant::now();
+        for i in 0..writes {
+            primary
+                .server()
+                .insert("t", &format!("r{i}"), doc! { "n" => i as i64 })
+                .expect("insert");
+            if i % 8 == 0 {
+                lags.push(
+                    primary
+                        .status()
+                        .last_lsn
+                        .saturating_sub(replica.status().durable_lsn),
+                );
+            }
+            if let Some(p) = pause {
+                std::thread::sleep(p);
+            }
+        }
+        let elapsed = start.elapsed();
+
+        let target = primary.status().durable_lsn;
+        let conv_start = Instant::now();
+        let conv_deadline = conv_start + Duration::from_secs(15);
+        let mut converged = true;
+        while replica.status().durable_lsn < target {
+            if Instant::now() >= conv_deadline {
+                converged = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let convergence_ms = conv_start.elapsed().as_secs_f64() * 1e3;
+
+        rows.push(ReplicationRow {
+            target_rate: rate,
+            writes,
+            achieved_rate: writes as f64 / elapsed.as_secs_f64().max(1e-9),
+            mean_lag_frames: if lags.is_empty() {
+                0.0
+            } else {
+                lags.iter().sum::<u64>() as f64 / lags.len() as f64
+            },
+            max_lag_frames: lags.iter().copied().max().unwrap_or(0),
+            convergence_ms,
+            converged,
+        });
+        replica.kill();
+        primary.kill();
+        drop(replica);
+        drop(primary);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    rows
+}
+
+/// Render replication rows as the machine-readable
+/// `BENCH_replication.json` payload (hand-rolled like `matchidx_json`).
+pub fn replication_json(rows: &[ReplicationRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"replication\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"target_rate\": {}, \"writes\": {}, \"achieved_rate\": {:.0}, \
+             \"mean_lag_frames\": {:.2}, \"max_lag_frames\": {}, \
+             \"convergence_ms\": {:.1}, \"converged\": {}}}{}\n",
+            r.target_rate,
+            r.writes,
+            r.achieved_rate,
+            r.mean_lag_frames,
+            r.max_lag_frames,
+            r.convergence_ms,
+            r.converged,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1171,6 +1322,24 @@ mod tests {
         assert!(json.contains("\"appends_per_sec\": 2000"));
         assert!(json.contains("\"recovery_wall_us\": 12345"));
         assert!(json.contains("\"experiment\": \"durability\""));
+    }
+
+    #[test]
+    fn replication_json_renders_rows() {
+        let rows = vec![ReplicationRow {
+            target_rate: 0,
+            writes: 400,
+            achieved_rate: 12_345.6,
+            mean_lag_frames: 3.25,
+            max_lag_frames: 17,
+            convergence_ms: 8.05,
+            converged: true,
+        }];
+        let json = replication_json(&rows);
+        assert!(json.contains("\"experiment\": \"replication\""));
+        assert!(json.contains("\"achieved_rate\": 12346"));
+        assert!(json.contains("\"mean_lag_frames\": 3.25"));
+        assert!(json.contains("\"converged\": true"));
     }
 
     #[test]

@@ -20,10 +20,12 @@
 
 pub mod client;
 pub mod config;
+pub mod failover;
 pub mod outcome;
 pub mod session;
 
 pub use client::QuaestorClient;
 pub use config::{ClientConfig, Consistency};
+pub use failover::ReplicatedService;
 pub use outcome::{QueryOutcome, ReadOutcome};
 pub use session::SessionState;

@@ -51,6 +51,11 @@ pub const STORE_CHANGES: LockRank = ("store.changes", 45);
 pub const DURABILITY_WAL: LockRank = ("durability.wal", 55);
 /// `PubSub::channels` — kv fan-out map (leaf; nothing nests inside it).
 pub const KV_PUBSUB_CHANNELS: LockRank = ("kv.pubsub.channels", 60);
+/// `ReplicatedService::election` — serializes fail-over elections (two
+/// concurrent probe-and-promote passes can crown two primaries when a
+/// probe fails transiently). Held across endpoint probes, which take
+/// the `net.client.*` locks, so it ranks below that whole range.
+pub const CLIENT_FAILOVER_ELECTION: LockRank = ("client.failover.election", 62);
 /// `Server::accept` — accept-thread handle slot.
 pub const NET_SERVER_ACCEPT: LockRank = ("net.server.accept", 65);
 /// `Server::workers` — worker-thread handles.
@@ -71,3 +76,20 @@ pub const NET_CLIENT_RETIRED_LATENCY: LockRank = ("net.client.retired_latency", 
 /// Per-connection latency histogram (merged into `retired_latency` while
 /// that lock is held, so it ranks above it).
 pub const NET_CLIENT_LATENCY: LockRank = ("net.client.conn.latency", 86);
+/// `ReplNode::role_state` — replication role, epoch, and fence LSN. Held
+/// across promotion, which attaches the durability sink (`store.sink`,
+/// rank 40) and persists the epoch file, so it ranks below every store
+/// and durability lock.
+pub const REPL_NODE_ROLE: LockRank = ("repl.node.role", 3);
+/// `ReplNode` thread-handle and follower-socket slots (`accept_slot`,
+/// `follower_slot`, `follower_conn`, `follow_target`) — a class: only
+/// ever held briefly to install, signal, retarget, or join, never while
+/// calling into lower layers.
+pub const REPL_THREADS: LockRank = ("repl.node.threads", 88);
+/// `ReplNode::sessions` — per-replica shipping-session registry (leaf;
+/// pushed on accept, swept on shutdown, scanned by the ack-wait loop).
+pub const REPL_SESSIONS: LockRank = ("repl.node.sessions", 90);
+/// `ReplicatedService::state` — the client failover router's
+/// believed-primary index (leaf: read/updated around endpoint calls,
+/// never held across them).
+pub const CLIENT_FAILOVER_ROUTER: LockRank = ("client.failover.router", 92);

@@ -98,6 +98,18 @@ pub enum Request {
     /// Force the origin's write-ahead log to stable storage (group-commit
     /// drain + fsync). A no-op answered with LSN 0 on in-memory servers.
     Flush,
+    /// Where does this node stand in its replication group? Answered by
+    /// every node (a plain server reports [`ReplRole::Standalone`]); the
+    /// failover router uses it both as a health probe and to elect the
+    /// live node with the highest durable LSN.
+    ReplicationStatus,
+    /// Promote this node to primary for `epoch`. Only replication-aware
+    /// nodes accept it (a plain server answers `BadRequest`); sent by the
+    /// failover router to the election winner.
+    Promote {
+        /// The new epoch — must exceed every epoch the group has seen.
+        epoch: u64,
+    },
 }
 
 impl Request {
@@ -113,7 +125,10 @@ impl Request {
             Request::Query(q) => Some(&q.table),
             Request::EbfSnapshot { table } => table.as_deref(),
             Request::Subscribe { key } => Some(key.table()),
-            Request::Batch(_) | Request::Flush => None,
+            Request::Batch(_)
+            | Request::Flush
+            | Request::ReplicationStatus
+            | Request::Promote { .. } => None,
         }
     }
 
@@ -141,8 +156,37 @@ impl Request {
             Request::Batch(_) => "batch",
             Request::Subscribe { .. } => "subscribe",
             Request::Flush => "flush",
+            Request::ReplicationStatus => "replication_status",
+            Request::Promote { .. } => "promote",
         }
     }
+}
+
+/// A node's role in a replication group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplRole {
+    /// Not participating in replication (a plain single node).
+    Standalone,
+    /// Accepts writes and ships WAL frames to its replicas.
+    Primary,
+    /// Applies shipped frames; writes are rejected (fencing).
+    Replica,
+}
+
+/// Answer to [`Request::ReplicationStatus`]: where this node stands in
+/// the replicated log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationStatus {
+    /// The node's current role.
+    pub role: ReplRole,
+    /// The replication epoch the node believes is current (0 for a
+    /// standalone node). Bumped by every promotion.
+    pub epoch: u64,
+    /// Highest LSN in the node's log (staged; not necessarily synced).
+    pub last_lsn: u64,
+    /// Highest LSN fsynced to the node's own stable storage — the
+    /// election criterion.
+    pub durable_lsn: u64,
 }
 
 /// The answer to one [`Request`]; variants pair with request variants.
@@ -184,6 +228,9 @@ pub enum Response {
         /// target server has no durability engine).
         lsn: u64,
     },
+    /// Answer to [`Request::ReplicationStatus`] and [`Request::Promote`]
+    /// (a successful promotion reports the node's new status).
+    Replication(ReplicationStatus),
 }
 
 fn unexpected(wanted: &str, got: &Response) -> Error {
@@ -198,6 +245,7 @@ fn unexpected(wanted: &str, got: &Response) -> Error {
             Response::Batch(_) => "Batch",
             Response::Stream(_) => "Stream",
             Response::Flushed { .. } => "Flushed",
+            Response::Replication(_) => "Replication",
         }
     ))
 }
@@ -323,6 +371,24 @@ pub trait ServiceExt: Service {
         }
     }
 
+    /// The node's replication status — also the failover router's health
+    /// probe (any node answers, whatever its role).
+    fn replication_status(&self) -> Result<ReplicationStatus> {
+        match self.call(Request::ReplicationStatus)? {
+            Response::Replication(status) => Ok(status),
+            other => Err(unexpected("Replication", &other)),
+        }
+    }
+
+    /// Promote the node to primary for `epoch`; returns its new status.
+    /// Refused (`BadRequest`) by nodes that are not replication-aware.
+    fn promote(&self, epoch: u64) -> Result<ReplicationStatus> {
+        match self.call(Request::Promote { epoch })? {
+            Response::Replication(status) => Ok(status),
+            other => Err(unexpected("Replication", &other)),
+        }
+    }
+
     /// Subscribe to a query's change stream.
     fn subscribe(&self, key: &QueryKey) -> Result<quaestor_kv::Subscription> {
         match self.call(Request::Subscribe { key: key.clone() })? {
@@ -361,6 +427,27 @@ impl Service for QuaestorServer {
             Request::Batch(requests) => Ok(Response::Batch(self.call_batch(requests))),
             Request::Subscribe { key } => Ok(Response::Stream(self.subscribe_query_stream(&key))),
             Request::Flush => self.flush().map(|lsn| Response::Flushed { lsn }),
+            Request::ReplicationStatus => {
+                // A plain server is its own one-node "group": standalone,
+                // epoch 0, log positions from its engine (0 = in-memory).
+                let (last_lsn, durable_lsn) = match self.durability() {
+                    Some(engine) => (engine.last_lsn(), engine.durable_lsn()),
+                    None => (0, 0),
+                };
+                Ok(Response::Replication(ReplicationStatus {
+                    role: if self.is_replica() {
+                        ReplRole::Replica
+                    } else {
+                        ReplRole::Standalone
+                    },
+                    epoch: 0,
+                    last_lsn,
+                    durable_lsn,
+                }))
+            }
+            Request::Promote { .. } => Err(Error::BadRequest(
+                "promote: this node is not replication-aware".to_owned(),
+            )),
         }
     }
 }
@@ -432,7 +519,7 @@ impl QuaestorServer {
 
 /// The request kinds tracked by per-kind latency histograms, in slot
 /// order ([`Request::kind`] strings).
-const LATENCY_KINDS: [&str; 10] = [
+const LATENCY_KINDS: [&str; 12] = [
     "get_record",
     "query",
     "insert",
@@ -443,6 +530,8 @@ const LATENCY_KINDS: [&str; 10] = [
     "batch",
     "subscribe",
     "flush",
+    "replication_status",
+    "promote",
 ];
 
 fn latency_slot(kind: &str) -> Option<usize> {
@@ -470,6 +559,8 @@ pub struct ServiceMetrics {
     pub subscribes: AtomicU64,
     /// `Flush` calls.
     pub flushes: AtomicU64,
+    /// Replication control-plane calls (`ReplicationStatus` + `Promote`).
+    pub repl_controls: AtomicU64,
     /// Calls that returned an error.
     pub errors: AtomicU64,
     /// Per-request-kind call latency in **microseconds**, one slot per
@@ -491,6 +582,7 @@ impl Default for ServiceMetrics {
             batched_ops: AtomicU64::new(0),
             subscribes: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
+            repl_controls: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             latencies: std::array::from_fn(|_| Mutex::new(Histogram::new())),
         }
@@ -507,6 +599,7 @@ impl ServiceMetrics {
             + self.batches.load(Ordering::Relaxed)
             + self.subscribes.load(Ordering::Relaxed)
             + self.flushes.load(Ordering::Relaxed)
+            + self.repl_controls.load(Ordering::Relaxed)
     }
 
     /// Record one call's latency under its request kind.
@@ -611,6 +704,7 @@ impl Service for MetricsLayer {
             }
             Request::Subscribe { .. } => &self.metrics.subscribes,
             Request::Flush => &self.metrics.flushes,
+            Request::ReplicationStatus | Request::Promote { .. } => &self.metrics.repl_controls,
         };
         counter.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
@@ -926,6 +1020,22 @@ mod tests {
             .unwrap();
         assert!(matches!(results[0], Ok(Response::Written { .. })));
         assert!(matches!(results[1], Ok(Response::Flushed { .. })));
+    }
+
+    #[test]
+    fn plain_server_answers_replication_status_and_refuses_promote() {
+        let s = server();
+        let svc: &dyn Service = &*s;
+        let status = svc.replication_status().unwrap();
+        assert_eq!(status.role, ReplRole::Standalone);
+        assert_eq!(status.epoch, 0);
+        assert_eq!((status.last_lsn, status.durable_lsn), (0, 0), "in-memory");
+        let err = svc.promote(1).unwrap_err();
+        assert!(matches!(err, Error::BadRequest(_)), "got: {err}");
+        assert_eq!(Request::ReplicationStatus.table(), None);
+        assert_eq!(Request::Promote { epoch: 1 }.table(), None);
+        assert!(!Request::ReplicationStatus.is_write());
+        assert!(!Request::Promote { epoch: 1 }.is_write());
     }
 
     #[test]

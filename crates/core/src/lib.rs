@@ -31,7 +31,10 @@ pub mod response;
 pub mod server;
 pub mod transaction;
 
-pub use api::{MetricsLayer, Request, Response, Service, ServiceExt, ServiceMetrics, ShardRouter};
+pub use api::{
+    MetricsLayer, ReplRole, ReplicationStatus, Request, Response, Service, ServiceExt,
+    ServiceMetrics, ShardRouter,
+};
 pub use config::ServerConfig;
 pub use metrics::ServerMetrics;
 pub use quaestor_store::IndexKind;

@@ -6,7 +6,7 @@ use parking_lot::RwLock;
 use quaestor_bloom::{BloomFilter, PartitionedEbf};
 use quaestor_common::{ClockRef, Error, Result, SystemClock, Timestamp};
 use quaestor_document::{Document, Update, Value};
-use quaestor_durability::{DurabilityConfig, DurabilityEngine};
+use quaestor_durability::{DurabilityConfig, DurabilityEngine, WalRecord};
 use quaestor_invalidb::{InvaliDbCluster, Notification};
 use quaestor_query::{Query, QueryKey};
 use quaestor_store::{Database, IndexKind, WriteEvent};
@@ -44,6 +44,12 @@ pub struct QuaestorServer {
     /// The write-ahead log + snapshot engine, when this server was opened
     /// from (or bound to) a durability directory. `None` = in-memory.
     durability: Option<Arc<DurabilityEngine>>,
+    /// Replica mode: the WAL is fed exclusively by replicated frames from
+    /// the primary ([`apply_replicated`](Self::apply_replicated)), so the
+    /// server must never append frames of its own — a locally assigned
+    /// LSN would collide with the primary's stream and silently shadow a
+    /// shipped frame. Flipped off by [`promote`](Self::promote).
+    replica: std::sync::atomic::AtomicBool,
     clock: ClockRef,
     metrics: ServerMetrics,
 }
@@ -79,6 +85,7 @@ impl QuaestorServer {
             cdns: RwLock::new(Vec::new()),
             streams: quaestor_kv::PubSub::new(),
             durability,
+            replica: std::sync::atomic::AtomicBool::new(false),
             clock,
             metrics: ServerMetrics::default(),
             config,
@@ -143,6 +150,122 @@ impl QuaestorServer {
         Ok(server)
     }
 
+    /// Open a durable server in **replica mode**: recover exactly like
+    /// [`open_with`](Self::open_with), but leave the durability sink
+    /// detached and suppress every self-appended frame. The WAL is fed
+    /// exclusively through [`apply_replicated`](Self::apply_replicated)
+    /// by a replication session, so every LSN on disk is the primary's
+    /// LSN — which is what makes duplicate frame delivery and
+    /// reconnection re-sends no-ops by construction. Reads (including
+    /// cacheable queries, EBF reporting and InvaliDB registration for
+    /// *local* readers) work normally; writes must be rejected upstream
+    /// by the replication layer. [`promote`](Self::promote) turns the
+    /// server into a logging primary in place.
+    pub fn open_replica_with(
+        path: impl AsRef<std::path::Path>,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+        clock: ClockRef,
+    ) -> Result<Arc<QuaestorServer>> {
+        let (engine, recovery) = DurabilityEngine::open(path, durability)?;
+        let db = Database::with_clock(clock.clone());
+        let meta = recovery.restore(&db)?;
+        let server = Arc::new(Self::build(db, config, clock, Some(engine)));
+        server
+            .replica
+            .store(true, std::sync::atomic::Ordering::Release);
+        let warm_ttl = server.config.estimator.max_ttl_ms;
+        for (table, id) in &meta.tombstones {
+            let key = QueryKey::record(table, id);
+            server.ebf.report_read(table, key.as_str(), warm_ttl);
+            server.ebf.invalidate(table, key.as_str());
+        }
+        for query in meta.queries {
+            server.reregister_recovered(query)?;
+        }
+        // No attach_sink: the replica's log is written by append_replicated.
+        Ok(server)
+    }
+
+    /// True while this server is a replica (self-logging suppressed).
+    pub fn is_replica(&self) -> bool {
+        self.replica.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Promote a replica to primary: attach the durability sink so local
+    /// writes are logged (continuing the LSN sequence the replica applied
+    /// up to) and re-enable query-set logging. Idempotent; a no-op on a
+    /// server that is already a primary.
+    pub fn promote(&self) {
+        if !self
+            .replica
+            .swap(false, std::sync::atomic::Ordering::AcqRel)
+        {
+            return;
+        }
+        if let Some(engine) = &self.durability {
+            self.db.attach_sink(engine.clone());
+        }
+    }
+
+    /// Demote a primary back to replica mode (the fenced-rejoin path):
+    /// detach the sink and suppress self-logging again. The caller is
+    /// responsible for truncating the unreplicated WAL suffix *before*
+    /// re-opening the server; this hook exists for in-place role flips in
+    /// tests and the simulator.
+    pub fn demote(&self) {
+        if self.replica.swap(true, std::sync::atomic::Ordering::AcqRel) {
+            return;
+        }
+        self.db.detach_sink();
+    }
+
+    /// Apply one replicated WAL record to the served state, driving the
+    /// same invalidation pipeline a local write would (EBF, InvaliDB,
+    /// purges, change streams) — replica lag is cache age, so the EBF
+    /// bound applies to replica reads verbatim. Returns `true` if the
+    /// record changed state, `false` for stale duplicates (version-keyed
+    /// replay makes re-delivery a no-op). Frame persistence is separate:
+    /// the replication session appends to the WAL via
+    /// [`DurabilityEngine::append_replicated`] *before* applying here.
+    pub fn apply_replicated(&self, record: &WalRecord) -> Result<bool> {
+        match record {
+            WalRecord::Write {
+                table,
+                id,
+                kind,
+                image,
+                version,
+                seq,
+                at,
+            } => {
+                let t = self.db.create_table(table);
+                let applied = t.apply_recovered_write(
+                    *kind,
+                    id,
+                    Arc::new(image.clone()),
+                    *version,
+                    *seq,
+                    Timestamp::from_millis(*at),
+                );
+                if applied {
+                    if let Some(event) = record.to_event() {
+                        self.after_write(&event);
+                    }
+                }
+                Ok(applied)
+            }
+            WalRecord::CreateTable { table } => {
+                self.db.create_table(table);
+                Ok(true)
+            }
+            // The primary's query registrations are bookkeeping for *its*
+            // recovery; a replica serves its own readers and registers
+            // their queries itself.
+            WalRecord::RegisterQuery { .. } | WalRecord::DeregisterQuery { .. } => Ok(false),
+        }
+    }
+
     /// Re-activate one recovered query. Admission is re-run (capacity may
     /// have shrunk across the restart); a query that no longer fits is
     /// dropped from the durable set instead of failing the open.
@@ -185,8 +308,11 @@ impl QuaestorServer {
         }
         // Not re-registered: drop it from the durable set so the next
         // recovery does not retry a query this deployment cannot hold.
-        if let Some(d) = &self.durability {
-            d.log_deregister_query(&key)?;
+        // (Replicas never self-append: their LSNs must stay the primary's.)
+        if !self.is_replica() {
+            if let Some(d) = &self.durability {
+                d.log_deregister_query(&key)?;
+            }
         }
         Ok(())
     }
@@ -275,8 +401,10 @@ impl QuaestorServer {
         self.ebf.invalidate(victim.table(), victim.as_str());
         self.active.remove(victim);
         self.purge(victim);
-        if let Some(d) = &self.durability {
-            d.log_deregister_query(victim)?;
+        if !self.is_replica() {
+            if let Some(d) = &self.durability {
+                d.log_deregister_query(victim)?;
+            }
         }
         Ok(())
     }
@@ -446,9 +574,12 @@ impl QuaestorServer {
         self.active.set_registered(&key, true);
         // Durable registration: recovery re-registers the query so its
         // cached copies keep being invalidated after a restart. (No-op
-        // frame-wise when the query is already in the durable set.)
-        if let Some(d) = &self.durability {
-            d.log_register_query(query)?;
+        // frame-wise when the query is already in the durable set.
+        // Replicas skip it — their WAL carries only the primary's LSNs.)
+        if !self.is_replica() {
+            if let Some(d) = &self.durability {
+                d.log_register_query(query)?;
+            }
         }
 
         // Report the cacheable read, then handle any raced notifications
@@ -990,6 +1121,85 @@ mod tests {
         assert!(get("query_topk_short_circuits") >= 1);
         assert!(get("query_full_scans") >= 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replica_applies_shipped_frames_without_self_logging() {
+        let primary_dir = temp_dir("repl-primary");
+        let replica_dir = temp_dir("repl-replica");
+        let primary = open_durable(&primary_dir);
+        let replica = QuaestorServer::open_replica_with(
+            &replica_dir,
+            ServerConfig::default(),
+            quaestor_durability::DurabilityConfig::default(),
+            ManualClock::new(),
+        )
+        .unwrap();
+        assert!(replica.is_replica());
+
+        // Writes on the primary; ship its frames to the replica the way a
+        // replication session would: append to the replica WAL, then apply.
+        primary.insert("posts", "p1", tagged("p1", &["x"])).unwrap();
+        primary.insert("posts", "p2", tagged("p2", &["y"])).unwrap();
+        primary.delete("posts", "p2").unwrap();
+        let src = primary.durability().unwrap();
+        let dst = replica.durability().unwrap();
+        let frames = src.read_frames_after(0, 1024).unwrap();
+        for (lsn, record) in &frames {
+            assert!(dst.append_replicated(*lsn, record).unwrap());
+            replica.apply_replicated(record).unwrap();
+        }
+        assert_eq!(dst.last_lsn(), src.last_lsn());
+        assert_eq!(replica.get_record("posts", "p1").unwrap().etag, 1);
+        assert!(replica.get_record("posts", "p2").is_err());
+
+        // A replica-side cacheable query must NOT append to the replica's
+        // WAL (its LSNs are the primary's), but must still register for
+        // invalidation so replicated writes mark local caches stale.
+        let q = Query::table("posts").filter(Filter::contains("tags", "x"));
+        let resp = replica.query(&q).unwrap();
+        assert!(resp.cacheable);
+        assert_eq!(dst.last_lsn(), src.last_lsn(), "query must not self-log");
+
+        // A replicated write entering the result invalidates the query.
+        primary
+            .update("posts", "p1", &Update::new().push("tags", "fresh"))
+            .unwrap();
+        let after = src.last_lsn();
+        for (lsn, record) in src.read_frames_after(dst.last_lsn(), 1024).unwrap() {
+            dst.append_replicated(lsn, &record).unwrap();
+            replica.apply_replicated(&record).unwrap();
+        }
+        assert_eq!(dst.last_lsn(), after);
+        let (flat, _) = replica.ebf_snapshot();
+        assert!(
+            flat.contains(resp.key.as_str().as_bytes()),
+            "replicated write must invalidate the replica-registered query"
+        );
+
+        // Duplicate re-delivery is a no-op end to end: the WAL's LSN gate
+        // rejects every already-applied frame, and a session only applies
+        // what the gate accepted — so state is untouched. (Version-keyed
+        // replay alone is not enough: replaying an insert whose delete
+        // came later would resurrect the record.)
+        let before = replica.database().total_records();
+        for (lsn, record) in src.read_frames_after(0, 1024).unwrap() {
+            let fresh = dst.append_replicated(lsn, &record).unwrap();
+            assert!(!fresh, "lsn {lsn} must be a duplicate");
+            if fresh {
+                replica.apply_replicated(&record).unwrap();
+            }
+        }
+        assert_eq!(replica.database().total_records(), before);
+
+        // Promotion attaches the sink: local writes log with continuing
+        // LSNs.
+        replica.promote();
+        assert!(!replica.is_replica());
+        replica.insert("posts", "p3", tagged("p3", &["z"])).unwrap();
+        assert_eq!(dst.last_lsn(), after + 1, "post-promotion write must log");
+        std::fs::remove_dir_all(&primary_dir).unwrap();
+        std::fs::remove_dir_all(&replica_dir).unwrap();
     }
 
     #[test]

@@ -398,6 +398,69 @@ impl DurabilityEngine {
         self.state.lock().wal.last_lsn()
     }
 
+    /// Highest LSN known fsynced to stable storage.
+    pub fn durable_lsn(&self) -> u64 {
+        self.state.lock().wal.durable()
+    }
+
+    /// Read up to `max` frames with LSN above `after_lsn` straight from
+    /// the segment files (lock-free; see [`wal::read_frames_after`]).
+    /// The replication tailer's read path: only frames the group-commit
+    /// buffer has written out are visible, so a replica can never be
+    /// ahead of the primary's own disk.
+    pub fn read_frames_after(&self, after_lsn: u64, max: usize) -> Result<Vec<(u64, WalRecord)>> {
+        wal::read_frames_after(&self.dir.join("wal"), after_lsn, max)
+    }
+
+    /// Append a frame shipped from a replication primary, preserving its
+    /// LSN (possible because [`Wal`] assigns LSNs sequentially: applying
+    /// the primary's frames in order reproduces its numbering exactly).
+    /// Returns `Ok(false)` for a duplicate (`lsn` ≤ the log's last LSN —
+    /// reconnection re-sends are no-ops) and an error for a gap
+    /// (`lsn > last + 1`): frames must arrive in order.
+    pub fn append_replicated(&self, lsn: u64, record: &WalRecord) -> Result<bool> {
+        let mut state = self.state.lock();
+        let last = state.wal.last_lsn();
+        if lsn <= last {
+            return Ok(false);
+        }
+        if lsn > last + 1 {
+            return Err(Error::Io(format!(
+                "replication gap: got frame lsn {lsn}, log ends at {last}"
+            )));
+        }
+        let assigned = state.wal.append(record)?;
+        if assigned != lsn {
+            return Err(Error::Io(format!(
+                "replication lsn mismatch: wal assigned {assigned}, frame says {lsn}"
+            )));
+        }
+        state.frames_since_snapshot += 1;
+        // Mirror the same bookkeeping the primary's sink methods keep, so
+        // a promoted replica snapshots the full query/tombstone state.
+        match record {
+            WalRecord::Write {
+                table,
+                id,
+                kind: quaestor_store::WriteKind::Delete,
+                at,
+                ..
+            } => {
+                state.tombstones.push((table.clone(), id.clone(), *at));
+            }
+            WalRecord::RegisterQuery { query } => {
+                state
+                    .queries
+                    .insert(QueryKey::of(query).as_str().to_owned(), query.clone());
+            }
+            WalRecord::DeregisterQuery { key } => {
+                state.queries.remove(key);
+            }
+            _ => {}
+        }
+        Ok(true)
+    }
+
     /// Currently registered (durable) queries, in no particular order.
     pub fn registered_queries(&self) -> Vec<Query> {
         self.state.lock().queries.values().cloned().collect()
@@ -523,6 +586,31 @@ impl DurabilityEngine {
         snapshot::prune_below(&self.dir.join("snap"), lsn)?;
         Ok(lsn)
     }
+}
+
+/// Truncate the durability directory `dir` so nothing above `lsn`
+/// survives: WAL frames with higher LSNs are cut away and snapshots
+/// taken above `lsn` are deleted. A fenced old primary runs this before
+/// rejoining as a replica, dropping the unreplicated suffix that
+/// diverges from the new primary's history. Must run while the
+/// directory is closed (no live engine — the `LOCK` protocol is not
+/// consulted here). Returns the number of WAL frames dropped.
+pub fn truncate_above(dir: impl AsRef<Path>, lsn: u64) -> Result<u64> {
+    let dir = dir.as_ref();
+    let dropped = wal::truncate_above(&dir.join("wal"), lsn)?;
+    let snap_dir = dir.join("snap");
+    let mut snaps_removed = false;
+    for (snap_lsn, path) in snapshot::list_snapshots(&snap_dir)? {
+        if snap_lsn > lsn {
+            std::fs::remove_file(&path)
+                .map_err(|e| Error::Io(format!("remove truncated snapshot: {e}")))?;
+            snaps_removed = true;
+        }
+    }
+    if snaps_removed {
+        wal::fsync_dir(&snap_dir)?;
+    }
+    Ok(dropped)
 }
 
 impl WriteSink for DurabilityEngine {
@@ -833,6 +921,94 @@ mod tests {
         assert_eq!(
             recovered, final_state,
             "replayed state must equal the pre-crash in-memory state"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_replicated_preserves_lsns_and_rejects_gaps() {
+        let src = temp_dir("repl-src");
+        let dst = temp_dir("repl-dst");
+        // A primary produces frames...
+        {
+            let (db, _e) = durable_db(&src, DurabilityConfig::default());
+            let t = db.create_table("posts");
+            for i in 0..6 {
+                t.insert(&format!("p{i}"), doc! { "n" => i }).unwrap();
+            }
+            t.delete("p0", None).unwrap();
+        }
+        let (src_engine, src_rec) =
+            DurabilityEngine::open(&src, DurabilityConfig::default()).unwrap();
+        drop(src_rec);
+        let frames = src_engine.read_frames_after(0, usize::MAX).unwrap();
+        assert_eq!(frames.len(), 8, "create-table + 6 inserts + 1 delete");
+
+        // ...a replica appends them with LSNs preserved.
+        let (dst_engine, dst_rec) =
+            DurabilityEngine::open(&dst, DurabilityConfig::default()).unwrap();
+        drop(dst_rec);
+        // Out-of-order first frame is a gap.
+        let (lsn3, rec3) = &frames[2];
+        let err = dst_engine.append_replicated(*lsn3, rec3).unwrap_err();
+        assert!(err.to_string().contains("replication gap"), "got: {err}");
+        for (lsn, record) in &frames {
+            assert!(dst_engine.append_replicated(*lsn, record).unwrap());
+        }
+        // Duplicate delivery is a no-op, not an error.
+        for (lsn, record) in frames.iter().take(3) {
+            assert!(!dst_engine.append_replicated(*lsn, record).unwrap());
+        }
+        assert_eq!(dst_engine.last_lsn(), src_engine.last_lsn());
+        assert_eq!(dst_engine.durable_lsn(), src_engine.last_lsn());
+        drop(dst_engine);
+        // The replica's own recovery reproduces the primary's state.
+        let (_, recovery) = DurabilityEngine::open(&dst, DurabilityConfig::default()).unwrap();
+        let db = Database::with_clock(ManualClock::new());
+        let meta = recovery.restore(&db).unwrap();
+        assert_eq!(db.table("posts").unwrap().len(), 5);
+        assert_eq!(meta.tombstones, vec![("posts".into(), "p0".into())]);
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
+    }
+
+    #[test]
+    fn truncate_above_drops_wal_suffix_and_newer_snapshots() {
+        let dir = temp_dir("trunc");
+        {
+            let (db, engine) = durable_db(&dir, DurabilityConfig::default());
+            let t = db.create_table("posts");
+            for i in 0..5 {
+                t.insert(&format!("p{i}"), doc! { "n" => i }).unwrap();
+            }
+            // Snapshot at lsn 6, then two more (unreplicated) writes.
+            assert_eq!(engine.snapshot(&db).unwrap(), 6);
+            t.insert("late1", doc! { "n" => 98 }).unwrap();
+            t.insert("late2", doc! { "n" => 99 }).unwrap();
+        }
+        // Fence at lsn 7: the snapshot (lsn 6) survives, frame 8 goes.
+        assert_eq!(truncate_above(&dir, 7).unwrap(), 1);
+        {
+            let (engine, recovery) =
+                DurabilityEngine::open(&dir, DurabilityConfig::default()).unwrap();
+            let db = Database::with_clock(ManualClock::new());
+            recovery.restore(&db).unwrap();
+            let t = db.table("posts").unwrap();
+            assert!(t.get("late1").is_some());
+            assert!(t.get("late2").is_none(), "frame above the fence dropped");
+            assert_eq!(engine.last_lsn(), 7);
+        }
+        // Fence below the snapshot: the snapshot itself must go too.
+        assert_eq!(truncate_above(&dir, 4).unwrap(), 3);
+        let (engine, recovery) = DurabilityEngine::open(&dir, DurabilityConfig::default()).unwrap();
+        let db = Database::with_clock(ManualClock::new());
+        let meta = recovery.restore(&db).unwrap();
+        assert_eq!(meta.report.snapshot_lsn, 0, "newer snapshot deleted");
+        assert_eq!(engine.last_lsn(), 4);
+        assert_eq!(
+            db.table("posts").unwrap().len(),
+            3,
+            "create-table + 3 inserts"
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

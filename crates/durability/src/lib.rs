@@ -37,5 +37,5 @@ pub mod wal;
 
 pub use codec::WalRecord;
 pub use config::{DurabilityConfig, FsyncPolicy};
-pub use engine::{DurabilityEngine, RecoveredMeta, Recovery, RecoveryReport};
+pub use engine::{truncate_above, DurabilityEngine, RecoveredMeta, Recovery, RecoveryReport};
 pub use snapshot::{SnapshotData, SnapshotRecord, SnapshotTable};

@@ -163,6 +163,128 @@ pub fn scan(dir: &Path, first_lsn: u64) -> Result<LogScan> {
     })
 }
 
+/// Read up to `max` complete frames with LSN strictly above `after_lsn`
+/// from the segment files in `dir`, without any lock. This is the
+/// replication tailer's read path: the writer may be appending
+/// concurrently, so a torn frame at the end of the newest segment just
+/// means "caught up" — the tailer stops there and re-reads from the same
+/// cursor on its next poll.
+///
+/// Errors if the log no longer retains `after_lsn + 1` (compacted away):
+/// the caller cannot resume from that cursor and must re-seed.
+pub fn read_frames_after(dir: &Path, after_lsn: u64, max: usize) -> Result<Vec<(u64, WalRecord)>> {
+    let segments = list_segments(dir)?;
+    let mut out = Vec::new();
+    if segments.is_empty() || max == 0 {
+        return Ok(out);
+    }
+    let want = after_lsn + 1;
+    if segments[0].0 > want {
+        return Err(Error::Io(format!(
+            "wal tail read: frames from lsn {want} were compacted (oldest segment starts at {})",
+            segments[0].0
+        )));
+    }
+    // Skip segments wholly below the cursor: a segment is irrelevant
+    // when its successor starts at or below `want`.
+    let mut start_idx = 0;
+    for (i, window) in segments.windows(2).enumerate() {
+        if window[1].0 <= want {
+            start_idx = i + 1;
+        }
+    }
+    for (seg_start, path) in &segments[start_idx..] {
+        let buf = match std::fs::read(path) {
+            Ok(b) => b,
+            // Compaction may remove a segment between the listing and
+            // this read; the tailer retries from its cursor next poll.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+            Err(e) => return Err(io_err("read segment for tail", e)),
+        };
+        let mut offset = 0usize;
+        let mut expected = *seg_start;
+        loop {
+            if out.len() >= max {
+                return Ok(out);
+            }
+            match read_frame(&buf, offset) {
+                FrameRead::Frame { lsn, record, size } => {
+                    if lsn != expected {
+                        return Err(Error::Io(format!(
+                            "wal tail read: frame lsn {lsn} in {}, expected {expected}",
+                            path.display()
+                        )));
+                    }
+                    if lsn >= want {
+                        out.push((lsn, record));
+                    }
+                    expected = lsn + 1;
+                    offset += size;
+                }
+                FrameRead::Eof => break,
+                // An incomplete frame mid-write: stop here, do not skip
+                // ahead into later segments.
+                FrameRead::BadTail(_) => return Ok(out),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Delete or cut back segment files so no frame with LSN above `lsn`
+/// survives. Used when a fenced node rejoins as a replica and must drop
+/// the unreplicated suffix that diverges from the new primary's history.
+/// Must run while no [`Wal`] writer is open on `dir`. Returns the number
+/// of frames dropped.
+pub fn truncate_above(dir: &Path, lsn: u64) -> Result<u64> {
+    let mut dropped = 0u64;
+    for (seg_start, path) in &list_segments(dir)? {
+        let buf = std::fs::read(path).map_err(|e| io_err("read segment for truncation", e))?;
+        if *seg_start > lsn {
+            // Entirely above the cut: count its frames and remove it.
+            let mut offset = 0usize;
+            while let FrameRead::Frame { size, .. } = read_frame(&buf, offset) {
+                dropped += 1;
+                offset += size;
+            }
+            std::fs::remove_file(path).map_err(|e| io_err("remove truncated segment", e))?;
+            continue;
+        }
+        // Walk to the byte offset right after `lsn` and cut there.
+        let mut offset = 0usize;
+        while let FrameRead::Frame {
+            lsn: frame_lsn,
+            size,
+            ..
+        } = read_frame(&buf, offset)
+        {
+            if frame_lsn > lsn {
+                break;
+            }
+            offset += size;
+        }
+        if offset < buf.len() {
+            let mut probe = offset;
+            while let FrameRead::Frame { size, .. } = read_frame(&buf, probe) {
+                dropped += 1;
+                probe += size;
+            }
+            let f = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| io_err("open segment for truncation", e))?;
+            f.set_len(offset as u64)
+                .map_err(|e| io_err("truncate segment", e))?;
+            f.sync_all()
+                .map_err(|e| io_err("sync truncated segment", e))?;
+        }
+    }
+    if dropped > 0 {
+        fsync_dir(dir)?;
+    }
+    Ok(dropped)
+}
+
 /// The segmented WAL writer.
 pub struct Wal {
     dir: PathBuf,
@@ -338,6 +460,11 @@ impl Wal {
     /// Highest LSN assigned so far (`first_lsn - 1` if none).
     pub fn last_lsn(&self) -> u64 {
         self.next_lsn - 1
+    }
+
+    /// Highest LSN known fsynced to stable storage.
+    pub fn durable(&self) -> u64 {
+        self.durable_lsn
     }
 
     /// Rotate to a fresh segment starting at `first_lsn`. The old segment
@@ -551,6 +678,98 @@ mod tests {
             err.to_string().contains("valid frame follows"),
             "must refuse to truncate past acknowledged frames, got: {err}"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_read_follows_a_live_writer() {
+        let dir = temp_dir("tail");
+        let cfg = DurabilityConfig {
+            max_segment_bytes: 128,
+            ..DurabilityConfig::default()
+        };
+        let mut wal = Wal::open(&dir, cfg, 1).unwrap();
+        for i in 0..10 {
+            wal.append(&rec(i)).unwrap();
+        }
+        // Cursor at 0: everything; at 7: the suffix; capped by max.
+        let all = read_frames_after(&dir, 0, 100).unwrap();
+        assert_eq!(
+            all.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            (1..=10).collect::<Vec<_>>()
+        );
+        let tail = read_frames_after(&dir, 7, 100).unwrap();
+        assert_eq!(tail.iter().map(|(l, _)| *l).collect::<Vec<_>>(), [8, 9, 10]);
+        let capped = read_frames_after(&dir, 0, 4).unwrap();
+        assert_eq!(capped.len(), 4);
+        // The writer keeps going; the tailer picks up from its cursor.
+        for i in 10..15 {
+            wal.append(&rec(i)).unwrap();
+        }
+        let more = read_frames_after(&dir, 10, 100).unwrap();
+        assert_eq!(
+            more.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            (11..=15).collect::<Vec<_>>()
+        );
+        // A torn frame at the tail reads as "caught up", not an error.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 2)
+            .unwrap();
+        let torn = read_frames_after(&dir, 10, 100).unwrap();
+        assert_eq!(torn.last().unwrap().0, 14, "torn final frame not served");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_read_errors_when_cursor_is_compacted() {
+        let dir = temp_dir("tailgone");
+        let cfg = DurabilityConfig {
+            max_segment_bytes: 128,
+            ..DurabilityConfig::default()
+        };
+        let mut wal = Wal::open(&dir, cfg, 1).unwrap();
+        for i in 0..40 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.flush().unwrap();
+        let second_start = list_segments(&dir).unwrap()[1].0;
+        wal.compact_below(second_start - 1).unwrap();
+        let err = read_frames_after(&dir, 0, 100).unwrap_err();
+        assert!(err.to_string().contains("compacted"), "got: {err}");
+        // A cursor inside the retained range still works.
+        let ok = read_frames_after(&dir, second_start - 1, 100).unwrap();
+        assert_eq!(ok.first().unwrap().0, second_start);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_above_cuts_frames_and_whole_segments() {
+        let dir = temp_dir("truncabove");
+        let cfg = DurabilityConfig {
+            max_segment_bytes: 128,
+            ..DurabilityConfig::default()
+        };
+        let mut wal = Wal::open(&dir, cfg, 1).unwrap();
+        for i in 0..40 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.flush().unwrap();
+        drop(wal);
+        let dropped = truncate_above(&dir, 17).unwrap();
+        assert_eq!(dropped, 23, "frames 18..=40 removed");
+        let s = scan(&dir, 1).unwrap();
+        assert_eq!(s.next_lsn, 18);
+        assert_eq!(s.frames.last().unwrap().0, 17);
+        // Idempotent: nothing above 17 remains.
+        assert_eq!(truncate_above(&dir, 17).unwrap(), 0);
+        // The log reopens and continues from the cut.
+        let mut wal = Wal::open(&dir, cfg, s.next_lsn).unwrap();
+        assert_eq!(wal.append(&rec(99)).unwrap(), 18);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -56,6 +56,12 @@ pub struct RemoteServiceConfig {
     pub nodelay: bool,
     /// Per-connection read chunk size.
     pub read_chunk: usize,
+    /// Seed for the reconnect backoff jitter. Every sleep is scaled by a
+    /// factor uniform in `[0.5, 1.5)` so N clients failing over together
+    /// don't hammer a recovering server in lockstep. `None` (the
+    /// default) draws a random per-pool seed; tests pin it for
+    /// reproducible schedules.
+    pub reconnect_jitter_seed: Option<u64>,
 }
 
 impl Default for RemoteServiceConfig {
@@ -68,6 +74,7 @@ impl Default for RemoteServiceConfig {
             max_backoff: Duration::from_secs(1),
             nodelay: true,
             read_chunk: 64 * 1024,
+            reconnect_jitter_seed: None,
         }
     }
 }
@@ -88,6 +95,11 @@ pub struct RemoteService {
     bus: Arc<PubSub>,
     /// Latency of calls on connections that have since been torn down.
     retired_latency: Arc<Mutex<Histogram>>,
+    /// Resolved jitter seed (config's, or a random per-pool draw).
+    jitter_seed: u64,
+    /// Monotone draw counter: each backoff sleep mixes it with the seed,
+    /// so the jitter sequence is deterministic per pool yet never repeats.
+    jitter_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for RemoteService {
@@ -173,6 +185,13 @@ impl RemoteService {
                 lock_rank::NET_CLIENT_RETIRED_LATENCY.0,
                 lock_rank::NET_CLIENT_RETIRED_LATENCY.1,
             )),
+            jitter_seed: config.reconnect_jitter_seed.unwrap_or_else(|| {
+                use std::hash::{BuildHasher, Hasher};
+                std::collections::hash_map::RandomState::new()
+                    .build_hasher()
+                    .finish()
+            }),
+            jitter_seq: AtomicU64::new(0),
             config,
         }))
     }
@@ -291,14 +310,34 @@ impl RemoteService {
                     return Ok(conn);
                 }
                 Err(e) => {
-                    if Instant::now() + backoff >= deadline {
+                    let delay = self.jittered(backoff);
+                    if Instant::now() + delay >= deadline {
                         return Err(e);
                     }
-                    std::thread::sleep(backoff);
+                    std::thread::sleep(delay);
                     backoff = (backoff * 2).min(self.config.max_backoff);
                 }
             }
         }
+    }
+
+    /// Scale one backoff by a seeded factor uniform in `[0.5, 1.5)`.
+    /// Exponential backoff alone synchronizes: every client that lost the
+    /// same primary at the same moment retries on the same schedule,
+    /// stampeding the node that is trying to come back. Jitter spreads
+    /// the herd while keeping the expected delay unchanged.
+    fn jittered(&self, backoff: Duration) -> Duration {
+        let n = self.jitter_seq.fetch_add(1, Ordering::Relaxed);
+        // splitmix64 over (seed, draw index): cheap, seedable, and good
+        // enough to decorrelate sleep schedules — not used for secrets.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+        backoff.mul_f64(0.5 + frac)
     }
 
     fn stream_channel(request_id: u64) -> String {
@@ -436,7 +475,14 @@ fn run_reader(conn: Arc<Conn>, mut stream: TcpStream, bus: Arc<PubSub>, chunk_si
                                 let _ = conn.writer.lock().write_all(&cancel);
                             }
                         }
-                        FrameKind::Request | FrameKind::StreamCancel => break 'conn, // servers don't ask
+                        // Servers don't ask, and replication frames only
+                        // travel on dedicated replication connections.
+                        FrameKind::Request
+                        | FrameKind::StreamCancel
+                        | FrameKind::ReplHello
+                        | FrameKind::ReplHelloAck
+                        | FrameKind::ReplFrames
+                        | FrameKind::ReplAck => break 'conn,
                     }
                     frame.size
                 }
@@ -458,4 +504,57 @@ fn deliver(conn: &Conn, request_id: u64, result: Result<WireResponse>) {
         let _ = tx.send(result);
     }
     // No waiter: the caller timed out and cleaned up — drop the result.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(seed: Option<u64>) -> Arc<RemoteService> {
+        RemoteService::connect_lazy(
+            "127.0.0.1:1", // never dialed by these tests
+            RemoteServiceConfig {
+                reconnect_jitter_seed: seed,
+                ..RemoteServiceConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn jitter_stays_within_half_to_one_and_a_half() {
+        let svc = pool(Some(7));
+        let base = Duration::from_millis(100);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let d = svc.jittered(base);
+            assert!(d >= base / 2, "{d:?} below 0.5x");
+            assert!(d < base + base / 2, "{d:?} at or above 1.5x");
+            distinct.insert(d.as_nanos());
+        }
+        assert!(
+            distinct.len() > 200,
+            "draws must vary, got {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn pinned_seeds_replay_and_differ_across_pools() {
+        let base = Duration::from_millis(20);
+        let a1: Vec<_> = {
+            let svc = pool(Some(42));
+            (0..16).map(|_| svc.jittered(base)).collect()
+        };
+        let a2: Vec<_> = {
+            let svc = pool(Some(42));
+            (0..16).map(|_| svc.jittered(base)).collect()
+        };
+        assert_eq!(a1, a2, "same seed must replay the same schedule");
+        let b: Vec<_> = {
+            let svc = pool(Some(43));
+            (0..16).map(|_| svc.jittered(base)).collect()
+        };
+        assert_ne!(a1, b, "different seeds must not reconnect in lockstep");
+    }
 }

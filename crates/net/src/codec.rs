@@ -26,7 +26,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use quaestor_bloom::BloomFilter;
 use quaestor_common::{Error, Result, Timestamp};
-use quaestor_core::{QueryResponse, RecordResponse, Request, Response};
+use quaestor_core::{
+    QueryResponse, RecordResponse, ReplRole, ReplicationStatus, Request, Response,
+};
 use quaestor_document::{Path, Update, UpdateOp};
 use quaestor_durability::codec::{
     get_document, get_query, get_value, put_document, put_query, put_value, DecodeError, Reader,
@@ -143,6 +145,8 @@ const RQ_EBF: u8 = 6;
 const RQ_BATCH: u8 = 7;
 const RQ_SUBSCRIBE: u8 = 8;
 const RQ_FLUSH: u8 = 9;
+const RQ_REPL_STATUS: u8 = 10;
+const RQ_PROMOTE: u8 = 11;
 
 /// Encode a [`Request`].
 pub fn put_request(w: &mut Writer, req: &Request) {
@@ -201,6 +205,11 @@ pub fn put_request(w: &mut Writer, req: &Request) {
             w.put_str(key.as_str());
         }
         Request::Flush => w.put_u8(RQ_FLUSH),
+        Request::ReplicationStatus => w.put_u8(RQ_REPL_STATUS),
+        Request::Promote { epoch } => {
+            w.put_u8(RQ_PROMOTE);
+            w.put_u64(*epoch);
+        }
     }
 }
 
@@ -270,6 +279,8 @@ fn get_request_at(r: &mut Reader<'_>, depth: usize) -> DResult<Request> {
             key: QueryKey::from_canonical(r.str()?),
         },
         RQ_FLUSH => Request::Flush,
+        RQ_REPL_STATUS => Request::ReplicationStatus,
+        RQ_PROMOTE => Request::Promote { epoch: r.u64()? },
         t => return err(format!("unknown request tag {t}")),
     })
 }
@@ -390,6 +401,7 @@ const RS_EBF: u8 = 4;
 const RS_BATCH: u8 = 5;
 const RS_STREAM: u8 = 6;
 const RS_FLUSHED: u8 = 7;
+const RS_REPLICATION: u8 = 8;
 
 /// A decoded response: either a self-contained [`Response`], or the
 /// marker standing in for [`Response::Stream`] (the live subscription is
@@ -457,6 +469,17 @@ pub fn put_response(w: &mut Writer, resp: &Response) {
             w.put_u8(RS_FLUSHED);
             w.put_u64(*lsn);
         }
+        Response::Replication(status) => {
+            w.put_u8(RS_REPLICATION);
+            w.put_u8(match status.role {
+                ReplRole::Standalone => 0,
+                ReplRole::Primary => 1,
+                ReplRole::Replica => 2,
+            });
+            w.put_u64(status.epoch);
+            w.put_u64(status.last_lsn);
+            w.put_u64(status.durable_lsn);
+        }
     }
 }
 
@@ -515,6 +538,20 @@ fn get_response_at(r: &mut Reader<'_>, depth: usize) -> DResult<WireResponse> {
         }
         RS_STREAM => return Ok(WireResponse::Stream),
         RS_FLUSHED => Response::Flushed { lsn: r.u64()? },
+        RS_REPLICATION => {
+            let role = match r.u8()? {
+                0 => ReplRole::Standalone,
+                1 => ReplRole::Primary,
+                2 => ReplRole::Replica,
+                t => return err(format!("unknown replication role tag {t}")),
+            };
+            Response::Replication(ReplicationStatus {
+                role,
+                epoch: r.u64()?,
+                last_lsn: r.u64()?,
+                durable_lsn: r.u64()?,
+            })
+        }
         t => return err(format!("unknown response tag {t}")),
     }))
 }
@@ -821,6 +858,8 @@ mod tests {
             proptest::option::of("[a-z]{1,6}").prop_map(|table| Request::EbfSnapshot { table }),
             arb_key().prop_map(|key| Request::Subscribe { key }),
             Just(Request::Flush),
+            Just(Request::ReplicationStatus),
+            any::<u64>().prop_map(|epoch| Request::Promote { epoch }),
         ]
     }
 
@@ -946,6 +985,20 @@ mod tests {
                 at: Timestamp::from_millis(at),
             }),
             any::<u64>().prop_map(|lsn| Response::Flushed { lsn }),
+            (0u8..3, any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+                |(role, epoch, last_lsn, durable_lsn)| {
+                    Response::Replication(ReplicationStatus {
+                        role: match role {
+                            0 => ReplRole::Standalone,
+                            1 => ReplRole::Primary,
+                            _ => ReplRole::Replica,
+                        },
+                        epoch,
+                        last_lsn,
+                        durable_lsn,
+                    })
+                }
+            ),
         ]
     }
 

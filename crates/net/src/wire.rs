@@ -57,6 +57,21 @@ pub enum FrameKind {
     /// with this id (empty body). Sent when the client-side subscription
     /// has been dropped, so the server can release its forwarder.
     StreamCancel,
+    /// Replica → primary: replication handshake — the replica's current
+    /// epoch and last WAL LSN. Opens a dedicated replication connection;
+    /// both ends are repl-aware, so regular request/response traffic
+    /// never shares it.
+    ReplHello,
+    /// Primary → replica: handshake answer — the primary's epoch, its
+    /// fence LSN, and the LSN the replica must resume from (truncating
+    /// anything above it first, if its epoch was stale).
+    ReplHelloAck,
+    /// Primary → replica: a batch of WAL frames, body = concatenated
+    /// durability frames (`[len][crc][lsn][record]` each), in LSN order.
+    ReplFrames,
+    /// Replica → primary: the highest LSN now applied *and durable* on
+    /// the replica's own log.
+    ReplAck,
 }
 
 impl FrameKind {
@@ -67,6 +82,10 @@ impl FrameKind {
             FrameKind::ResponseErr => 2,
             FrameKind::StreamPush => 3,
             FrameKind::StreamCancel => 4,
+            FrameKind::ReplHello => 5,
+            FrameKind::ReplHelloAck => 6,
+            FrameKind::ReplFrames => 7,
+            FrameKind::ReplAck => 8,
         }
     }
 
@@ -77,6 +96,10 @@ impl FrameKind {
             2 => FrameKind::ResponseErr,
             3 => FrameKind::StreamPush,
             4 => FrameKind::StreamCancel,
+            5 => FrameKind::ReplHello,
+            6 => FrameKind::ReplHelloAck,
+            7 => FrameKind::ReplFrames,
+            8 => FrameKind::ReplAck,
             _ => return None,
         })
     }
@@ -215,6 +238,26 @@ mod tests {
                 }
             }
             other => panic!("first frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replication_frame_kinds_roundtrip() {
+        for kind in [
+            FrameKind::ReplHello,
+            FrameKind::ReplHelloAck,
+            FrameKind::ReplFrames,
+            FrameKind::ReplAck,
+        ] {
+            let mut buf = Vec::new();
+            encode_frame(kind, 3, b"repl", &mut buf);
+            match decode_frame(&buf) {
+                FrameDecode::Frame(f) => {
+                    assert_eq!(f.kind, kind);
+                    assert_eq!(f.body, b"repl");
+                }
+                other => panic!("{kind:?}: {other:?}"),
+            }
         }
     }
 

@@ -1,0 +1,79 @@
+//! Persisted epoch lineage.
+//!
+//! Each node records the epoch [`Lineage`](crate::protocol::Lineage) it
+//! has adopted in a small file (`EPOCH`) inside its durability directory,
+//! written with the same crash-safety discipline as the WAL: temp file,
+//! fsync, rename, directory fsync. The lineage is what survives a restart
+//! so a rejoining node introduces itself with the right epoch — claiming
+//! an older epoch than one actually adopted could dodge the fence and
+//! resurrect a truncated-timeline suffix.
+
+use std::path::Path;
+
+use quaestor_common::{Error, Result};
+use quaestor_durability::codec::{Reader, Writer};
+
+use crate::protocol::Lineage;
+
+const EPOCH_FILE: &str = "EPOCH";
+const EPOCH_TMP: &str = "EPOCH.tmp";
+
+fn io_err(context: &str, e: impl std::fmt::Display) -> Error {
+    Error::Io(format!("epoch file: {context}: {e}"))
+}
+
+/// Load the persisted lineage from `dir`. A missing file is an empty
+/// lineage (a node that has never adopted an epoch); a malformed file is
+/// a hard error — guessing an epoch risks dodging the fence.
+pub fn load_lineage(dir: &Path) -> Result<Lineage> {
+    let path = dir.join(EPOCH_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Lineage::default()),
+        Err(e) => return Err(io_err("read", e)),
+    };
+    Lineage::decode_from(&mut Reader::new(&bytes))
+        .map_err(|e| io_err(&format!("decode {}", path.display()), e))
+}
+
+/// Persist `lineage` to `dir`, atomically and durably.
+pub fn store_lineage(dir: &Path, lineage: &Lineage) -> Result<()> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err("create dir", e))?;
+    let tmp = dir.join(EPOCH_TMP);
+    let mut w = Writer::new();
+    lineage.encode_into(&mut w);
+    std::fs::write(&tmp, w.into_bytes()).map_err(|e| io_err("write tmp", e))?;
+    let f = std::fs::File::open(&tmp).map_err(|e| io_err("open tmp for fsync", e))?;
+    f.sync_all().map_err(|e| io_err("fsync tmp", e))?;
+    std::fs::rename(&tmp, dir.join(EPOCH_FILE)).map_err(|e| io_err("rename", e))?;
+    let d = std::fs::File::open(dir).map_err(|e| io_err("open dir for fsync", e))?;
+    d.sync_all().map_err(|e| io_err("fsync dir", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quaestor_common::scratch_dir;
+
+    #[test]
+    fn roundtrip_and_missing_file_defaults_empty() {
+        let dir = scratch_dir("repl-epoch");
+        assert_eq!(load_lineage(&dir).unwrap(), Lineage::default());
+        let mut lineage = Lineage::bootstrap();
+        lineage.push(7, 123).unwrap();
+        store_lineage(&dir, &lineage).unwrap();
+        assert_eq!(load_lineage(&dir).unwrap(), lineage);
+        // Overwrite goes through the temp+rename path.
+        lineage.push(9, 200).unwrap();
+        store_lineage(&dir, &lineage).unwrap();
+        assert_eq!(load_lineage(&dir).unwrap(), lineage);
+    }
+
+    #[test]
+    fn corrupt_epoch_file_is_a_hard_error() {
+        let dir = scratch_dir("repl-epoch-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(EPOCH_FILE), [0xFF; 3]).unwrap();
+        assert!(load_lineage(&dir).is_err());
+    }
+}

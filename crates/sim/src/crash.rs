@@ -79,8 +79,18 @@ impl CrashReport {
     }
 }
 
-/// Run the kill-and-recover round trip in `dir` (must be empty/fresh).
+/// Run the kill-and-recover round trip under `dir`.
+///
+/// Each invocation isolates its server state in a fresh `run-<n>`
+/// subdirectory of `dir`: the audit compares the recovered table against
+/// *this* run's acknowledged writes, so recovering a previous run's
+/// records from a reused directory would corrupt it (colliding inserts,
+/// inflated versions). Callers may reuse the same scratch directory
+/// freely.
 pub fn crash_recovery(dir: &Path, config: CrashConfig) -> CrashReport {
+    static RUN: AtomicUsize = AtomicUsize::new(0);
+    let dir = dir.join(format!("run-{}", RUN.fetch_add(1, Ordering::Relaxed)));
+    let dir = dir.as_path();
     let durability = DurabilityConfig {
         fsync: config.fsync,
         group_commit: config.group_commit,
@@ -231,6 +241,27 @@ mod tests {
             "lost {} acknowledged writes, group is {group}",
             report.lost
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reusing_the_same_scratch_dir_isolates_runs() {
+        let dir = temp_dir("reuse");
+        let config = CrashConfig {
+            writers: 1, // single writer: the generated key space is deterministic
+            kill_after_ops: 60,
+            fsync: FsyncPolicy::Always,
+            group_commit: 16,
+        };
+        let first = crash_recovery(&dir, config);
+        let second = crash_recovery(&dir, config);
+        assert!(first.zero_loss(), "first run lost {}", first.lost);
+        // Without per-run isolation the second run recovers the first
+        // run's records: its inserts collide, versions inflate, and the
+        // audit misattributes state.
+        assert!(second.zero_loss(), "second run lost {}", second.lost);
+        assert_eq!(first.acknowledged, second.acknowledged);
+        assert_eq!(first.recovered_records, second.recovered_records);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -18,6 +18,8 @@
 
 pub mod crash;
 pub mod driver;
+pub mod failover;
+pub mod fault;
 pub mod latency;
 pub mod middleware;
 pub mod netloop;
@@ -26,6 +28,8 @@ pub mod ttl_cdf;
 
 pub use crash::{crash_recovery, CrashConfig, CrashReport};
 pub use driver::{SimConfig, SimReport, Simulation, SystemVariant};
+pub use failover::{kill_primary_failover, FailoverConfig, FailoverReport};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use latency::LatencyModel;
 pub use middleware::LatencyInjector;
 pub use netloop::{net_loopback, NetLoopConfig, NetLoopReport};
