@@ -1,0 +1,102 @@
+//! `BENCH_*.json` artifact writer: every payload the harness emits is
+//! stamped with the git revision and common run metadata, so a result
+//! file found in CI weeks later still says exactly what produced it.
+
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Write one machine-readable benchmark payload as
+/// `<out>/BENCH_<name>.json`, stamping a `meta` object (git revision,
+/// wall-clock timestamp, harness version, experiment name) into the
+/// top-level JSON object.
+pub fn write_bench_json(out: &Path, name: &str, json: &str) {
+    let path = out.join(format!("BENCH_{name}.json"));
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, stamp_meta(name, json)) {
+        Ok(()) => println!("(wrote {})", path.display()),
+        Err(e) => eprintln!("(could not write {}: {e})", path.display()),
+    }
+}
+
+/// Splice the `meta` object in right after the payload's opening brace.
+/// Payloads are hand-rolled JSON objects (the vendored serde stand-in
+/// has no derive); anything that doesn't start with `{` is passed
+/// through untouched.
+fn stamp_meta(name: &str, json: &str) -> String {
+    let trimmed = json.trim_start();
+    let Some(rest) = trimmed.strip_prefix('{') else {
+        return json.to_owned();
+    };
+    if rest.trim_start().starts_with('}') {
+        return json.to_owned(); // empty object: nothing to splice before
+    }
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    format!(
+        "{{\n  \"meta\": {{\"experiment\": \"{name}\", \"git_rev\": \"{}\", \
+         \"harness_version\": \"{}\", \"generated_at_unix_ms\": {unix_ms}}},{}",
+        git_rev().unwrap_or_else(|| "unknown".into()),
+        env!("CARGO_PKG_VERSION"),
+        rest
+    )
+}
+
+/// Resolve the current git revision by reading `.git/HEAD` (searching
+/// upward from the working directory) — no subprocess, no extra deps.
+fn git_rev() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+            let head = head.trim();
+            let rev = match head.strip_prefix("ref: ") {
+                Some(reference) => std::fs::read_to_string(git.join(reference)).ok()?,
+                None => head.to_owned(), // detached HEAD holds the sha itself
+            };
+            let rev = rev.trim();
+            return (!rev.is_empty()).then(|| rev.to_owned());
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_preserves_payload_and_adds_meta() {
+        let stamped = stamp_meta("net", "{\n  \"experiment\": \"net\",\n  \"rows\": []\n}\n");
+        let parsed: serde_json::Value = serde_json::from_str(&stamped).expect("valid json");
+        let obj = parsed.as_object().unwrap();
+        assert_eq!(
+            obj.get("experiment").unwrap().as_str().unwrap(),
+            "net",
+            "original payload keys survive"
+        );
+        let meta = obj.get("meta").unwrap().as_object().unwrap();
+        assert_eq!(meta.get("experiment").unwrap().as_str().unwrap(), "net");
+        assert!(meta.contains_key("git_rev"));
+        assert!(meta.get("generated_at_unix_ms").unwrap().as_i64().is_some());
+    }
+
+    #[test]
+    fn non_object_payloads_pass_through() {
+        assert_eq!(stamp_meta("x", "[1, 2]"), "[1, 2]");
+    }
+
+    #[test]
+    fn repo_git_rev_resolves_here() {
+        // The test runs inside the repo, so HEAD must resolve to a sha.
+        let rev = git_rev().expect("in a git repo");
+        assert!(rev.len() >= 7, "{rev}");
+        assert!(rev.chars().all(|c| c.is_ascii_hexdigit()), "{rev}");
+    }
+}

@@ -18,18 +18,6 @@ fn out_dir(args: &[String]) -> std::path::PathBuf {
         .unwrap_or_else(|| std::path::PathBuf::from("."))
 }
 
-/// Write one machine-readable benchmark payload as `<out>/BENCH_<name>.json`.
-fn write_bench_json(out: &std::path::Path, name: &str, json: &str) {
-    let path = out.join(format!("BENCH_{name}.json"));
-    if let Some(parent) = path.parent() {
-        let _ = std::fs::create_dir_all(parent);
-    }
-    match std::fs::write(&path, json) {
-        Ok(()) => println!("(wrote {})", path.display()),
-        Err(e) => eprintln!("(could not write {}: {e})", path.display()),
-    }
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
@@ -66,6 +54,7 @@ fn main() {
             "durability",
             "replication",
             "net",
+            "obs",
         ]
     } else {
         targets
@@ -96,6 +85,7 @@ fn main() {
             "durability" => run_durability(scale, &out),
             "replication" => run_replication(scale, &out),
             "net" => run_net(scale, &out),
+            "obs" => run_obs(scale, &out),
             other => {
                 eprintln!("unknown experiment '{other}' — see DESIGN.md for the index");
                 std::process::exit(2);
@@ -504,6 +494,57 @@ fn run_net(scale: Scale, out: &std::path::Path) {
     println!("(best loopback throughput: {best_loopback:.0} req/s; identical client code in both modes — only the connect target changes)");
     let json = net_json(&rows);
     write_bench_json(out, "net", &json);
+}
+
+fn run_obs(scale: Scale, out: &std::path::Path) {
+    println!("== Observability: tracing overhead & Δ-atomicity staleness audit ==");
+    let overhead = tracing_overhead(scale);
+    let mut t = TableWriter::new(&[
+        "ops/run",
+        "runs",
+        "1-in-N",
+        "off cpu (ms)",
+        "on cpu (ms)",
+        "off wall (ms)",
+        "on wall (ms)",
+        "overhead",
+        "spans",
+    ]);
+    t.row(vec![
+        overhead.ops_per_run.to_string(),
+        overhead.runs.to_string(),
+        overhead.sample_interval.to_string(),
+        (overhead.off_cpu_us / 1_000).to_string(),
+        (overhead.on_cpu_us / 1_000).to_string(),
+        (overhead.off_wall_us / 1_000).to_string(),
+        (overhead.on_wall_us / 1_000).to_string(),
+        format!("{:.1}%", overhead.overhead() * 100.0),
+        overhead.spans_recorded.to_string(),
+    ]);
+    t.print();
+    println!(
+        "(claim under test: ambient 1-in-{} sampling costs < 5% CPU on the loopback workload)",
+        overhead.sample_interval
+    );
+    let staleness = staleness_audit(scale);
+    let mut t = TableWriter::new(&[
+        "promised Δ (ms)",
+        "reads",
+        "stale",
+        "violations",
+        "p99 (ms)",
+    ]);
+    t.row(vec![
+        staleness.promised_ms.to_string(),
+        staleness.reads.to_string(),
+        staleness.stale_reads.to_string(),
+        staleness.violations.to_string(),
+        staleness.delta_ms.percentile(0.99).unwrap_or(0).to_string(),
+    ]);
+    t.print();
+    println!("(claim under test: 100% of audited reads fall within the promised Δ)");
+    let json = obs_json(&overhead, &staleness);
+    write_bench_json(out, "obs", &json);
 }
 
 fn run_shards(scale: Scale) {

@@ -368,7 +368,7 @@ pub fn fig12_invalidb_scaling(scale: Scale) -> Vec<Fig12Row> {
                 nodes,
                 active_queries: nodes * qpn,
                 throughput_ops_per_sec: report.match_evaluations as f64 / report.wall.as_secs_f64(),
-                p99_latency_ms: report.latency_us.percentile(0.99) as f64 / 1_000.0,
+                p99_latency_ms: report.latency_us.percentile(0.99).unwrap_or(0) as f64 / 1_000.0,
             });
         }
     }

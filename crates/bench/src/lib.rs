@@ -10,10 +10,14 @@
 //! depend on the simulated latency profile (client↔CDN 4 ms,
 //! client↔origin 145 ms — the paper's measured values).
 
+pub mod artifact;
 pub mod experiments;
 pub mod netbench;
+pub mod obsbench;
 pub mod table;
 
+pub use artifact::write_bench_json;
 pub use experiments::*;
 pub use netbench::{net_json, net_sweep, NetBenchRow};
+pub use obsbench::{obs_json, staleness_audit, tracing_overhead, ObsOverheadReport};
 pub use table::TableWriter;

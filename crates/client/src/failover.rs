@@ -33,6 +33,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use quaestor_common::{lock_rank, Error, Result};
 use quaestor_core::{ReplRole, ReplicationStatus, Request, Response, Service, ServiceExt};
+use quaestor_obs::Counter;
 
 /// True if `req` mutates state anywhere inside (batches recurse).
 fn contains_write(req: &Request) -> bool {
@@ -80,8 +81,9 @@ pub struct ReplicatedService {
     route: Mutex<RouterState>,
     /// Round-robin read cursor (relaxed; it only spreads load).
     cursor: AtomicU64,
-    /// How many failovers this router has executed (metrics).
-    failovers: AtomicU64,
+    /// How many failovers this router has executed (metrics). Also
+    /// published on the global registry as `client.failover.elections`.
+    failovers: Counter,
 }
 
 impl std::fmt::Debug for ReplicatedService {
@@ -89,7 +91,7 @@ impl std::fmt::Debug for ReplicatedService {
         f.debug_struct("ReplicatedService")
             .field("endpoints", &self.endpoints.len())
             .field("primary", &self.route.lock().primary)
-            .field("failovers", &self.failovers.load(Ordering::Relaxed))
+            .field("failovers", &self.failovers.get())
             .finish()
     }
 }
@@ -105,6 +107,10 @@ impl ReplicatedService {
                 "ReplicatedService needs at least one endpoint".into(),
             ));
         }
+        // A per-instance counter, re-bound on the global registry so the
+        // newest router's elections show up in `client.failover.elections`.
+        let failovers = Counter::default();
+        quaestor_obs::registry().bind_counter("client.failover.elections", &failovers);
         let primary = endpoints
             .iter()
             .position(|ep| {
@@ -127,7 +133,7 @@ impl ReplicatedService {
                 lock_rank::CLIENT_FAILOVER_ROUTER.1,
             ),
             cursor: AtomicU64::new(0),
-            failovers: AtomicU64::new(0),
+            failovers,
         }))
     }
 
@@ -138,7 +144,7 @@ impl ReplicatedService {
 
     /// How many failovers this router has executed.
     pub fn failover_count(&self) -> u64 {
-        self.failovers.load(Ordering::Relaxed)
+        self.failovers.get()
     }
 
     /// Probe the believed primary. `Ok` means it is reachable *and* still
@@ -198,7 +204,7 @@ impl ReplicatedService {
             self.endpoints[index].promote(max_epoch + 1)?;
         }
         self.route.lock().primary = index;
-        self.failovers.fetch_add(1, Ordering::Relaxed);
+        self.failovers.inc();
         Ok(index)
     }
 

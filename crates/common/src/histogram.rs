@@ -124,11 +124,13 @@ impl Histogram {
         self.max
     }
 
-    /// Value at quantile `q` in `[0, 1]`. Returns the lower bound of the
-    /// bucket containing the `ceil(q * count)`-th observation.
-    pub fn percentile(&self, q: f64) -> u64 {
+    /// Value at quantile `q` in `[0, 1]`: the lower bound of the bucket
+    /// containing the `ceil(q * count)`-th observation. `None` on an
+    /// empty histogram — an empty distribution has no quantiles, and the
+    /// old `0` return read as "p99 was zero microseconds" in reports.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         let target = ((q * self.total as f64).ceil() as u64).max(1);
@@ -136,14 +138,14 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Self::bucket_value(i);
+                return Some(Self::bucket_value(i));
             }
         }
-        self.max
+        Some(self.max)
     }
 
-    /// Median (p50).
-    pub fn median(&self) -> u64 {
+    /// Median (p50); `None` on an empty histogram.
+    pub fn median(&self) -> Option<u64> {
         self.percentile(0.5)
     }
 
@@ -177,7 +179,17 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.percentile(0.99), None, "no quantiles without data");
+        assert_eq!(h.median(), None);
+    }
+
+    #[test]
+    fn one_observation_defines_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.percentile(0.0), Some(42));
+        assert_eq!(h.percentile(0.99), Some(42));
+        assert_eq!(h.median(), Some(42));
     }
 
     #[test]
@@ -188,8 +200,8 @@ mod tests {
         }
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 15);
-        assert_eq!(h.percentile(1.0), 15);
-        assert_eq!(h.median(), 7);
+        assert_eq!(h.percentile(1.0), Some(15));
+        assert_eq!(h.median(), Some(7));
     }
 
     #[test]
@@ -200,7 +212,7 @@ mod tests {
         }
         assert!(h.percentile(0.5) <= h.percentile(0.9));
         assert!(h.percentile(0.9) <= h.percentile(0.99));
-        assert!(h.percentile(0.99) <= h.max());
+        assert!(h.percentile(0.99).unwrap() <= h.max());
     }
 
     #[test]
@@ -258,7 +270,7 @@ mod tests {
                                          q in 0.0f64..1.0) {
             let mut h = Histogram::new();
             for &v in &values { h.record(v); }
-            let p = h.percentile(q);
+            let p = h.percentile(q).expect("non-empty histogram has quantiles");
             prop_assert!(p <= h.max());
         }
     }

@@ -93,3 +93,18 @@ pub const REPL_SESSIONS: LockRank = ("repl.node.sessions", 90);
 /// believed-primary index (leaf: read/updated around endpoint calls,
 /// never held across them).
 pub const CLIENT_FAILOVER_ROUTER: LockRank = ("client.failover.router", 92);
+/// `obs` trace-handoff map (WAL append → replication-ship stitching).
+/// Taken after a frame is staged — potentially while I/O-layer locks are
+/// held — so it ranks above every service lock.
+pub const OBS_HANDOFF: LockRank = ("obs.trace.handoff", 93);
+/// `obs::Registry` inner map — name → metric handle. Registration and
+/// snapshots may run while middleware holds service-layer locks, so it
+/// sits in the leaf-high range.
+pub const OBS_REGISTRY: LockRank = ("obs.registry", 94);
+/// One `obs::HistogramHandle`'s histogram — recorded into from
+/// middleware after a call completes; nothing is acquired under it.
+pub const OBS_METRIC_HIST: LockRank = ("obs.metric.hist", 96);
+/// The global span ring buffer — pushed into from `SpanGuard::drop`,
+/// which can run while *any* other lock is held, so it must outrank
+/// every other lock in the workspace. Nothing nests inside it.
+pub const OBS_TRACE_COLLECTOR: LockRank = ("obs.trace.collector", 98);

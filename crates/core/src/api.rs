@@ -19,14 +19,13 @@
 //! same client code runs unmodified against a single node, a sharded
 //! cluster, or any middleware composition.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
 use quaestor_bloom::BloomFilter;
 use quaestor_common::{stable_bucket, Error, Histogram, Result, Timestamp, Version};
 use quaestor_document::{Document, Update};
+use quaestor_obs::{Counter, HistogramHandle, MetricsSnapshot, Registry};
 use quaestor_query::{Query, QueryKey};
 use quaestor_store::Table;
 
@@ -110,6 +109,11 @@ pub enum Request {
         /// The new epoch — must exceed every epoch the group has seen.
         epoch: u64,
     },
+    /// Snapshot the node's unified metrics registry (server counters,
+    /// per-kind service latencies, planner statistics). Answered by
+    /// every node; a [`ShardRouter`] fans it out and merges per-shard
+    /// snapshots under `shard<i>.` prefixes.
+    Metrics,
 }
 
 impl Request {
@@ -128,7 +132,8 @@ impl Request {
             Request::Batch(_)
             | Request::Flush
             | Request::ReplicationStatus
-            | Request::Promote { .. } => None,
+            | Request::Promote { .. }
+            | Request::Metrics => None,
         }
     }
 
@@ -158,6 +163,7 @@ impl Request {
             Request::Flush => "flush",
             Request::ReplicationStatus => "replication_status",
             Request::Promote { .. } => "promote",
+            Request::Metrics => "metrics",
         }
     }
 }
@@ -231,6 +237,9 @@ pub enum Response {
     /// Answer to [`Request::ReplicationStatus`] and [`Request::Promote`]
     /// (a successful promotion reports the node's new status).
     Replication(ReplicationStatus),
+    /// Answer to [`Request::Metrics`]: the node's registry snapshot
+    /// (plus, through middleware and routers, their merged series).
+    Metrics(MetricsSnapshot),
 }
 
 fn unexpected(wanted: &str, got: &Response) -> Error {
@@ -246,6 +255,7 @@ fn unexpected(wanted: &str, got: &Response) -> Error {
             Response::Stream(_) => "Stream",
             Response::Flushed { .. } => "Flushed",
             Response::Replication(_) => "Replication",
+            Response::Metrics(_) => "Metrics",
         }
     ))
 }
@@ -396,6 +406,15 @@ pub trait ServiceExt: Service {
             other => Err(unexpected("Stream", &other)),
         }
     }
+
+    /// Snapshot the serving node's unified metrics registry (through a
+    /// router: every shard, merged under `shard<i>.` prefixes).
+    fn node_metrics(&self) -> Result<MetricsSnapshot> {
+        match self.call(Request::Metrics)? {
+            Response::Metrics(snap) => Ok(snap),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
 }
 
 impl<S: Service + ?Sized> ServiceExt for S {}
@@ -448,6 +467,7 @@ impl Service for QuaestorServer {
             Request::Promote { .. } => Err(Error::BadRequest(
                 "promote: this node is not replication-aware".to_owned(),
             )),
+            Request::Metrics => Ok(Response::Metrics(self.metrics_snapshot())),
         }
     }
 }
@@ -519,7 +539,7 @@ impl QuaestorServer {
 
 /// The request kinds tracked by per-kind latency histograms, in slot
 /// order ([`Request::kind`] strings).
-const LATENCY_KINDS: [&str; 12] = [
+const LATENCY_KINDS: [&str; 13] = [
     "get_record",
     "query",
     "insert",
@@ -532,59 +552,96 @@ const LATENCY_KINDS: [&str; 12] = [
     "flush",
     "replication_status",
     "promote",
+    "metrics",
 ];
 
 fn latency_slot(kind: &str) -> Option<usize> {
     LATENCY_KINDS.iter().position(|k| *k == kind)
 }
 
+/// The static `service.*` span name for a request kind (span names are
+/// `&'static str`; formatting one per call would allocate on the hot
+/// path even with tracing off).
+fn service_span_name(kind: &str) -> &'static str {
+    match kind {
+        "get_record" => "service.get_record",
+        "query" => "service.query",
+        "insert" => "service.insert",
+        "update" => "service.update",
+        "replace" => "service.replace",
+        "delete" => "service.delete",
+        "ebf_snapshot" => "service.ebf_snapshot",
+        "batch" => "service.batch",
+        "subscribe" => "service.subscribe",
+        "flush" => "service.flush",
+        "replication_status" => "service.replication_status",
+        "promote" => "service.promote",
+        "metrics" => "service.metrics",
+        _ => "service.other",
+    }
+}
+
 /// Per-kind call counters for a [`MetricsLayer`].
+///
+/// Every field is a registry handle: counters live on the layer's own
+/// [`Registry`] under `service.*` names, latency histograms under
+/// `service.latency.<kind>`. The fields keep their historical atomic
+/// API ([`Counter`] carries `load`/`store`/`fetch_add` shims), so call
+/// sites written against the pre-registry struct compile unchanged.
 #[derive(Debug)]
 pub struct ServiceMetrics {
     /// `GetRecord` calls.
-    pub record_reads: AtomicU64,
+    pub record_reads: Counter,
     /// `Query` calls.
-    pub queries: AtomicU64,
+    pub queries: Counter,
     /// Write calls (insert/update/replace/delete), top-level only.
-    pub writes: AtomicU64,
+    pub writes: Counter,
     /// `EbfSnapshot` calls.
-    pub ebf_snapshots: AtomicU64,
+    pub ebf_snapshots: Counter,
     /// `Batch` calls.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Total sub-requests carried by batches, counted recursively
     /// through nested batches (a nested batch contributes itself plus
     /// its contents).
-    pub batched_ops: AtomicU64,
+    pub batched_ops: Counter,
     /// `Subscribe` calls.
-    pub subscribes: AtomicU64,
+    pub subscribes: Counter,
     /// `Flush` calls.
-    pub flushes: AtomicU64,
+    pub flushes: Counter,
     /// Replication control-plane calls (`ReplicationStatus` + `Promote`).
-    pub repl_controls: AtomicU64,
+    pub repl_controls: Counter,
+    /// `Metrics` (registry snapshot) calls.
+    pub metrics_requests: Counter,
     /// Calls that returned an error.
-    pub errors: AtomicU64,
+    pub errors: Counter,
     /// Per-request-kind call latency in **microseconds**, one slot per
     /// [`Request::kind`] (`LATENCY_KINDS` order). A fixed array of
-    /// per-kind locks rather than one shared map: the hot path takes
+    /// per-kind handles rather than one shared map: the hot path takes
     /// only the lock of the kind it records, so callers of different
     /// kinds never contend.
-    latencies: [Mutex<Histogram>; LATENCY_KINDS.len()],
+    latencies: [HistogramHandle; LATENCY_KINDS.len()],
+    registry: Registry,
 }
 
 impl Default for ServiceMetrics {
     fn default() -> Self {
+        let registry = Registry::new();
         ServiceMetrics {
-            record_reads: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-            writes: AtomicU64::new(0),
-            ebf_snapshots: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_ops: AtomicU64::new(0),
-            subscribes: AtomicU64::new(0),
-            flushes: AtomicU64::new(0),
-            repl_controls: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            latencies: std::array::from_fn(|_| Mutex::new(Histogram::new())),
+            record_reads: registry.counter("service.record_reads"),
+            queries: registry.counter("service.queries"),
+            writes: registry.counter("service.writes"),
+            ebf_snapshots: registry.counter("service.ebf_snapshots"),
+            batches: registry.counter("service.batches"),
+            batched_ops: registry.counter("service.batched_ops"),
+            subscribes: registry.counter("service.subscribes"),
+            flushes: registry.counter("service.flushes"),
+            repl_controls: registry.counter("service.repl_controls"),
+            metrics_requests: registry.counter("service.metrics_requests"),
+            errors: registry.counter("service.errors"),
+            latencies: std::array::from_fn(|i| {
+                registry.histogram(&format!("service.latency.{}", LATENCY_KINDS[i]))
+            }),
+            registry,
         }
     }
 }
@@ -592,37 +649,50 @@ impl Default for ServiceMetrics {
 impl ServiceMetrics {
     /// Total top-level calls observed.
     pub fn total_calls(&self) -> u64 {
-        self.record_reads.load(Ordering::Relaxed)
-            + self.queries.load(Ordering::Relaxed)
-            + self.writes.load(Ordering::Relaxed)
-            + self.ebf_snapshots.load(Ordering::Relaxed)
-            + self.batches.load(Ordering::Relaxed)
-            + self.subscribes.load(Ordering::Relaxed)
-            + self.flushes.load(Ordering::Relaxed)
-            + self.repl_controls.load(Ordering::Relaxed)
+        self.record_reads.get()
+            + self.queries.get()
+            + self.writes.get()
+            + self.ebf_snapshots.get()
+            + self.batches.get()
+            + self.subscribes.get()
+            + self.flushes.get()
+            + self.repl_controls.get()
+            + self.metrics_requests.get()
     }
 
     /// Record one call's latency under its request kind.
     pub fn record_latency(&self, kind: &str, micros: u64) {
         if let Some(slot) = latency_slot(kind) {
-            self.latencies[slot].lock().record(micros);
+            self.latencies[slot].record(micros);
         }
     }
 
     /// Snapshot of one request kind's latency histogram (µs), if any
     /// call of that kind has been observed.
     pub fn latency(&self, kind: &str) -> Option<Histogram> {
-        let h = self.latencies[latency_slot(kind)?].lock();
+        let h = self.latencies[latency_slot(kind)?].snapshot();
         if h.count() == 0 {
             return None;
         }
-        Some(h.clone())
+        Some(h)
+    }
+
+    /// The registry holding every `service.*` series of this instance.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// `(p50, p95, p99)` latency in microseconds for one request kind.
     pub fn latency_percentiles(&self, kind: &str) -> Option<(u64, u64, u64)> {
-        self.latency(kind)
-            .map(|h| (h.percentile(0.50), h.percentile(0.95), h.percentile(0.99)))
+        // `latency` returns `None` for an empty histogram, so every
+        // quantile below is `Some`; `unwrap_or` keeps this panic-free.
+        self.latency(kind).map(|h| {
+            (
+                h.percentile(0.50).unwrap_or(0),
+                h.percentile(0.95).unwrap_or(0),
+                h.percentile(0.99).unwrap_or(0),
+            )
+        })
     }
 
     /// All-kinds latency histogram (µs), merged via
@@ -631,7 +701,7 @@ impl ServiceMetrics {
     pub fn merged_latency(&self) -> Histogram {
         let mut merged = Histogram::new();
         for slot in &self.latencies {
-            merged.merge(&slot.lock());
+            merged.merge(&slot.snapshot());
         }
         merged
     }
@@ -640,9 +710,9 @@ impl ServiceMetrics {
     /// one (aggregation across layers, shards, or processes).
     pub fn merge_latency_from(&self, other: &ServiceMetrics) {
         for (ours, theirs) in self.latencies.iter().zip(&other.latencies) {
-            let theirs = theirs.lock();
+            let theirs = theirs.snapshot();
             if theirs.count() > 0 {
-                ours.lock().merge(&theirs);
+                ours.merge_from(&theirs);
             }
         }
     }
@@ -680,6 +750,7 @@ impl MetricsLayer {
 impl Service for MetricsLayer {
     fn call(&self, req: Request) -> Result<Response> {
         let kind = req.kind();
+        let _span = quaestor_obs::span(service_span_name(kind));
         let counter = match &req {
             Request::GetRecord { .. } => &self.metrics.record_reads,
             Request::Query(_) => &self.metrics.queries,
@@ -697,24 +768,32 @@ impl Service for MetricsLayer {
                         })
                         .sum()
                 }
-                self.metrics
-                    .batched_ops
-                    .fetch_add(count_ops(ops), Ordering::Relaxed);
+                self.metrics.batched_ops.add(count_ops(ops));
                 &self.metrics.batches
             }
             Request::Subscribe { .. } => &self.metrics.subscribes,
             Request::Flush => &self.metrics.flushes,
             Request::ReplicationStatus | Request::Promote { .. } => &self.metrics.repl_controls,
+            Request::Metrics => &self.metrics.metrics_requests,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
         let started = Instant::now();
         let result = self.inner.call(req);
         self.metrics
             .record_latency(kind, started.elapsed().as_micros() as u64);
         if result.is_err() {
-            self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            self.metrics.errors.inc();
         }
-        result
+        // A metrics snapshot flowing through this layer picks up the
+        // layer's own `service.*` series — one request reports the whole
+        // stack, however it is composed.
+        match result {
+            Ok(Response::Metrics(mut snap)) => {
+                snap.merge_prefixed("", self.metrics.registry.snapshot());
+                Ok(Response::Metrics(snap))
+            }
+            other => other,
+        }
     }
 }
 
@@ -782,6 +861,19 @@ impl ShardRouter {
         // analyze: allow(unwrap-in-io-crate) shard count is asserted nonzero at construction
         let (filter, at) = union.expect("at least one shard");
         Ok(Response::Ebf { filter, at })
+    }
+
+    /// Merge every shard's registry snapshot under a `shard<i>.` prefix
+    /// — one `Metrics` request observes the whole cluster.
+    fn fan_out_metrics(&self) -> Result<Response> {
+        let mut merged = MetricsSnapshot::default();
+        for (i, shard) in self.shards.iter().enumerate() {
+            match shard.call(Request::Metrics)? {
+                Response::Metrics(snap) => merged.merge_prefixed(&format!("shard{i}."), snap),
+                other => return Err(unexpected("Metrics", &other)),
+            }
+        }
+        Ok(Response::Metrics(merged))
     }
 
     /// A flush must drain **every** shard's log before the cluster can
@@ -859,10 +951,12 @@ impl ShardRouter {
 
 impl Service for ShardRouter {
     fn call(&self, req: Request) -> Result<Response> {
+        let _span = quaestor_obs::span("router.route");
         match req {
             Request::Batch(requests) => self.split_batch(requests),
             Request::EbfSnapshot { table: None } => self.fan_out_ebf(),
             Request::Flush => self.fan_out_flush(),
+            Request::Metrics => self.fan_out_metrics(),
             req => match req.table() {
                 Some(table) => self.shards[self.shard_for(table)].call(req),
                 None => Err(Error::BadRequest(format!(
@@ -880,6 +974,7 @@ mod tests {
     use quaestor_common::ManualClock;
     use quaestor_document::{doc, Value};
     use quaestor_query::Filter;
+    use std::sync::atomic::Ordering;
 
     fn server() -> Arc<QuaestorServer> {
         QuaestorServer::with_defaults(ManualClock::new())
@@ -1091,6 +1186,44 @@ mod tests {
         other.record_latency("insert", 5);
         m.merge_latency_from(&other);
         assert_eq!(m.latency("insert").unwrap().count(), 11);
+    }
+
+    #[test]
+    fn metrics_request_snapshots_the_unified_registry() {
+        let s = server();
+        let layer = MetricsLayer::new(s);
+        let svc: &dyn Service = &*layer;
+        svc.insert("t", "a", doc! { "n" => 1 }).unwrap();
+        svc.get_record("t", "a").unwrap();
+        let snap = svc.node_metrics().unwrap();
+        // The snapshot unifies the origin's counters and the layer's own
+        // series in one response.
+        assert_eq!(snap.counter("server.writes"), Some(1));
+        assert_eq!(snap.counter("service.writes"), Some(1));
+        assert_eq!(snap.counter("service.record_reads"), Some(1));
+        assert!(snap.histogram("service.latency.insert").unwrap().count >= 1);
+        assert!(snap.render_text().starts_with("# quaestor metrics v1\n"));
+        // `Metrics` requests count like any other call kind.
+        svc.node_metrics().unwrap();
+        assert_eq!(layer.metrics().metrics_requests.get(), 2);
+        assert_eq!(layer.metrics().total_calls(), 4);
+    }
+
+    #[test]
+    fn metrics_fan_out_prefixes_per_shard_series() {
+        let (router, _servers) = cluster(2);
+        let svc: &dyn Service = &*router;
+        svc.insert("t", "a", doc! { "n" => 1 }).unwrap();
+        let shard = router.shard_for("t");
+        let snap = svc.node_metrics().unwrap();
+        assert_eq!(
+            snap.counter(&format!("shard{shard}.server.writes")),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(&format!("shard{}.server.writes", 1 - shard)),
+            Some(0)
+        );
     }
 
     fn cluster(n: usize) -> (Arc<ShardRouter>, Vec<Arc<QuaestorServer>>) {

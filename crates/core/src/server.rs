@@ -357,7 +357,19 @@ impl QuaestorServer {
         self.metrics.query_range_scans.store(ranges, Relaxed);
         self.metrics.query_full_scans.store(fulls, Relaxed);
         self.metrics.query_topk_short_circuits.store(topk, Relaxed);
+        let (card_est, card_actual) = self.db.query_stats().cardinality();
+        self.metrics.query_card_estimated.store(card_est, Relaxed);
+        self.metrics.query_card_actual.store(card_actual, Relaxed);
         &self.metrics
+    }
+
+    /// The node's unified registry snapshot — the [`Request::Metrics`]
+    /// payload. Goes through [`Self::metrics`] first so the copied
+    /// planner/matcher counters are fresh.
+    ///
+    /// [`Request::Metrics`]: crate::Request::Metrics
+    pub fn metrics_snapshot(&self) -> quaestor_obs::MetricsSnapshot {
+        self.metrics().registry().snapshot()
     }
 
     /// Internal counter access without the grid sweep — for bump sites on

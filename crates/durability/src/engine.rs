@@ -617,17 +617,24 @@ impl WriteSink for DurabilityEngine {
     /// Stage the event (called under the record's shard lock — cheap:
     /// encode + buffer) and mirror delete tombstones for snapshots.
     fn append(&self, event: &WriteEvent) -> Result<u64> {
+        let _span = quaestor_obs::span("wal.append");
         let record = WalRecord::from_event(event);
-        let mut state = self.state.lock();
-        let lsn = state.wal.stage(&record)?;
-        state.frames_since_snapshot += 1;
-        if matches!(event.kind, quaestor_store::WriteKind::Delete) {
-            state.tombstones.push((
-                event.table.to_string(),
-                event.id.to_string(),
-                event.at.as_millis(),
-            ));
-        }
+        let lsn = {
+            let mut state = self.state.lock();
+            let lsn = state.wal.stage(&record)?;
+            state.frames_since_snapshot += 1;
+            if matches!(event.kind, quaestor_store::WriteKind::Delete) {
+                state.tombstones.push((
+                    event.table.to_string(),
+                    event.id.to_string(),
+                    event.at.as_millis(),
+                ));
+            }
+            lsn
+        };
+        // Park the trace context keyed by LSN so the replication session
+        // that later ships this frame can stitch into the same trace.
+        quaestor_obs::note_handoff(lsn);
         Ok(lsn)
     }
 

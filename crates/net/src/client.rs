@@ -357,6 +357,11 @@ impl Service for RemoteService {
         let deadline = started + self.config.request_timeout;
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
 
+        // Child span when a trace is active (or a sampled root when
+        // client-side sampling is on); its context rides the frame as a
+        // body-prefix tag so the server stitches into the same trace.
+        let span = quaestor_obs::client_span("client.call");
+
         // For subscriptions: open the local endpoint *before* the request
         // leaves, so no push can slip past between response and subscribe.
         let mut local_sub = if matches!(req, Request::Subscribe { .. }) {
@@ -365,7 +370,7 @@ impl Service for RemoteService {
             None
         };
 
-        let body = codec::encode_request(&req);
+        let body = codec::encode_request_traced(&req, span.context());
         if !wire::frame_fits(body.len()) {
             return Err(Error::Net(format!(
                 "request too large for one frame ({} bytes > {} cap); split the batch",

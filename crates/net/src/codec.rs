@@ -34,6 +34,7 @@ use quaestor_durability::codec::{
     get_document, get_query, get_value, put_document, put_query, put_value, DecodeError, Reader,
     Writer,
 };
+use quaestor_obs::{HistogramSummary, MetricsSnapshot, TraceContext};
 use quaestor_query::QueryKey;
 use quaestor_ttl::Representation;
 
@@ -147,6 +148,63 @@ const RQ_SUBSCRIBE: u8 = 8;
 const RQ_FLUSH: u8 = 9;
 const RQ_REPL_STATUS: u8 = 10;
 const RQ_PROMOTE: u8 = 11;
+const RQ_METRICS: u8 = 12;
+
+// ---- body-prefix tags -----------------------------------------------------
+//
+// Optional, additive metadata riding in front of an encoded request:
+// `[tag u8][len u8][payload; len]`, repeated. Tags occupy `0xF0..=0xFF`
+// — disjoint from every request kind tag — so a tagged body is
+// unambiguous, and a decoder that does not understand a tag skips
+// exactly `len` bytes. This is how the trace context crosses the wire
+// without a frame version bump.
+
+/// Lowest byte value reserved for body-prefix tags.
+const BODY_TAG_MIN: u8 = 0xF0;
+/// The trace-context tag: 17-byte payload
+/// `[trace_id u64][span_id u64][sampled u8]`.
+pub const BODY_TAG_TRACE: u8 = 0xF0;
+const TRACE_PAYLOAD_LEN: usize = 17;
+
+/// Split any body-prefix tags off `body`, parsing the ones we know.
+/// Unknown tags (and known tags with unexpected lengths) are skipped —
+/// additive evolution: older peers never sent tags, newer peers may
+/// send tags this build has never heard of.
+fn split_body_tags(body: &[u8]) -> DResult<(Option<TraceContext>, &[u8])> {
+    let mut ctx = None;
+    let mut rest = body;
+    while let [tag, len, payload @ ..] = rest {
+        if *tag < BODY_TAG_MIN {
+            break;
+        }
+        let len = *len as usize;
+        if payload.len() < len {
+            return err(format!(
+                "body tag {tag:#04x} claims {len} payload bytes, {} remain",
+                payload.len()
+            ));
+        }
+        let (p, after) = payload.split_at(len);
+        if *tag == BODY_TAG_TRACE && len == TRACE_PAYLOAD_LEN {
+            let mut r = Reader::new(p);
+            ctx = Some(TraceContext {
+                trace_id: r.u64()?,
+                span_id: r.u64()?,
+                sampled: r.u8()? != 0,
+            });
+        }
+        rest = after;
+    }
+    Ok((ctx, rest))
+}
+
+fn put_trace_tag(w: &mut Writer, ctx: &TraceContext) {
+    w.put_u8(BODY_TAG_TRACE);
+    w.put_u8(TRACE_PAYLOAD_LEN as u8);
+    w.put_u64(ctx.trace_id);
+    w.put_u64(ctx.span_id);
+    w.put_u8(ctx.sampled as u8);
+}
 
 /// Encode a [`Request`].
 pub fn put_request(w: &mut Writer, req: &Request) {
@@ -210,6 +268,7 @@ pub fn put_request(w: &mut Writer, req: &Request) {
             w.put_u8(RQ_PROMOTE);
             w.put_u64(*epoch);
         }
+        Request::Metrics => w.put_u8(RQ_METRICS),
     }
 }
 
@@ -281,6 +340,7 @@ fn get_request_at(r: &mut Reader<'_>, depth: usize) -> DResult<Request> {
         RQ_FLUSH => Request::Flush,
         RQ_REPL_STATUS => Request::ReplicationStatus,
         RQ_PROMOTE => Request::Promote { epoch: r.u64()? },
+        RQ_METRICS => Request::Metrics,
         t => return err(format!("unknown request tag {t}")),
     })
 }
@@ -402,6 +462,7 @@ const RS_BATCH: u8 = 5;
 const RS_STREAM: u8 = 6;
 const RS_FLUSHED: u8 = 7;
 const RS_REPLICATION: u8 = 8;
+const RS_METRICS: u8 = 9;
 
 /// A decoded response: either a self-contained [`Response`], or the
 /// marker standing in for [`Response::Stream`] (the live subscription is
@@ -480,7 +541,79 @@ pub fn put_response(w: &mut Writer, resp: &Response) {
             w.put_u64(status.last_lsn);
             w.put_u64(status.durable_lsn);
         }
+        Response::Metrics(snap) => {
+            w.put_u8(RS_METRICS);
+            put_metrics_snapshot(w, snap);
+        }
     }
+}
+
+fn put_metrics_snapshot(w: &mut Writer, snap: &MetricsSnapshot) {
+    w.put_u32(snap.counters.len() as u32);
+    for (name, value) in &snap.counters {
+        w.put_str(name);
+        w.put_u64(*value);
+    }
+    w.put_u32(snap.gauges.len() as u32);
+    for (name, value) in &snap.gauges {
+        w.put_str(name);
+        w.put_u64(*value);
+    }
+    w.put_u32(snap.histograms.len() as u32);
+    for (name, h) in &snap.histograms {
+        w.put_str(name);
+        w.put_u64(h.count);
+        w.put_u64(h.min);
+        w.put_u64(h.max);
+        w.put_f64(h.mean);
+        w.put_u64(h.p50);
+        w.put_u64(h.p95);
+        w.put_u64(h.p99);
+    }
+}
+
+fn get_metrics_snapshot(r: &mut Reader<'_>) -> DResult<MetricsSnapshot> {
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return err(format!("counter count {n} exceeds remaining bytes"));
+    }
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        counters.push((r.str()?, r.u64()?));
+    }
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return err(format!("gauge count {n} exceeds remaining bytes"));
+    }
+    let mut gauges = Vec::with_capacity(n);
+    for _ in 0..n {
+        gauges.push((r.str()?, r.u64()?));
+    }
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return err(format!("histogram count {n} exceeds remaining bytes"));
+    }
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        histograms.push((
+            name,
+            HistogramSummary {
+                count: r.u64()?,
+                min: r.u64()?,
+                max: r.u64()?,
+                mean: r.f64()?,
+                p50: r.u64()?,
+                p95: r.u64()?,
+                p99: r.u64()?,
+            },
+        ));
+    }
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
 }
 
 /// The error a remote caller sees for a `Subscribe` nested in a `Batch`.
@@ -552,6 +685,7 @@ fn get_response_at(r: &mut Reader<'_>, depth: usize) -> DResult<WireResponse> {
                 durable_lsn: r.u64()?,
             })
         }
+        RS_METRICS => Response::Metrics(get_metrics_snapshot(r)?),
         t => return err(format!("unknown response tag {t}")),
     }))
 }
@@ -660,15 +794,36 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Decode a frame body as a request, consuming it exactly.
+/// Encode a request with an optional trace context riding in front as a
+/// body-prefix tag. With `None` the output is byte-identical to
+/// [`encode_request`].
+pub fn encode_request_traced(req: &Request, ctx: Option<TraceContext>) -> Vec<u8> {
+    let mut w = Writer::new();
+    if let Some(ctx) = &ctx {
+        put_trace_tag(&mut w, ctx);
+    }
+    put_request(&mut w, req);
+    w.into_bytes()
+}
+
+/// Decode a frame body as a request, consuming it exactly. Body-prefix
+/// tags (trace context, future metadata) are skipped.
 // analyze: allow(depth-cap) thin wrapper over depth-capped get_request
 pub fn decode_request(body: &[u8]) -> DResult<Request> {
+    Ok(decode_request_traced(body)?.1)
+}
+
+/// Decode a frame body as a request, recovering the trace context if
+/// the sender attached one.
+// analyze: allow(depth-cap) thin wrapper over depth-capped get_request
+pub fn decode_request_traced(body: &[u8]) -> DResult<(Option<TraceContext>, Request)> {
+    let (ctx, body) = split_body_tags(body)?;
     let mut r = Reader::new(body);
     let req = get_request(&mut r)?;
     if r.remaining() != 0 {
         return err(format!("{} trailing bytes after request", r.remaining()));
     }
-    Ok(req)
+    Ok((ctx, req))
 }
 
 /// Encode a response into a fresh byte vector (the frame body).
@@ -860,7 +1015,60 @@ mod tests {
             Just(Request::Flush),
             Just(Request::ReplicationStatus),
             any::<u64>().prop_map(|epoch| Request::Promote { epoch }),
+            Just(Request::Metrics),
         ]
+    }
+
+    fn arb_trace_ctx() -> impl Strategy<Value = TraceContext> {
+        (any::<u64>(), any::<u64>(), any::<bool>()).prop_map(|(trace_id, span_id, sampled)| {
+            TraceContext {
+                trace_id,
+                span_id,
+                sampled,
+            }
+        })
+    }
+
+    fn arb_metrics_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+        let name = "[a-z][a-z0-9._]{0,14}";
+        (
+            proptest::collection::vec((name, any::<u64>()), 0..5),
+            proptest::collection::vec((name, any::<u64>()), 0..4),
+            proptest::collection::vec(
+                (
+                    name,
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    (0u64..1 << 52).prop_map(|x| x as f64 / 7.0),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                ),
+                0..3,
+            ),
+        )
+            .prop_map(|(counters, gauges, hists)| MetricsSnapshot {
+                counters,
+                gauges,
+                histograms: hists
+                    .into_iter()
+                    .map(|(name, count, min, max, mean, p50, p95, p99)| {
+                        (
+                            name,
+                            HistogramSummary {
+                                count,
+                                min,
+                                max,
+                                mean,
+                                p50,
+                                p95,
+                                p99,
+                            },
+                        )
+                    })
+                    .collect(),
+            })
     }
 
     fn arb_error() -> impl Strategy<Value = Error> {
@@ -999,6 +1207,7 @@ mod tests {
                     })
                 }
             ),
+            arb_metrics_snapshot().prop_map(Response::Metrics),
         ]
     }
 
@@ -1055,8 +1264,64 @@ mod tests {
         #[test]
         fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = decode_request(&bytes);
+            let _ = decode_request_traced(&bytes);
             let _ = decode_response(&bytes);
             let _ = decode_error(&bytes);
+        }
+
+        /// A trace context riding as a body-prefix tag survives the
+        /// round trip byte-identically, and a decoder that never heard
+        /// of the tag (plain `decode_request`) still recovers the same
+        /// request — the tag is purely additive.
+        #[test]
+        fn trace_tag_roundtrip_and_is_invisible_to_plain_decoder(
+            req in arb_request(),
+            ctx in arb_trace_ctx(),
+        ) {
+            let traced = encode_request_traced(&req, Some(ctx));
+            let (back_ctx, back) = decode_request_traced(&traced).expect("decode traced");
+            prop_assert_eq!(back_ctx, Some(ctx));
+            prop_assert_eq!(encode_request(&back), encode_request(&req));
+            let plain = decode_request(&traced).expect("plain decode skips the tag");
+            prop_assert_eq!(encode_request(&plain), encode_request(&req));
+        }
+
+        /// Without a context, the traced encoder emits byte-identical
+        /// output to the plain encoder — old peers see no difference.
+        #[test]
+        fn untraced_encoding_is_byte_identical(req in arb_request()) {
+            prop_assert_eq!(encode_request_traced(&req, None), encode_request(&req));
+        }
+
+        /// Unknown body tags (and a trace tag with the wrong payload
+        /// length) are skipped, so future additive metadata never
+        /// breaks an old request decoder.
+        #[test]
+        fn unknown_body_tags_are_skipped(
+            req in arb_request(),
+            tag in 0xF1u8..=0xFF,
+            payload in proptest::collection::vec(any::<u8>(), 0..32),
+        ) {
+            let mut bytes = vec![tag, payload.len() as u8];
+            bytes.extend_from_slice(&payload);
+            // A malformed-length trace tag must be skipped, not misparsed.
+            bytes.extend_from_slice(&[BODY_TAG_TRACE, 3, 1, 2, 3]);
+            bytes.extend_from_slice(&encode_request(&req));
+            let (ctx, back) = decode_request_traced(&bytes).expect("decode");
+            prop_assert_eq!(ctx, None);
+            prop_assert_eq!(encode_request(&back), encode_request(&req));
+        }
+
+        /// Any strict prefix of a traced encoding is a clean error.
+        #[test]
+        fn truncated_traced_request_is_a_clean_error(
+            req in arb_request(),
+            ctx in arb_trace_ctx(),
+            frac in 0.0f64..1.0,
+        ) {
+            let bytes = encode_request_traced(&req, Some(ctx));
+            let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+            prop_assert!(decode_request_traced(&bytes[..cut]).is_err());
         }
     }
 

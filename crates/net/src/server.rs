@@ -368,8 +368,8 @@ fn handle_request(
     out: &mut Vec<u8>,
 ) {
     shared.requests_served.fetch_add(1, Ordering::Relaxed);
-    let req = match codec::decode_request(body) {
-        Ok(req) => req,
+    let (ctx, req) = match codec::decode_request_traced(body) {
+        Ok(decoded) => decoded,
         Err(e) => {
             // The frame was CRC-valid, so framing is intact — answer the
             // bad request and keep the connection.
@@ -383,6 +383,10 @@ fn handle_request(
             return;
         }
     };
+    // Continue the caller's trace across the wire: the span adopts the
+    // remote parent and every span below (service, planner, WAL) nests
+    // under it in the stitched trace.
+    let _span = quaestor_obs::adopt_span(ctx, "net.server");
     let is_subscribe = matches!(req, Request::Subscribe { .. });
     match shared.service.call(req) {
         Ok(Response::Stream(subscription)) => {

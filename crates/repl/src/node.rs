@@ -834,14 +834,22 @@ fn run_session(node: &Arc<ReplNode>, sock: TcpStream, shared: &SessionShared) ->
             continue;
         }
         let last = frames[frames.len() - 1].0;
+        // Stitch shipping into the trace of the write that staged the
+        // newest frame in this batch (parked at WAL-append time).
+        let ship_span =
+            quaestor_obs::adopt_span(quaestor_obs::take_handoff_below(last), "repl.ship");
         conn.send(FrameKind::ReplFrames, &encode_batch(&frames))?;
         let ack_body = conn.await_frame(
             FrameKind::ReplAck,
             Instant::now() + SESSION_ACK_TIMEOUT,
             &stopping,
         )?;
+        drop(ship_span);
         let a = Ack::decode(&ack_body)?;
         shared.acked.fetch_max(a.durable_lsn, Ordering::AcqRel);
+        quaestor_obs::registry()
+            .gauge("repl.lag_frames")
+            .set(last.saturating_sub(a.durable_lsn));
         cursor = last;
     }
 }

@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::latency::LatencyModel;
+use crate::staleness::{StalenessAudit, StalenessReport};
 
 /// Which system is simulated — the four lines of Figures 8a–8c.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +149,10 @@ pub struct SimReport {
     pub stale_queries: (u64, u64),
     /// Total origin reads the server performed.
     pub origin_reads: u64,
+    /// Δ-atomicity audit of record reads (empty unless
+    /// `measure_staleness` was set): actual staleness in ms vs the
+    /// promised EBF bound.
+    pub staleness: StalenessReport,
 }
 
 impl SimReport {
@@ -167,6 +172,26 @@ fn ratio((num, den): (u64, u64)) -> f64 {
         0.0
     } else {
         num as f64 / den as f64
+    }
+}
+
+/// Timestamp the write in the staleness ledger with the version the
+/// database actually assigned (ground truth, not the client's view).
+fn note_truth(
+    audit: &mut StalenessAudit,
+    server: &Arc<QuaestorServer>,
+    table: &str,
+    id: &str,
+    t: Timestamp,
+) {
+    let version = server
+        .database()
+        .table(table)
+        .ok()
+        .and_then(|tb| tb.get(id))
+        .map(|r| r.version);
+    if let Some(version) = version {
+        audit.note_write(table, id, version, t.as_millis());
     }
 }
 
@@ -285,6 +310,9 @@ impl Simulation {
         let mut ops_completed = 0u64;
         let mut stale_reads = (0u64, 0u64);
         let mut stale_queries = (0u64, 0u64);
+        // The EBF-promised Δ is the refresh interval: no cached read may
+        // be further behind than one filter refresh.
+        let mut audit = StalenessAudit::new(cfg.ebf_refresh_ms);
         // FCFS queue models: next instant each resource is free, in
         // microseconds of virtual time for sub-ms service times.
         let origin_service_us = cfg
@@ -332,6 +360,7 @@ impl Simulation {
                                 if outcome.version < truth {
                                     stale_reads.0 += 1;
                                 }
+                                audit.note_read(&table, &id, outcome.version, t.as_millis());
                             }
                         }
                         lat
@@ -374,6 +403,9 @@ impl Simulation {
                     document,
                 } => {
                     let _ = client.insert(&table, &id, document);
+                    if cfg.measure_staleness {
+                        note_truth(&mut audit, &server, &table, &id, t);
+                    }
                     let lat = self.origin_lat(&mut conn.rng);
                     if measured {
                         write_latency.record(lat);
@@ -382,6 +414,9 @@ impl Simulation {
                 }
                 Operation::Update { table, id, update } => {
                     let _ = client.update(&table, &id, &update);
+                    if cfg.measure_staleness {
+                        note_truth(&mut audit, &server, &table, &id, t);
+                    }
                     let lat = self.origin_lat(&mut conn.rng);
                     if measured {
                         write_latency.record(lat);
@@ -439,6 +474,7 @@ impl Simulation {
             stale_reads,
             stale_queries,
             origin_reads: server.metrics().origin_reads(),
+            staleness: audit.report(),
         }
     }
 

@@ -24,6 +24,7 @@ pub mod latency;
 pub mod middleware;
 pub mod netloop;
 pub mod scenario;
+pub mod staleness;
 pub mod ttl_cdf;
 
 pub use crash::{crash_recovery, CrashConfig, CrashReport};
@@ -32,6 +33,7 @@ pub use failover::{kill_primary_failover, FailoverConfig, FailoverReport};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use latency::LatencyModel;
 pub use middleware::LatencyInjector;
-pub use netloop::{net_loopback, NetLoopConfig, NetLoopReport};
+pub use netloop::{net_loopback, net_loopback_only, NetLoopConfig, NetLoopReport};
 pub use scenario::{flash_sale, page_load, FlashSaleReport, PageLoadReport, Region};
+pub use staleness::{StalenessAudit, StalenessReport};
 pub use ttl_cdf::{ttl_estimation_cdf, TtlCdfReport};

@@ -70,14 +70,14 @@ impl NetLoopReport {
         }
     }
 
-    /// Median operation latency (µs).
+    /// Median operation latency (µs); 0 before any operation completed.
     pub fn p50_us(&self) -> u64 {
-        self.latency_us.percentile(0.50)
+        self.latency_us.percentile(0.50).unwrap_or(0)
     }
 
-    /// Tail operation latency (µs).
+    /// Tail operation latency (µs); 0 before any operation completed.
     pub fn p99_us(&self) -> u64 {
-        self.latency_us.percentile(0.99)
+        self.latency_us.percentile(0.99).unwrap_or(0)
     }
 }
 
@@ -132,6 +132,26 @@ fn drive(service: Arc<dyn Service>, mode: &'static str, config: NetLoopConfig) -
     }
 }
 
+/// Run only the loopback half: the workload against a fresh origin
+/// behind a real 127.0.0.1 socket. The tracing-overhead experiment
+/// uses this directly so its paired runs are back-to-back, without the
+/// in-process control run between them.
+pub fn net_loopback_only(config: NetLoopConfig) -> NetLoopReport {
+    let origin = QuaestorServer::with_defaults(SystemClock::shared());
+    let server = NetServer::bind("127.0.0.1:0", origin).expect("bind loopback");
+    let remote = RemoteService::connect(
+        server.local_addr(),
+        RemoteServiceConfig {
+            pool_size: config.connections,
+            ..Default::default()
+        },
+    )
+    .expect("connect loopback");
+    let report = drive(remote, "loopback", config);
+    server.shutdown();
+    report
+}
+
 /// Run the scenario: identical workload, in-process control first, then
 /// over a real loopback socket. Returns `(in_process, loopback)`.
 pub fn net_loopback(config: NetLoopConfig) -> (NetLoopReport, NetLoopReport) {
@@ -139,22 +159,7 @@ pub fn net_loopback(config: NetLoopConfig) -> (NetLoopReport, NetLoopReport) {
         let origin = QuaestorServer::with_defaults(SystemClock::shared());
         drive(origin, "in-process", config)
     };
-    let loopback = {
-        let origin = QuaestorServer::with_defaults(SystemClock::shared());
-        let server = NetServer::bind("127.0.0.1:0", origin).expect("bind loopback");
-        let remote = RemoteService::connect(
-            server.local_addr(),
-            RemoteServiceConfig {
-                pool_size: config.connections,
-                ..Default::default()
-            },
-        )
-        .expect("connect loopback");
-        let report = drive(remote, "loopback", config);
-        server.shutdown();
-        report
-    };
-    (in_process, loopback)
+    (in_process, net_loopback_only(config))
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use quaestor_client::{ClientConfig, QuaestorClient};
-use quaestor_common::ManualClock;
+use quaestor_common::{Clock, ManualClock};
 use quaestor_core::QuaestorServer;
 use quaestor_document::doc;
 use quaestor_query::{Filter, Query};
@@ -63,6 +63,10 @@ pub struct PageLoadReport {
     pub quaestor_ms: u64,
     /// First-load latency for an uncached DBaaS in the origin region.
     pub uncached_ms: u64,
+    /// Δ-atomicity audit of the post-load re-reads: every headline
+    /// update is timestamped and every cached re-read is checked
+    /// against the EBF-promised bound.
+    pub staleness: crate::staleness::StalenessReport,
 }
 
 /// Simulate Figure 1: a news-site first load (1 query + `records` record
@@ -114,6 +118,49 @@ pub fn page_load(records: usize, parallelism: usize) -> Vec<PageLoadReport> {
             );
             let out = visitor.query(&q).unwrap();
             assert_eq!(out.docs.len(), records);
+
+            // Staleness audit: the newsroom rewrites every other
+            // headline, half the promised Δ elapses, and the visitor
+            // re-reads everything through their warm caches. Any cached
+            // answer may be stale — but never by more than Δ.
+            let promised = ClientConfig::default().ebf_refresh_ms;
+            let mut audit = crate::staleness::StalenessAudit::new(promised);
+            for i in 0..records {
+                let id = format!("a{i}");
+                if i % 2 == 0 {
+                    server
+                        .update(
+                            "articles",
+                            &id,
+                            &quaestor_document::Update::new()
+                                .set("headline", format!("rewritten {i}")),
+                        )
+                        .unwrap();
+                }
+                let version = server
+                    .database()
+                    .table("articles")
+                    .ok()
+                    .and_then(|t| t.get(&id))
+                    .map(|r| r.version)
+                    .unwrap_or(0);
+                audit.note_write("articles", &id, version, clock.now().as_millis());
+            }
+            clock.advance(promised / 2);
+            for i in 0..records {
+                let id = format!("a{i}");
+                let read = visitor.read_record("articles", &id).unwrap();
+                audit.note_read("articles", &id, read.version, clock.now().as_millis());
+            }
+            let staleness = audit.report();
+            assert!(
+                staleness.within_bound(),
+                "{}: {} of {} audited reads exceeded the promised Δ of {promised} ms",
+                region.name,
+                staleness.violations,
+                staleness.reads,
+            );
+
             // The page needs 1 query + `records` record fetches; with
             // `parallelism` connections the critical path is the number
             // of sequential rounds times the per-fetch RTT.
@@ -124,6 +171,7 @@ pub fn page_load(records: usize, parallelism: usize) -> Vec<PageLoadReport> {
                 region: region.name,
                 quaestor_ms,
                 uncached_ms,
+                staleness,
             }
         })
         .collect()

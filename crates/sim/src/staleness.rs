@@ -1,0 +1,200 @@
+//! Δ-atomicity staleness auditor.
+//!
+//! The paper's central consistency claim is a *bounded* one: with an EBF
+//! refreshed every Δ ms, no cached read is more than Δ behind the
+//! database — Δ-atomicity. This module checks that claim empirically
+//! from inside the simulator: every write is timestamped, every audited
+//! read is compared against the ledger, and the *actual* staleness (how
+//! long ago the observed version was superseded) lands in a histogram.
+//!
+//! A read of the latest version has staleness 0. A read of version `v`
+//! at time `t`, when a newer version was written at `t' ≤ t`, has
+//! staleness `t - t'` — the window during which a linearizable store
+//! would already have served newer data. A violation is a staleness
+//! sample above the promised Δ.
+
+use std::collections::HashMap;
+
+use quaestor_common::Histogram;
+
+/// Write ledger + staleness histogram for one simulated run.
+#[derive(Debug)]
+pub struct StalenessAudit {
+    /// The promised Δ in ms (the client's EBF refresh interval).
+    promised_ms: u64,
+    /// `(table, id)` → writes as `(version, at_ms)`, in version order.
+    writes: HashMap<(String, String), Vec<(u64, u64)>>,
+    /// Staleness of every audited read (ms); fresh reads record 0.
+    delta_ms: Histogram,
+    /// Audited reads that returned a superseded version.
+    stale_reads: u64,
+    /// Samples above the promised Δ.
+    violations: u64,
+}
+
+/// Summary of an audit, ready for assertion or JSON emission.
+#[derive(Debug, Clone)]
+pub struct StalenessReport {
+    /// The promised Δ in ms.
+    pub promised_ms: u64,
+    /// Audited reads.
+    pub reads: u64,
+    /// Reads that returned a superseded version.
+    pub stale_reads: u64,
+    /// Staleness distribution over all audited reads (fresh reads are 0).
+    pub delta_ms: Histogram,
+    /// Reads staler than the promised Δ.
+    pub violations: u64,
+}
+
+impl StalenessReport {
+    /// CDF points `(staleness_ms, fraction_of_reads ≤ it)` at the
+    /// canonical quantiles, for the paper's Figure-10-style plot.
+    pub fn cdf(&self) -> Vec<(f64, u64)> {
+        [0.5, 0.9, 0.95, 0.99, 0.999, 1.0]
+            .into_iter()
+            .filter_map(|q| self.delta_ms.percentile(q).map(|v| (q, v)))
+            .collect()
+    }
+
+    /// Every audited read fell within the promised Δ.
+    pub fn within_bound(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+impl StalenessAudit {
+    /// Start an audit promising at most `promised_ms` of staleness.
+    pub fn new(promised_ms: u64) -> StalenessAudit {
+        StalenessAudit {
+            promised_ms,
+            writes: HashMap::new(),
+            delta_ms: Histogram::new(),
+            stale_reads: 0,
+            violations: 0,
+        }
+    }
+
+    /// Record that `table/id` reached `version` at `at_ms`.
+    pub fn note_write(&mut self, table: &str, id: &str, version: u64, at_ms: u64) {
+        let log = self
+            .writes
+            .entry((table.to_owned(), id.to_owned()))
+            .or_default();
+        // Concurrent connections can report out of order; keep the log
+        // sorted by version so the supersession scan stays a simple walk.
+        let pos = log.partition_point(|&(v, _)| v < version);
+        if log.get(pos).is_none_or(|&(v, _)| v != version) {
+            log.insert(pos, (version, at_ms));
+        }
+    }
+
+    /// Record a read of `table/id` observing `version` at `at_ms`,
+    /// measuring how long ago that version was superseded (0 if it is
+    /// still the latest, or the key was never noted).
+    pub fn note_read(&mut self, table: &str, id: &str, version: u64, at_ms: u64) {
+        let staleness = self
+            .writes
+            .get(&(table.to_owned(), id.to_owned()))
+            .and_then(|log| {
+                // First write that superseded what the read returned.
+                log.iter()
+                    .find(|&&(v, _)| v > version)
+                    .map(|&(_, wrote_at)| at_ms.saturating_sub(wrote_at))
+            });
+        match staleness {
+            Some(ms) => {
+                self.stale_reads += 1;
+                self.delta_ms.record(ms);
+                if ms > self.promised_ms {
+                    self.violations += 1;
+                }
+            }
+            None => self.delta_ms.record(0),
+        }
+    }
+
+    /// Audited reads so far.
+    pub fn reads(&self) -> u64 {
+        self.delta_ms.count()
+    }
+
+    /// Summarize the audit.
+    pub fn report(&self) -> StalenessReport {
+        StalenessReport {
+            promised_ms: self.promised_ms,
+            reads: self.delta_ms.count(),
+            stale_reads: self.stale_reads,
+            delta_ms: self.delta_ms.clone(),
+            violations: self.violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_reads_are_zero_staleness() {
+        let mut a = StalenessAudit::new(1_000);
+        a.note_write("t", "x", 1, 100);
+        a.note_read("t", "x", 1, 500);
+        let r = a.report();
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.stale_reads, 0);
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.delta_ms.max(), 0);
+    }
+
+    #[test]
+    fn stale_read_measures_time_since_supersession() {
+        let mut a = StalenessAudit::new(1_000);
+        a.note_write("t", "x", 1, 100);
+        a.note_write("t", "x", 2, 400);
+        // Read v1 at 900: v2 superseded it at 400 → 500 ms stale.
+        a.note_read("t", "x", 1, 900);
+        let r = a.report();
+        assert_eq!(r.stale_reads, 1);
+        assert_eq!(r.delta_ms.max(), 500);
+        assert!(r.within_bound(), "500 ≤ promised 1000");
+        // Read v1 at 1600 → 1200 ms stale: a Δ violation.
+        a.note_write("t", "y", 1, 0);
+        a.note_read("t", "x", 1, 1_600);
+        let r = a.report();
+        assert_eq!(r.violations, 1);
+        assert!(!r.within_bound());
+    }
+
+    #[test]
+    fn out_of_order_write_notes_keep_version_order() {
+        let mut a = StalenessAudit::new(1_000);
+        a.note_write("t", "x", 3, 900);
+        a.note_write("t", "x", 1, 100);
+        a.note_write("t", "x", 2, 400);
+        // Reading v1 at 1000: first superseding write is v2 at 400.
+        a.note_read("t", "x", 1, 1_000);
+        assert_eq!(a.report().delta_ms.max(), 600);
+    }
+
+    #[test]
+    fn unknown_keys_audit_as_fresh() {
+        let mut a = StalenessAudit::new(10);
+        a.note_read("t", "never-written", 0, 99);
+        let r = a.report();
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.stale_reads, 0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut a = StalenessAudit::new(1_000);
+        a.note_write("t", "x", 2, 0);
+        for at in [10, 50, 200, 900] {
+            a.note_read("t", "x", 1, at);
+        }
+        let cdf = a.report().cdf();
+        assert!(!cdf.is_empty());
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1), "{cdf:?}");
+    }
+}

@@ -106,8 +106,8 @@ mod tests {
         // Medians within a factor of ~4 of each other: the paper shows "a
         // similar distribution for the majority of TTLs and larger errors
         // on the unpredictable long tail".
-        let em = report.estimated.median().max(1) as f64;
-        let tm = report.true_ttls.median().max(1) as f64;
+        let em = report.estimated.median().unwrap_or(0).max(1) as f64;
+        let tm = report.true_ttls.median().unwrap_or(0).max(1) as f64;
         let ratio = (em / tm).max(tm / em);
         assert!(ratio < 4.0, "medians diverged: est {em} vs true {tm}");
     }

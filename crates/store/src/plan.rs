@@ -21,8 +21,9 @@
 //! (stopping at `offset + limit`), a bounded top-k heap when a `limit`
 //! bounds the result, and a full sort only when nothing better applies.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use quaestor_obs::Counter;
 
 use quaestor_document::{Path, Value};
 use quaestor_query::{index_bindings, normalize_filter, IndexBinding, Order, Query};
@@ -59,7 +60,10 @@ pub enum AccessPath {
 }
 
 impl AccessPath {
-    fn estimated(&self) -> usize {
+    /// The planner's candidate-count estimate for this path (0 for a
+    /// provably empty result) — compared against the actual result
+    /// cardinality by [`QueryStats::record_cardinality`].
+    pub fn estimated(&self) -> usize {
         match self {
             AccessPath::HashProbe { estimated, .. }
             | AccessPath::RangeScan { estimated, .. }
@@ -108,15 +112,22 @@ pub struct QueryPlan {
 #[derive(Debug, Default)]
 pub struct QueryStats {
     /// Queries served by a hash-index probe (or proven empty by one).
-    pub index_probes: AtomicU64,
+    pub index_probes: Counter,
     /// Queries served by an ordered-index range scan.
-    pub range_scans: AtomicU64,
+    pub range_scans: Counter,
     /// Queries that fell back to the reference shard scan.
-    pub full_scans: AtomicU64,
+    pub full_scans: Counter,
     /// Queries whose sort was cut short: a bounded top-k heap replaced
     /// the full sort, or an in-index-order emission stopped early at
     /// `offset + limit`.
-    pub topk_short_circuits: AtomicU64,
+    pub topk_short_circuits: Counter,
+    /// Sum of planner-estimated result cardinalities over executed
+    /// plans.
+    pub card_estimated: Counter,
+    /// Sum of actual result cardinalities over the same executed plans.
+    /// Together with `card_estimated` this measures how well the cost
+    /// model predicts real result sizes (seed data for adaptive TTLs).
+    pub card_actual: Counter,
 }
 
 impl QueryStats {
@@ -126,22 +137,35 @@ impl QueryStats {
             AccessPath::RangeScan { .. } => &self.range_scans,
             AccessPath::FullScan { .. } => &self.full_scans,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
 
     pub(crate) fn record_short_circuit(&self) {
-        self.topk_short_circuits.fetch_add(1, Ordering::Relaxed);
+        self.topk_short_circuits.inc();
+    }
+
+    /// Record one executed plan's estimated vs. actual result
+    /// cardinality.
+    pub(crate) fn record_cardinality(&self, estimated: usize, actual: usize) {
+        self.card_estimated.add(estimated as u64);
+        self.card_actual.add(actual as u64);
     }
 
     /// Snapshot `(index_probes, range_scans, full_scans,
     /// topk_short_circuits)`.
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
         (
-            self.index_probes.load(Ordering::Relaxed),
-            self.range_scans.load(Ordering::Relaxed),
-            self.full_scans.load(Ordering::Relaxed),
-            self.topk_short_circuits.load(Ordering::Relaxed),
+            self.index_probes.get(),
+            self.range_scans.get(),
+            self.full_scans.get(),
+            self.topk_short_circuits.get(),
         )
+    }
+
+    /// Snapshot `(card_estimated, card_actual)` — summed planner
+    /// estimates vs. actual result sizes over executed plans.
+    pub fn cardinality(&self) -> (u64, u64) {
+        (self.card_estimated.get(), self.card_actual.get())
     }
 }
 

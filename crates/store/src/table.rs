@@ -475,6 +475,7 @@ impl Table {
             Scan,
         }
         let (plan, candidates) = {
+            let _plan_span = quaestor_obs::span("store.plan");
             let idxs = self.indexes.read();
             let plan = plan_query(query, &idxs, table_len);
             let candidates = if matches!(plan.detail, AccessDetail::Empty) {
@@ -519,7 +520,8 @@ impl Table {
         };
         self.stats.record_access(&plan.describe.access);
 
-        match candidates {
+        let _query_span = quaestor_obs::span("store.query");
+        let results = match candidates {
             Candidates::Buckets(buckets) => self.emit_in_order(query, buckets),
             Candidates::Ids(ids) => {
                 let hits: Vec<(Arc<str>, Arc<Document>)> = ids
@@ -530,7 +532,12 @@ impl Table {
                 self.order_hits(query, &plan.describe.sort, hits)
             }
             Candidates::Scan => self.scan_and_order(query, &plan.describe.sort),
-        }
+        };
+        // Actual result size vs. the plan's estimate: the cost model's
+        // report card, aggregated per database.
+        self.stats
+            .record_cardinality(plan.describe.access.estimated(), results.len());
+        results
     }
 
     /// Intersect the posting lists of all servable equality bindings,

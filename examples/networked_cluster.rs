@@ -131,8 +131,8 @@ fn main() {
             "shard {i}: {} requests over {} connections; wire p50 {} us, p99 {} us",
             server.requests_served(),
             server.connections_accepted(),
-            h.percentile(0.50),
-            h.percentile(0.99),
+            h.percentile(0.50).unwrap_or(0),
+            h.percentile(0.99).unwrap_or(0),
         );
     }
 

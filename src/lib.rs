@@ -97,6 +97,7 @@
 //! | [`store`] | document store substrate (MongoDB stand-in) |
 //! | [`kv`] | key-value store substrate (Redis stand-in) |
 //! | [`net`] | binary wire protocol, TCP server, remote `Service` client |
+//! | [`obs`] | unified metrics registry + cross-layer distributed tracing |
 //! | [`query`] | MongoDB-style query language + normalization |
 //! | [`document`] | nested document model + update operators |
 //! | [`sim`] | Monte Carlo simulation of the whole stack |
@@ -111,6 +112,7 @@ pub use quaestor_durability as durability;
 pub use quaestor_invalidb as invalidb;
 pub use quaestor_kv as kv;
 pub use quaestor_net as net;
+pub use quaestor_obs as obs;
 pub use quaestor_query as query;
 pub use quaestor_sim as sim;
 pub use quaestor_store as store;

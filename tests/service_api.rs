@@ -356,3 +356,112 @@ fn ebf_union_flags_staleness_from_any_shard() {
         assert_eq!(r.doc["v"], Value::Int(expect), "table t{i}");
     }
 }
+
+#[test]
+fn client_request_stitches_one_trace_across_every_layer() {
+    // The observability acceptance criterion: one traced client
+    // interaction against a 2-shard *remote* cluster (real TCP, durable
+    // origins) yields a single trace whose spans attribute time to the
+    // client, wire, service, router, planner, and WAL layers.
+    let clock = ManualClock::new();
+    let servers: Vec<quaestor::net::NetServer> = (0..2)
+        .map(|i| {
+            let dir = quaestor_common::scratch_dir(&format!("obs-stitch-{i}"));
+            let origin = QuaestorServer::open_with(
+                &dir,
+                ServerConfig::default(),
+                DurabilityConfig::default(),
+                clock.clone(),
+            )
+            .expect("open durable origin");
+            quaestor::net::NetServer::bind("127.0.0.1:0", origin).expect("bind loopback")
+        })
+        .collect();
+    let remotes: Vec<Arc<dyn Service>> = servers
+        .iter()
+        .map(|s| {
+            RemoteService::connect(s.local_addr(), RemoteServiceConfig::default())
+                .expect("connect loopback") as Arc<dyn Service>
+        })
+        .collect();
+    let service = MetricsLayer::new(ShardRouter::new(remotes));
+    let svc: &dyn Service = &*service;
+
+    // One client request cycle under a forced trace root: a write (which
+    // must reach the WAL) and the query that reads it back.
+    let root = quaestor::obs::Trace::start("client.request");
+    let trace_id = root.context().expect("forced root is sampled").trace_id;
+    svc.insert("articles", "a1", doc! { "section" => "frontpage" })
+        .unwrap();
+    let q = Query::table("articles").filter(Filter::eq("section", "frontpage"));
+    assert_eq!(svc.query(&q).unwrap().versions.len(), 1);
+    drop(root);
+
+    let spans = quaestor::obs::spans_for(trace_id);
+    let names: std::collections::BTreeSet<&str> = spans.iter().map(|s| s.name).collect();
+    for layer in [
+        "client.request", // the client's root
+        "service.insert", // MetricsLayer
+        "service.query",
+        "router.route", // ShardRouter
+        "client.call",  // RemoteService (wire egress)
+        "net.server",   // NetServer (wire ingress, adopted context)
+        "store.plan",   // planner
+        "store.query",  // executor
+        "wal.append",   // durability
+    ] {
+        assert!(names.contains(layer), "missing {layer} in {names:?}");
+    }
+    assert!(names.len() >= 5, "at least 5 layers of attribution");
+    // Every span carries duration attribution and the dump renders the
+    // stitched tree.
+    let dump = quaestor::obs::render_trace(trace_id);
+    assert!(dump.contains("net.server"), "{dump}");
+    assert!(dump.contains("wal.append"), "{dump}");
+    for s in &servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn metrics_request_snapshots_the_unified_registry_of_a_remote_node() {
+    // `Request::Metrics` conformance: a remote node behind real TCP
+    // reports its unified registry — including the migrated
+    // `ServerMetrics` counters and `ServiceMetrics` latency histograms —
+    // through the same `Service` client as every other request.
+    let clock = ManualClock::new();
+    // Server side: MetricsLayer *on the node* so its service.* series
+    // ride along in the snapshot.
+    let origin = MetricsLayer::new(QuaestorServer::with_defaults(clock.clone()));
+    let server = quaestor::net::NetServer::bind("127.0.0.1:0", origin).expect("bind loopback");
+    let remote = RemoteService::connect(server.local_addr(), RemoteServiceConfig::default())
+        .expect("connect loopback");
+    let svc: &dyn Service = &*remote;
+
+    for i in 0..3 {
+        svc.insert("t", &format!("r{i}"), doc! { "i" => i })
+            .unwrap();
+    }
+    svc.get_record("t", "r0").unwrap();
+    let q = Query::table("t").filter(Filter::eq("i", 1));
+    svc.query(&q).unwrap();
+
+    let snap = svc.node_metrics().expect("metrics over the wire");
+    // Migrated ServerMetrics counters.
+    assert_eq!(snap.counter("server.writes"), Some(3));
+    assert_eq!(snap.counter("server.record_reads"), Some(1));
+    assert_eq!(snap.counter("server.query_reads"), Some(1));
+    // The satellite: executed plans record actual vs estimated cardinality.
+    assert!(snap.counter("server.query_card_actual").is_some());
+    // Migrated ServiceMetrics counters + latency histograms.
+    assert_eq!(snap.counter("service.writes"), Some(3));
+    let lat = snap
+        .histogram("service.latency.insert")
+        .expect("latency series");
+    assert_eq!(lat.count, 3);
+    assert!(lat.p50 <= lat.p99);
+    // The snapshot renders as stable text exposition.
+    let text = snap.render_text();
+    assert!(text.contains("counter server.writes 3"), "{text}");
+    server.shutdown();
+}
