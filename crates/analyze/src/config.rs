@@ -33,6 +33,14 @@ pub struct Config {
     /// Workspace-relative paths of codec files whose `get_*`/`decode_*`
     /// pub fns must evidence a recursion-depth cap.
     pub depth_cap_files: Vec<String>,
+    /// Workspace-relative paths of event-loop files whose non-test code
+    /// may not block: no `thread::sleep`, no blocking channel/socket
+    /// calls, no lock ranked below [`Config::loop_lock_rank_floor`].
+    pub loop_files: Vec<String>,
+    /// Minimum rank a lock acquired inside a loop file may have. Locks
+    /// below the floor belong to wider subsystems that may hold them
+    /// across blocking work; the loop's own leaf locks sit at or above.
+    pub loop_lock_rank_floor: u32,
 }
 
 impl Config {
@@ -93,6 +101,12 @@ pub fn parse(text: &str) -> Result<Config, String> {
             Section::Rules => match key {
                 "io_crates" => cfg.io_crates = parse_string_array(value, lineno)?,
                 "depth_cap_files" => cfg.depth_cap_files = parse_string_array(value, lineno)?,
+                "loop_files" => cfg.loop_files = parse_string_array(value, lineno)?,
+                "loop_lock_rank_floor" => {
+                    cfg.loop_lock_rank_floor = value
+                        .parse()
+                        .map_err(|_| format!("line {lineno}: bad rank floor {value:?}"))?
+                }
                 _ => return Err(format!("line {lineno}: unknown [rules] key {key:?}")),
             },
             Section::Lock => {
@@ -176,6 +190,8 @@ mod tests {
             [rules]
             io_crates = ["net", "client"]
             depth_cap_files = ["crates/net/src/codec.rs"]
+            loop_files = ["crates/net/src/evloop.rs"]
+            loop_lock_rank_floor = 67
 
             [[lock]]
             name = "store.shard" # trailing comment
@@ -190,6 +206,8 @@ mod tests {
         )
         .expect("parse");
         assert_eq!(cfg.io_crates, vec!["net", "client"]);
+        assert_eq!(cfg.loop_files, vec!["crates/net/src/evloop.rs"]);
+        assert_eq!(cfg.loop_lock_rank_floor, 67);
         assert_eq!(cfg.locks.len(), 2);
         assert_eq!(cfg.lock_for_ident("shards").map(|l| l.rank), Some(20));
         assert_eq!(

@@ -20,6 +20,7 @@ pub const RULE_NAMES: &[&str] = &[
     "unwrap-in-io-crate",
     "lock-order",
     "depth-cap",
+    "blocking-in-loop",
     "bad-allow",
 ];
 
@@ -101,6 +102,9 @@ pub fn lint_source(info: &FileInfo<'_>, src: &str, cfg: &Config) -> Vec<Diagnost
     lock_order(info, &lexed, cfg, &mut diags);
     if cfg.depth_cap_files.iter().any(|f| f == info.rel_path) {
         depth_cap(info, &lexed, &mut diags);
+    }
+    if cfg.loop_files.iter().any(|f| f == info.rel_path) {
+        blocking_in_loop(info, &lexed, &test_regions, cfg, &mut diags);
     }
 
     diags.retain(|d| d.rule == "bad-allow" || !is_allowed(&allows, d));
@@ -498,6 +502,125 @@ fn depth_cap(info: &FileInfo<'_>, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Method calls that park the calling thread until a peer acts — fatal
+/// on an event-loop thread, where one parked handler stalls every
+/// connection on the shard. The nonblocking forms (`try_recv`, plain
+/// `read`/`write` on a nonblocking fd) are the sanctioned spellings.
+const LOOP_BLOCKING_CALLS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "join",
+];
+
+/// Rule `blocking-in-loop`: non-test code in the configured event-loop
+/// files may not park its thread — no `thread::sleep`, no blocking
+/// channel/socket calls, and no acquisition of a lock ranked below the
+/// configured floor (a lower-ranked lock may be held across blocking
+/// work by wider subsystems; the loop's own leaf locks sit at or above
+/// it).
+fn blocking_in_loop(
+    info: &FileInfo<'_>,
+    lexed: &Lexed,
+    test_regions: &[(u32, u32)],
+    cfg: &Config,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if in_regions(test_regions, toks[i].line) {
+            i += 1;
+            continue;
+        }
+        // `thread :: sleep` (matches `std::thread::sleep` too).
+        if toks[i].is_ident("thread")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("sleep"))
+        {
+            diags.push(Diagnostic {
+                file: info.rel_path.to_owned(),
+                line: toks[i].line,
+                rule: "blocking-in-loop",
+                message: "`thread::sleep` on an event-loop thread stalls every \
+                          connection on the shard — use a poller wait timeout instead"
+                    .into(),
+            });
+            i += 4;
+            continue;
+        }
+        // `.recv(` / `.write_all(` / … blocking method calls.
+        if toks[i].is_punct('.') {
+            if let Some(name_tok) = toks.get(i + 1) {
+                if let Tok::Ident(name) = &name_tok.tok {
+                    if LOOP_BLOCKING_CALLS.iter().any(|c| c == name)
+                        && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+                    {
+                        diags.push(Diagnostic {
+                            file: info.rel_path.to_owned(),
+                            line: name_tok.line,
+                            rule: "blocking-in-loop",
+                            message: format!(
+                                ".{name}() blocks the event-loop thread — use the \
+                                 nonblocking form (`try_recv`, plain `read`/`write` on \
+                                 the nonblocking fd) and rely on readiness re-reporting"
+                            ),
+                        });
+                        i += 3;
+                        continue;
+                    }
+                }
+            }
+        }
+        // Lock acquisitions below the rank floor, using the same
+        // ident-based matcher as `lock-order`.
+        if let Tok::Ident(word) = &toks[i].tok {
+            if let Some(spec) = cfg.lock_for_ident(word) {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_punct('[')) {
+                    match match_balanced(toks, j, '[', ']') {
+                        Some(e) => j = e + 1,
+                        None => break,
+                    }
+                } else if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+                    match match_balanced(toks, j, '(', ')') {
+                        Some(e) => j = e + 1,
+                        None => break,
+                    }
+                }
+                let is_acquire = toks.get(j).is_some_and(|t| t.is_punct('.'))
+                    && toks.get(j + 1).is_some_and(|t| {
+                        t.is_ident("read") || t.is_ident("write") || t.is_ident("lock")
+                    })
+                    && toks.get(j + 2).is_some_and(|t| t.is_punct('('));
+                if is_acquire {
+                    if spec.rank < cfg.loop_lock_rank_floor {
+                        diags.push(Diagnostic {
+                            file: info.rel_path.to_owned(),
+                            line: toks[i].line,
+                            rule: "blocking-in-loop",
+                            message: format!(
+                                "lock `{}` (rank {}) acquired on an event-loop thread — \
+                                 loop files may only take their own leaf locks \
+                                 (rank ≥ {}); lower-ranked locks can be held across \
+                                 blocking work by other subsystems",
+                                spec.name, spec.rank, cfg.loop_lock_rank_floor
+                            ),
+                        });
+                    }
+                    i = j + 3;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,6 +699,71 @@ mod tests {
         // acquisition token; two same-class acquisitions are exempt.
         let src = "fn good(&self) {\n    let s = self.shard(id).write();\n    let i = self.indexes.write();\n}\nfn sweeps(&self) {\n    let all: Vec<_> = self.shards.iter().map(|s| s.write()).collect();\n    let a = self.shards[0].read();\n    let b = self.shards[1].read();\n}";
         let d = lint_source(&info(), src, &cfg());
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    fn loop_info() -> FileInfo<'static> {
+        FileInfo {
+            rel_path: "crates/net/src/evloop.rs",
+            crate_name: "net",
+            in_test_tree: false,
+        }
+    }
+
+    fn loop_cfg() -> Config {
+        crate::config::parse(
+            r#"
+            [rules]
+            loop_files = ["crates/net/src/evloop.rs"]
+            loop_lock_rank_floor = 67
+            [[lock]]
+            name = "kv.pubsub.channels"
+            rank = 60
+            idents = ["channels"]
+            [[lock]]
+            name = "net.server.shard.inbox"
+            rank = 68
+            idents = ["inbox"]
+            "#,
+        )
+        .expect("loop test config")
+    }
+
+    #[test]
+    fn blocking_in_loop_flags_sleep_blocking_calls_and_low_locks() {
+        let src = "fn run(&self) {\n    std::thread::sleep(d);\n    let m = rx.recv();\n    s.write_all(&buf);\n    let c = self.channels.read();\n    let t = self.inbox.lock();\n}";
+        let d = lint_source(&loop_info(), src, &loop_cfg());
+        let hits: Vec<_> = d
+            .iter()
+            .filter(|d| d.rule == "blocking-in-loop")
+            .map(|d| d.line)
+            .collect();
+        // sleep (2), recv (3), write_all (4), channels rank 60 < 67 (5) —
+        // but never the loop's own inbox at rank 68 (6).
+        assert_eq!(hits, vec![2, 3, 4, 5], "got: {d:?}");
+        assert!(d.iter().any(|d| d.message.contains("kv.pubsub.channels")));
+    }
+
+    #[test]
+    fn blocking_in_loop_accepts_nonblocking_forms_and_test_code() {
+        let src = "fn ok(&self) {\n    let t = self.inbox.lock();\n    while let Some(m) = sub.try_recv() { push(m); }\n    let n = stream.read(&mut buf);\n    let w = stream.write(&buf);\n}\n#[cfg(test)]\nmod tests {\n    fn t() { std::thread::sleep(d); let _ = rx.recv(); }\n}";
+        let d = lint_source(&loop_info(), src, &loop_cfg());
+        assert!(
+            !d.iter().any(|d| d.rule == "blocking-in-loop"),
+            "unexpected: {d:?}"
+        );
+    }
+
+    #[test]
+    fn blocking_in_loop_only_applies_to_configured_files() {
+        // Same source, but the file is not in loop_files.
+        let other = FileInfo {
+            rel_path: "crates/net/src/server.rs",
+            crate_name: "net",
+            in_test_tree: false,
+        };
+        let src = "fn run(&self) { std::thread::sleep(d); }";
+        let d = lint_source(&other, src, &loop_cfg());
         assert!(d.is_empty(), "unexpected: {d:?}");
     }
 

@@ -20,6 +20,13 @@ fn out_dir(args: &[String]) -> std::path::PathBuf {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden re-exec mode: the `net` experiment's C10k soak spawns this
+    // same binary as the client swarm so server and 10k clients each
+    // get their own process (and fd budget).
+    if args.first().map(String::as_str) == Some("--c10k-client") {
+        run_c10k_client(&args[1..]);
+        return;
+    }
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::Full } else { Scale::Quick };
     let out = out_dir(&args);
@@ -468,9 +475,69 @@ fn run_replication(scale: Scale, out: &std::path::Path) {
     write_bench_json(out, "replication", &json);
 }
 
+/// Client half of the C10k soak (`--c10k-client <addr> <conns>`):
+/// subscribe a swarm of raw framed sockets, report readiness on stdout,
+/// then drain the fan-out burst and report the delivered count. See
+/// `net_c10k` for the stdout line protocol.
+fn run_c10k_client(args: &[String]) {
+    quaestor_common::raise_fd_limit();
+    let addr: std::net::SocketAddr = args
+        .first()
+        .and_then(|a| a.parse().ok())
+        .expect("--c10k-client <addr> <conns>");
+    let conns: usize = args
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .expect("--c10k-client <addr> <conns>");
+    let key = quaestor_query::QueryKey::of(&c10k_query());
+    let started = std::time::Instant::now();
+    let mut swarm =
+        quaestor_sim::subscribe_swarm(addr, &key, conns, std::time::Duration::from_secs(30));
+    let connect_wall_us = started.elapsed().as_micros();
+    println!("ready {}", swarm.len());
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush ready line");
+    let fanout_started = std::time::Instant::now();
+    let delivered = quaestor_sim::drain_pushes(&mut swarm, C10K_BURST);
+    println!(
+        "done {delivered} {connect_wall_us} {}",
+        fanout_started.elapsed().as_micros()
+    );
+}
+
 fn run_net(scale: Scale, out: &std::path::Path) {
     println!("== Network layer: wire throughput & latency, in-process vs loopback TCP ==");
-    let rows = net_sweep(scale);
+    let mut rows = net_sweep(scale);
+    // The C10k soak: 10k concurrent subscriber connections held by a
+    // child process (this binary, re-exec'd), one write burst fanned
+    // out to all of them. Reported as a row so BENCH_net.json carries
+    // it alongside the sweep; per-op percentiles are not measured for
+    // pushes, so p50/p99 are 0 there.
+    match std::env::current_exe().and_then(|exe| net_c10k(&exe)) {
+        Ok(c) => {
+            println!(
+                "(c10k soak: {}/{} subscribed, {}/{} pushes delivered, \
+                 {:.0} pushes/s over {:.1}s fan-out)",
+                c.subscribed,
+                c.connections,
+                c.delivered,
+                c.expected,
+                c.push_rate(),
+                c.fanout_wall_us as f64 / 1e6
+            );
+            rows.push(NetBenchRow {
+                mode: "c10k-push",
+                connections: c.connections,
+                pipeline_depth: 1,
+                ops: c.delivered,
+                wall_us: c.fanout_wall_us,
+                throughput: c.push_rate(),
+                p50_us: 0,
+                p99_us: 0,
+            });
+        }
+        Err(e) => println!("(c10k soak skipped: {e})"),
+    }
     let mut t = TableWriter::new(&[
         "mode", "conns", "depth", "ops", "req/s", "p50 (us)", "p99 (us)",
     ]);

@@ -18,6 +18,8 @@ pub mod table;
 
 pub use artifact::write_bench_json;
 pub use experiments::*;
-pub use netbench::{net_json, net_sweep, NetBenchRow};
+pub use netbench::{
+    c10k_query, net_c10k, net_json, net_sweep, C10kRow, NetBenchRow, C10K_BURST, C10K_CONNECTIONS,
+};
 pub use obsbench::{obs_json, staleness_audit, tracing_overhead, ObsOverheadReport};
 pub use table::TableWriter;

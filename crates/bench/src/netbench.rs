@@ -9,9 +9,31 @@
 //! to N requests in flight — the server answers each read burst with a
 //! single write, which is what makes deep pipelines pay.
 
+use std::io::BufRead;
+use std::path::Path;
+use std::process::{Command, Stdio};
+
+use quaestor_common::{raise_fd_limit, SystemClock};
+use quaestor_core::{QuaestorServer, ServiceExt};
+use quaestor_document::doc;
+use quaestor_net::NetServer;
+use quaestor_query::{Filter, Query};
 use quaestor_sim::{net_loopback, NetLoopConfig};
 
 use crate::experiments::Scale;
+
+/// Connections the C10k soak holds (each with a live subscription).
+pub const C10K_CONNECTIONS: usize = 10_000;
+/// Matching writes in the soak's fan-out burst.
+pub const C10K_BURST: usize = 3;
+
+/// The continuous query the C10k swarm subscribes to. Built identically
+/// by the server-side harness and the `--c10k-client` child process, so
+/// the subscription key stays in sync without crossing the process
+/// boundary.
+pub fn c10k_query() -> Query {
+    Query::table("c10k").filter(Filter::eq("tag", "burst"))
+}
 
 /// One measured configuration.
 #[derive(Debug, Clone)]
@@ -66,6 +88,113 @@ pub fn net_sweep(scale: Scale) -> Vec<NetBenchRow> {
         }
     }
     rows
+}
+
+/// Outcome of the two-process C10k soak.
+#[derive(Debug, Clone)]
+pub struct C10kRow {
+    /// Connections requested of the client swarm.
+    pub connections: usize,
+    /// Connections whose subscribe handshake completed.
+    pub subscribed: usize,
+    /// `subscribed × burst`: the pushes the fan-out owes.
+    pub expected: usize,
+    /// `StreamPush` frames the swarm actually read back.
+    pub delivered: usize,
+    /// Client wall time to connect + subscribe the swarm (µs).
+    pub connect_wall_us: u128,
+    /// Client wall time from swarm-ready to last push read (µs) —
+    /// includes the burst writes themselves.
+    pub fanout_wall_us: u128,
+}
+
+impl C10kRow {
+    /// Pushes delivered per second during the fan-out drain.
+    pub fn push_rate(&self) -> f64 {
+        if self.fanout_wall_us == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / (self.fanout_wall_us as f64 / 1e6)
+        }
+    }
+}
+
+/// Run the C10k soak: an event-loop server in this process, the 10k
+/// subscriber swarm in a child (`<client_exe> --c10k-client <addr>
+/// <conns>` — the reproduce binary re-execs itself). Two processes
+/// because the soak needs ~10k fds on *each* side of the socket; one
+/// process would breach a 20k `RLIMIT_NOFILE` ceiling that each half
+/// fits under comfortably.
+///
+/// Protocol on the child's stdout: `ready <subscribed>` once the swarm
+/// holds its subscriptions (the parent then fires the burst), then
+/// `done <delivered> <connect_wall_us> <fanout_wall_us>`.
+pub fn net_c10k(client_exe: &Path) -> std::io::Result<C10kRow> {
+    raise_fd_limit();
+    let to_io = |e: quaestor_common::Error| std::io::Error::other(e);
+    let origin = QuaestorServer::with_defaults(SystemClock::shared());
+    let server = NetServer::bind("127.0.0.1:0", origin.clone()).map_err(to_io)?;
+    origin.query(&c10k_query()).map_err(to_io)?;
+
+    let mut child = Command::new(client_exe)
+        .arg("--c10k-client")
+        .arg(server.local_addr().to_string())
+        .arg(C10K_CONNECTIONS.to_string())
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let result = (|| -> std::io::Result<C10kRow> {
+        let stdout = child.stdout.take().ok_or(std::io::ErrorKind::BrokenPipe)?;
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let mut next_fields = |tag: &str| -> std::io::Result<Vec<u128>> {
+            let line = lines.next().ok_or(std::io::ErrorKind::UnexpectedEof)??;
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some(tag) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected '{tag} ...' from c10k client, got '{line}'"),
+                ));
+            }
+            parts
+                .map(|p| {
+                    p.parse::<u128>().map_err(|e| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                    })
+                })
+                .collect()
+        };
+        let ready = next_fields("ready")?;
+        let subscribed = *ready.first().ok_or(std::io::ErrorKind::InvalidData)? as usize;
+        // The swarm is holding its subscriptions: fire the burst. Every
+        // insert enters the registered result set (an `Add`
+        // notification), so each write is one push to every subscriber.
+        for b in 0..C10K_BURST {
+            origin
+                .insert(
+                    "c10k",
+                    &format!("burst-{b}"),
+                    doc! { "tag" => "burst", "b" => b as i64 },
+                )
+                .map_err(to_io)?;
+        }
+        let done = next_fields("done")?;
+        let [delivered, connect_wall_us, fanout_wall_us] = done[..] else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "malformed 'done' line from c10k client",
+            ));
+        };
+        Ok(C10kRow {
+            connections: C10K_CONNECTIONS,
+            subscribed,
+            expected: subscribed * C10K_BURST,
+            delivered: delivered as usize,
+            connect_wall_us,
+            fanout_wall_us,
+        })
+    })();
+    let _ = child.wait();
+    server.shutdown();
+    result
 }
 
 /// Render the machine-readable `BENCH_net.json` payload (hand-rolled
@@ -130,6 +259,27 @@ mod tests {
         assert_eq!(second.get("p99_us").unwrap().as_i64().unwrap(), 400);
         let first = arr[0].as_object().unwrap();
         assert_eq!(first.get("req_per_s").unwrap().as_i64().unwrap(), 200_000);
+    }
+
+    #[test]
+    fn c10k_row_reports_push_rate() {
+        let row = C10kRow {
+            connections: 10_000,
+            subscribed: 10_000,
+            expected: 30_000,
+            delivered: 30_000,
+            connect_wall_us: 2_000_000,
+            fanout_wall_us: 1_500_000,
+        };
+        assert!((row.push_rate() - 20_000.0).abs() < 1.0);
+        assert_eq!(
+            C10kRow {
+                fanout_wall_us: 0,
+                ..row
+            }
+            .push_rate(),
+            0.0
+        );
     }
 
     #[test]

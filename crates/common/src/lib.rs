@@ -17,6 +17,7 @@
 
 pub mod clock;
 pub mod error;
+pub mod fdlimit;
 pub mod hash;
 pub mod histogram;
 pub mod lock_rank;
@@ -24,6 +25,7 @@ pub mod scratch;
 
 pub use clock::{Clock, ClockRef, ManualClock, SystemClock, Timestamp};
 pub use error::{Error, Result};
+pub use fdlimit::raise_fd_limit;
 pub use hash::{
     fx_hash_bytes, fx_hash_str, stable_bucket, DoubleHasher, FxBuildHasher, FxHashMap, FxHashSet,
 };

@@ -60,13 +60,22 @@ pub const CLIENT_FAILOVER_ELECTION: LockRank = ("client.failover.election", 62);
 pub const NET_SERVER_ACCEPT: LockRank = ("net.server.accept", 65);
 /// `Server::workers` — worker-thread handles.
 pub const NET_SERVER_WORKERS: LockRank = ("net.server.workers", 66);
+/// The fallback `poll(2)` backend's fd registration table (leaf with
+/// respect to the loop: copied out before the blocking syscall, never
+/// held across it; the epoll backend has no lock at all).
+pub const NET_POLL_REGISTRY: LockRank = ("net.poll.registry", 67);
+/// One event-loop shard's cross-thread task inbox (accepts, stream
+/// notifies, shutdown). Publish-side notify hooks take it while
+/// `kv.pubsub.channels` (60) is read-held, so it ranks above that.
+pub const NET_SHARD_INBOX: LockRank = ("net.server.shard.inbox", 68);
+/// One event-loop shard's force-close registry: token → socket clone,
+/// so `NetServer::shutdown` can sever connections a wedged handler is
+/// still serving. Leaf within the shard (installed/removed by the loop,
+/// drained once by shutdown).
+pub const NET_SHARD_CONNS: LockRank = ("net.server.shard.conns", 69);
 /// `RemoteService::slots[i]` — connection-pool slots (a class: one per
 /// slot, only ever one held at a time).
 pub const NET_CLIENT_SLOT: LockRank = ("net.client.slot", 70);
-/// Server-side per-connection subscription forwarder map.
-pub const NET_SERVER_FORWARDERS: LockRank = ("net.server.conn.forwarders", 71);
-/// Server-side per-connection write half.
-pub const NET_SERVER_WRITER: LockRank = ("net.server.conn.writer", 72);
 /// Client-side per-connection write half (acquired under a pool slot).
 pub const NET_CLIENT_WRITER: LockRank = ("net.client.conn.writer", 74);
 /// Client-side pending-response map (acquired under the write half).

@@ -9,19 +9,33 @@
 //! and on subscribe, so a bus with churning subscribers never leaks.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use quaestor_common::{lock_rank, FxHashMap};
 
+/// A notify callback shared between a [`Subscription`] and its
+/// publisher-side [`Subscriber`] entry.
+type NotifyHook = Arc<OnceLock<Box<dyn Fn() + Send + Sync>>>;
+
 /// A subscription handle: a receiver of messages published to one channel.
-#[derive(Debug)]
 pub struct Subscription {
     rx: Receiver<Bytes>,
     channel: String,
     alive: Arc<AtomicBool>,
+    notify: NotifyHook,
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("channel", &self.channel)
+            .field("alive", &self.alive.load(Ordering::Acquire))
+            .field("notify", &self.notify.get().is_some())
+            .finish()
+    }
 }
 
 impl Drop for Subscription {
@@ -59,11 +73,34 @@ impl Subscription {
         }
         out
     }
+
+    /// Install a readiness callback, invoked by [`PubSub::publish`] after
+    /// each message is enqueued for this subscription. This is how
+    /// event-loop consumers (the net server's shards) get poked without a
+    /// polling thread: the hook sends a wake, the loop drains via
+    /// [`try_recv`](Self::try_recv).
+    ///
+    /// Contract for hooks:
+    /// * **Install before the first drain.** A message published between
+    ///   subscribe and `set_notify` produces no callback; draining after
+    ///   installation closes that window.
+    /// * **Expect spurious and coalesced calls.** Consumers must drain
+    ///   until empty on every notification.
+    /// * **Never call back into this bus' subscribe/publish paths** — the
+    ///   hook runs while the channel map is read-locked
+    ///   (`kv.pubsub.channels`, rank 60); hooks may only take
+    ///   higher-ranked leaf locks (the net shard inbox is rank 68).
+    ///
+    /// One hook per subscription; later installs are ignored.
+    pub fn set_notify(&self, hook: impl Fn() + Send + Sync + 'static) {
+        let _ = self.notify.set(Box::new(hook));
+    }
 }
 
 struct Subscriber {
     tx: Sender<Bytes>,
     alive: Arc<AtomicBool>,
+    notify: NotifyHook,
 }
 
 /// A multi-channel fan-out message bus.
@@ -125,14 +162,17 @@ impl PubSub {
         }
         let subs = chans.entry(channel.to_owned()).or_default();
         subs.retain(|s| s.alive.load(Ordering::Acquire));
+        let notify: NotifyHook = Arc::new(OnceLock::new());
         subs.push(Subscriber {
             tx,
             alive: alive.clone(),
+            notify: notify.clone(),
         });
         Subscription {
             rx,
             channel: channel.to_owned(),
             alive,
+            notify,
         }
     }
 
@@ -148,6 +188,12 @@ impl PubSub {
                 for sub in subs {
                     if sub.alive.load(Ordering::Acquire) && sub.tx.send(message.clone()).is_ok() {
                         delivered += 1;
+                        // Poke push-style consumers (see `set_notify`); runs
+                        // under the channel read lock, so hooks are bound to
+                        // higher-ranked leaf locks only.
+                        if let Some(hook) = sub.notify.get() {
+                            hook();
+                        }
                     } else {
                         any_dead = true;
                     }
@@ -283,6 +329,46 @@ mod tests {
             s.recv_timeout(std::time::Duration::from_secs(1)).unwrap(),
             Bytes::from_static(b"hello")
         );
+    }
+
+    #[test]
+    fn notify_hook_fires_per_delivered_message() {
+        use std::sync::atomic::AtomicUsize;
+        let bus = PubSub::new();
+        let s = bus.subscribe("c");
+        let pokes = Arc::new(AtomicUsize::new(0));
+        let counter = pokes.clone();
+        s.set_notify(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        bus.publish("c", &b"1"[..]);
+        bus.publish("c", &b"2"[..]);
+        assert_eq!(pokes.load(Ordering::SeqCst), 2);
+        assert_eq!(s.drain().len(), 2);
+        // Other subscriptions on the channel are not affected by the hook.
+        let plain = bus.subscribe("c");
+        bus.publish("c", &b"3"[..]);
+        assert_eq!(pokes.load(Ordering::SeqCst), 3);
+        assert!(plain.try_recv().is_some());
+        // A second install is ignored, not a panic.
+        s.set_notify(|| {});
+        bus.publish("c", &b"4"[..]);
+        assert_eq!(pokes.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn notify_hook_not_called_after_subscription_drop() {
+        use std::sync::atomic::AtomicUsize;
+        let bus = PubSub::new();
+        let s = bus.subscribe("c");
+        let pokes = Arc::new(AtomicUsize::new(0));
+        let counter = pokes.clone();
+        s.set_notify(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(s);
+        bus.publish("c", &b"m"[..]);
+        assert_eq!(pokes.load(Ordering::SeqCst), 0);
     }
 
     #[test]

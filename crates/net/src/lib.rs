@@ -15,8 +15,10 @@
 //!   durability crate, extended for duplex sockets);
 //! * [`codec`] — binary encoding of every `Request`/`Response`/`Error`
 //!   variant, sharing the durability crate's document codec;
-//! * [`NetServer`] — accept loop + per-connection worker threads over
-//!   any `Arc<dyn Service>`, with graceful shutdown;
+//! * [`poll`] — a vendored mio-style readiness poller (direct epoll
+//!   syscalls on Linux, `poll(2)` elsewhere on unix);
+//! * [`NetServer`] — an accept thread feeding per-core event-loop
+//!   shards over any `Arc<dyn Service>`, with graceful shutdown;
 //! * [`RemoteService`] — a pooled, pipelined client that *is* a
 //!   `Service`: request-id correlation, reconnect with backoff, timeouts
 //!   surfaced as [`Error::Net`](quaestor_common::Error::Net), and
@@ -42,8 +44,10 @@
 
 pub mod client;
 pub mod codec;
+mod evloop;
+pub mod poll;
 pub mod server;
 pub mod wire;
 
 pub use client::{RemoteService, RemoteServiceConfig};
-pub use server::{NetServer, NetServerConfig};
+pub use server::{AcceptBackoff, NetServer, NetServerConfig};

@@ -1,60 +1,68 @@
-//! The multithreaded TCP server: an accept loop plus one worker thread
-//! per connection, serving any [`Service`] over the wire protocol.
+//! The event-loop TCP server: a blocking accept thread feeding N
+//! readiness event-loop shards, serving any [`Service`] over the wire
+//! protocol.
 //!
-//! Threading model (threads are the workspace's concurrency substrate —
-//! no async runtime, per the zero-dependency constraint):
+//! Threading model (still zero external dependencies — the poller is a
+//! vendored epoll shim, see [`crate::poll`]):
 //!
-//! * one **accept thread** owns the listener;
-//! * one **connection worker** per accepted socket reads frames,
-//!   dispatches them to the wrapped service *in arrival order* (that is
-//!   the pipelining contract: responses to one connection preserve
-//!   request order, so a client may correlate by order or by id), and
-//!   writes responses back in batches — all responses parsed from one
-//!   read burst are flushed with a single `write` syscall, which is what
-//!   makes deep pipelines cheap;
-//! * `Subscribe` requests additionally spawn a **push forwarder** thread
-//!   that drains the server-side subscription and forwards every message
-//!   as a `StreamPush` frame tagged with the subscribing request's id.
+//! * one **accept thread** owns the listener and round-robins accepted
+//!   sockets across the shards (EMFILE and other accept errors back off
+//!   with doubling delays instead of spinning a starved core);
+//! * N **event-loop shards** (default: one per core), each owning a
+//!   shared-nothing slab of connection states. A shard reads frames as
+//!   readiness arrives, dispatches them to the wrapped service *in
+//!   arrival order* (the pipelining contract: responses to one
+//!   connection preserve request order, so a client may correlate by
+//!   order or by id), and stages responses onto a per-connection write
+//!   queue flushed with a single `write` syscall per burst;
+//! * `Subscribe` streams ride the same loop: publishes poke the owning
+//!   shard through a pubsub notify hook and the loop enqueues
+//!   `StreamPush` frames — no forwarder threads, which is what lifts
+//!   the connection ceiling from "a few thousand threads" to C10k.
 //!
-//! Backpressure is the socket itself: a client that stops reading
-//! eventually blocks the worker's `write`, which stops the worker's
-//! `read`, which fills the client's TCP window. Nothing buffers
-//! unboundedly.
+//! Backpressure is a bounded per-connection write queue
+//! ([`NetServerConfig::max_write_buffer`]): a peer that stops reading
+//! while traffic (pushes, pipelined responses) keeps accumulating is
+//! dropped rather than allowed to wedge its shard. Nothing buffers
+//! unboundedly, and the loop never blocks on one connection's window.
 //!
-//! Shutdown is graceful and idempotent: stop accepting, shut down every
-//! connection socket (which unblocks blocked reads/writes), join every
-//! worker (workers join their forwarders). In-flight requests finish;
-//! their responses may or may not reach the client, whose pending calls
+//! Shutdown is graceful and idempotent: stop accepting, signal every
+//! shard, force-close every connection socket *from outside the loops*
+//! (so clients blocked on a wedged handler are released immediately),
+//! then join the shard threads. In-flight requests finish; their
+//! responses may or may not reach the client, whose pending calls
 //! surface [`Error::Net`](quaestor_common::Error::Net).
 
-use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use bytes::BytesMut;
 use parking_lot::Mutex;
-use quaestor_common::{lock_rank, Error, FxHashMap, Result};
-use quaestor_core::{Request, Response, Service};
+use quaestor_common::{lock_rank, Error, Result};
+use quaestor_core::Service;
 
-use crate::codec;
-use crate::wire::{self, FrameDecode, FrameKind};
+use crate::evloop::{self, ShardCtx, ShardHandle, Task};
+use crate::wire;
 
 /// Tunables for a [`NetServer`].
 #[derive(Debug, Clone)]
 pub struct NetServerConfig {
-    /// Size of the per-connection read chunk (bytes pulled per `read`
-    /// syscall into the connection's [`BytesMut`] buffer).
+    /// Size of the shard-level read chunk (bytes pulled per `read`
+    /// syscall into a connection's read buffer).
     pub read_chunk: usize,
     /// Disable Nagle's algorithm on accepted sockets. Pipelined
     /// request/response traffic is latency-bound on small writes, so the
     /// default is `true`.
     pub nodelay: bool,
-    /// Poll interval at which push forwarders check connection liveness
-    /// while their stream is idle.
-    pub stream_poll: Duration,
+    /// Event-loop shard count; `0` means one per available core.
+    pub shards: usize,
+    /// Slow-consumer bound: a connection whose staged write queue still
+    /// exceeds this many bytes after a flush attempt is dropped. The
+    /// default leaves room for one maximum-size frame plus headroom, so
+    /// any single legal response is always deliverable.
+    pub max_write_buffer: usize,
 }
 
 impl Default for NetServerConfig {
@@ -62,7 +70,8 @@ impl Default for NetServerConfig {
         NetServerConfig {
             read_chunk: 64 * 1024,
             nodelay: true,
-            stream_poll: Duration::from_millis(100),
+            shards: 0,
+            max_write_buffer: wire::MAX_FRAME_PAYLOAD as usize + 64 * 1024,
         }
     }
 }
@@ -71,32 +80,72 @@ fn net_err(context: &str, e: impl std::fmt::Display) -> Error {
     Error::Net(format!("{context}: {e}"))
 }
 
+/// Escalating accept-error backoff: EMFILE and friends start at 20ms
+/// and double up to 500ms, resetting on the next successful accept.
+/// Without a pause the accept loop would spin a core exactly when the
+/// system is starved of fds; without escalation a sustained exhaustion
+/// still burns 50 wakeups a second.
+#[derive(Debug, Clone, Copy)]
+pub struct AcceptBackoff {
+    next: Duration,
+}
+
+impl AcceptBackoff {
+    const FLOOR: Duration = Duration::from_millis(20);
+    const CEIL: Duration = Duration::from_millis(500);
+
+    /// A backoff at its floor delay.
+    pub fn new() -> AcceptBackoff {
+        AcceptBackoff { next: Self::FLOOR }
+    }
+
+    /// The delay to sleep for this failure; doubles for the next one.
+    pub fn next_delay(&mut self) -> Duration {
+        let delay = self.next;
+        self.next = (self.next * 2).min(Self::CEIL);
+        delay
+    }
+
+    /// An accept succeeded: fall back to the floor.
+    pub fn reset(&mut self) {
+        self.next = Self::FLOOR;
+    }
+}
+
+impl Default for AcceptBackoff {
+    fn default() -> Self {
+        AcceptBackoff::new()
+    }
+}
+
 /// A running TCP server. Dropping it shuts it down.
 pub struct NetServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
+    /// Resolved once at bind time (a wildcard bind address is not
+    /// connectable, so the loopback of the same family stands in);
+    /// shutdown aims its accept-thread wake-up connection here instead
+    /// of re-deriving the address on every call.
+    wake_addr: SocketAddr,
     accept: Mutex<Option<JoinHandle<()>>>,
 }
 
 struct Shared {
-    service: Arc<dyn Service>,
-    config: NetServerConfig,
     shutdown: AtomicBool,
-    workers: Mutex<Vec<Worker>>,
-    requests_served: AtomicU64,
+    shards: Vec<ShardHandle>,
+    /// Shard loop threads, joined by shutdown.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    requests_served: Arc<AtomicU64>,
     connections_accepted: AtomicU64,
-}
-
-struct Worker {
-    stream: TcpStream,
-    handle: JoinHandle<()>,
-    done: Arc<AtomicBool>,
+    next_shard: AtomicUsize,
+    nodelay: bool,
 }
 
 impl std::fmt::Debug for NetServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetServer")
             .field("local_addr", &self.local_addr)
+            .field("shards", &self.shared.shards.len())
             .field(
                 "requests_served",
                 &self.shared.requests_served.load(Ordering::Relaxed),
@@ -122,17 +171,54 @@ impl NetServer {
         let local_addr = listener
             .local_addr()
             .map_err(|e| net_err("local_addr", e))?;
+        let wake_addr = wake_addr_for(local_addr);
+        let shard_count = if config.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.shards
+        };
+        let requests_served = Arc::new(AtomicU64::new(0));
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut workers = Vec::with_capacity(shard_count);
+        for index in 0..shard_count {
+            let ctx = ShardCtx {
+                service: service.clone(),
+                read_chunk: config.read_chunk.max(1),
+                max_write_buffer: config.max_write_buffer,
+                requests_served: requests_served.clone(),
+            };
+            match evloop::spawn_shard(index, ctx) {
+                Ok((handle, join)) => {
+                    shards.push(handle);
+                    workers.push(join);
+                }
+                Err(e) => {
+                    // Unwind the shards already running before failing
+                    // the bind, or they would block in `wait` forever.
+                    for shard in &shards {
+                        shard.begin_shutdown();
+                    }
+                    for join in workers {
+                        let _ = join.join();
+                    }
+                    return Err(net_err("spawn event-loop shard", e));
+                }
+            }
+        }
         let shared = Arc::new(Shared {
-            service,
-            config,
             shutdown: AtomicBool::new(false),
+            shards,
             workers: Mutex::with_rank(
-                Vec::new(),
+                workers,
                 lock_rank::NET_SERVER_WORKERS.0,
                 lock_rank::NET_SERVER_WORKERS.1,
             ),
-            requests_served: AtomicU64::new(0),
+            requests_served,
             connections_accepted: AtomicU64::new(0),
+            next_shard: AtomicUsize::new(0),
+            nodelay: config.nodelay,
         });
         let accept_shared = shared.clone();
         let accept = std::thread::Builder::new()
@@ -142,6 +228,7 @@ impl NetServer {
         Ok(NetServer {
             shared,
             local_addr,
+            wake_addr,
             accept: Mutex::with_rank(
                 Some(accept),
                 lock_rank::NET_SERVER_ACCEPT.0,
@@ -167,21 +254,14 @@ impl NetServer {
     }
 
     /// Gracefully stop: close the listener, tear down every connection,
-    /// and join all worker threads. Safe to call more than once.
+    /// and join the shard threads. Safe to call more than once, from
+    /// more than one thread.
     pub fn shutdown(&self) {
         let mut woke = true;
         if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
-            // Wake the blocking accept() with a throwaway connection. A
-            // wildcard bind address is not connectable — aim at the
-            // loopback of the same family instead.
-            let mut wake_addr = self.local_addr;
-            if wake_addr.ip().is_unspecified() {
-                wake_addr.set_ip(match wake_addr {
-                    SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                    SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-                });
-            }
-            woke = TcpStream::connect_timeout(&wake_addr, Duration::from_millis(250)).is_ok();
+            // Wake the blocking accept() with a throwaway connection
+            // aimed at the address cached at bind time.
+            woke = TcpStream::connect_timeout(&self.wake_addr, Duration::from_millis(250)).is_ok();
         }
         if let Some(handle) = self.accept.lock().take() {
             if woke {
@@ -193,15 +273,18 @@ impl NetServer {
             // runs this path too). The shutdown flag makes the thread
             // exit on its next accepted connection.
         }
-        // Tear down connections: shutting the socket down unblocks the
-        // worker's read/write, after which it exits and joins its
-        // forwarders.
-        let workers = std::mem::take(&mut *self.shared.workers.lock());
-        for w in &workers {
-            let _ = w.stream.shutdown(Shutdown::Both);
+        for shard in &self.shared.shards {
+            shard.begin_shutdown();
         }
-        for w in workers {
-            let _ = w.handle.join();
+        // Sever every connection from outside the loops: a client whose
+        // request is wedged inside `Service::call` must see its socket
+        // die now, not when the handler deigns to return.
+        for shard in &self.shared.shards {
+            shard.force_close_all();
+        }
+        let workers = std::mem::take(&mut *self.shared.workers.lock());
+        for join in workers {
+            let _ = join.join();
         }
     }
 }
@@ -212,261 +295,74 @@ impl Drop for NetServer {
     }
 }
 
+/// The wake-up target for `shutdown`: the bound address itself, unless
+/// it is a wildcard — those are not connectable, so the loopback of the
+/// same family stands in.
+fn wake_addr_for(local_addr: SocketAddr) -> SocketAddr {
+    let mut wake_addr = local_addr;
+    if wake_addr.ip().is_unspecified() {
+        wake_addr.set_ip(match wake_addr {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    wake_addr
+}
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut backoff = AcceptBackoff::new();
     loop {
         let (stream, _peer) = match listener.accept() {
             Ok(pair) => pair,
             Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
             Err(_) => {
                 // Persistent accept errors (EMFILE under fd exhaustion)
-                // return immediately; without a pause this loop would
-                // spin a core exactly when the system is starved.
-                std::thread::sleep(Duration::from_millis(20));
+                // return immediately; pause with escalation instead of
+                // spinning a core exactly when the system is starved.
+                std::thread::sleep(backoff.next_delay());
                 continue;
             }
         };
+        backoff.reset();
         if shared.shutdown.load(Ordering::SeqCst) {
             // The wake-up connection (or a late arrival) during shutdown.
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
         shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
-        if shared.config.nodelay {
+        if shared.nodelay {
             let _ = stream.set_nodelay(true);
         }
-        let Ok(worker_stream) = stream.try_clone() else {
-            continue;
-        };
-        let conn_shared = shared.clone();
-        let done = Arc::new(AtomicBool::new(false));
-        let done2 = done.clone();
-        let spawned = std::thread::Builder::new()
-            .name("qnet-conn".to_owned())
-            .spawn(move || {
-                run_connection(conn_shared, worker_stream);
-                done2.store(true, Ordering::Release);
-            });
-        match spawned {
-            Ok(handle) => {
-                let mut workers = shared.workers.lock();
-                // Reap finished workers so a long-lived server with
-                // churning connections does not accumulate handles.
-                workers.retain(|w| !w.done.load(Ordering::Acquire));
-                workers.push(Worker {
-                    stream,
-                    handle,
-                    done,
-                });
-            }
-            Err(_) => {
-                let _ = stream.shutdown(Shutdown::Both);
-            }
-        }
+        let index = shared.next_shard.fetch_add(1, Ordering::Relaxed) % shared.shards.len();
+        shared.shards[index].send(Task::Accept(stream));
     }
 }
 
-/// A push forwarder's cancel flag (set by `StreamCancel`) and the
-/// handle the worker joins on connection exit.
-type Forwarder = (Arc<AtomicBool>, JoinHandle<()>);
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Per-connection state shared with push-forwarder threads.
-struct ConnState {
-    /// Writer half; every frame (response or push) is written whole
-    /// under this lock.
-    writer: Mutex<TcpStream>,
-    /// Cleared when the read loop exits; forwarders poll it.
-    alive: AtomicBool,
-    /// Push forwarders by subscribing request id: the cancel flag (set
-    /// by a `StreamCancel` frame) and the handle the worker joins on
-    /// exit. A cancelled entry's thread exits and releases the origin
-    /// subscription; the spent handle stays until the connection ends.
-    forwarders: Mutex<FxHashMap<u64, Forwarder>>,
-}
-
-fn run_connection(shared: Arc<Shared>, stream: TcpStream) {
-    let Ok(writer_stream) = stream.try_clone() else {
-        let _ = stream.shutdown(Shutdown::Both);
-        return;
-    };
-    let conn = Arc::new(ConnState {
-        writer: Mutex::with_rank(
-            writer_stream,
-            lock_rank::NET_SERVER_WRITER.0,
-            lock_rank::NET_SERVER_WRITER.1,
-        ),
-        alive: AtomicBool::new(true),
-        forwarders: Mutex::with_rank(
-            FxHashMap::default(),
-            lock_rank::NET_SERVER_FORWARDERS.0,
-            lock_rank::NET_SERVER_FORWARDERS.1,
-        ),
-    });
-    let mut reader = stream;
-    let mut buf = BytesMut::with_capacity(shared.config.read_chunk);
-    let mut chunk = vec![0u8; shared.config.read_chunk];
-    let mut out: Vec<u8> = Vec::new();
-
-    'conn: loop {
-        // Drain every complete frame in the buffer, answering into one
-        // write burst.
-        loop {
-            let advance = match wire::decode_frame(&buf) {
-                FrameDecode::Incomplete => break,
-                FrameDecode::Corrupt(_) => break 'conn, // framing lost
-                FrameDecode::Frame(frame) => {
-                    match frame.kind {
-                        FrameKind::Request => {
-                            handle_request(&shared, &conn, frame.request_id, frame.body, &mut out);
-                        }
-                        FrameKind::StreamCancel => {
-                            // The client dropped its end of this stream;
-                            // release the forwarder (and with it the
-                            // origin subscription).
-                            if let Some((cancel, _)) = conn.forwarders.lock().get(&frame.request_id)
-                            {
-                                cancel.store(true, Ordering::Release);
-                            }
-                        }
-                        _ => break 'conn, // protocol violation: only clients send
-                    }
-                    frame.size
-                }
-            };
-            buf.advance(advance);
-        }
-        if !out.is_empty() {
-            let mut w = conn.writer.lock();
-            if w.write_all(&out).is_err() {
-                break 'conn;
-            }
-            out.clear();
-        }
-        match reader.read(&mut chunk) {
-            Ok(0) => break 'conn,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => break 'conn,
-        }
+    #[test]
+    fn accept_backoff_doubles_to_the_ceiling_and_resets() {
+        let mut b = AcceptBackoff::new();
+        assert_eq!(b.next_delay(), Duration::from_millis(20));
+        assert_eq!(b.next_delay(), Duration::from_millis(40));
+        assert_eq!(b.next_delay(), Duration::from_millis(80));
+        assert_eq!(b.next_delay(), Duration::from_millis(160));
+        assert_eq!(b.next_delay(), Duration::from_millis(320));
+        assert_eq!(b.next_delay(), Duration::from_millis(500), "capped");
+        assert_eq!(b.next_delay(), Duration::from_millis(500), "stays capped");
+        b.reset();
+        assert_eq!(b.next_delay(), Duration::from_millis(20), "reset to floor");
     }
 
-    conn.alive.store(false, Ordering::Release);
-    let _ = conn.writer.lock().shutdown(Shutdown::Both);
-    // analyze: allow(lock-order) writer guard above is a statement temporary, released before forwarders
-    let forwarders = std::mem::take(&mut *conn.forwarders.lock());
-    for (_, (_, handle)) in forwarders {
-        let _ = handle.join();
-    }
-}
-
-/// Decode and dispatch one request frame, appending the response frame
-/// to `out`.
-fn handle_request(
-    shared: &Arc<Shared>,
-    conn: &Arc<ConnState>,
-    request_id: u64,
-    body: &[u8],
-    out: &mut Vec<u8>,
-) {
-    shared.requests_served.fetch_add(1, Ordering::Relaxed);
-    let (ctx, req) = match codec::decode_request_traced(body) {
-        Ok(decoded) => decoded,
-        Err(e) => {
-            // The frame was CRC-valid, so framing is intact — answer the
-            // bad request and keep the connection.
-            let err = Error::BadRequest(format!("undecodable request: {e}"));
-            wire::encode_frame(
-                FrameKind::ResponseErr,
-                request_id,
-                &codec::encode_error(&err),
-                out,
-            );
-            return;
-        }
-    };
-    // Continue the caller's trace across the wire: the span adopts the
-    // remote parent and every span below (service, planner, WAL) nests
-    // under it in the stitched trace.
-    let _span = quaestor_obs::adopt_span(ctx, "net.server");
-    let is_subscribe = matches!(req, Request::Subscribe { .. });
-    match shared.service.call(req) {
-        Ok(Response::Stream(subscription)) => {
-            // Accept the stream, then forward every message as a push
-            // frame tagged with this request's id.
-            wire::encode_frame(
-                FrameKind::ResponseOk,
-                request_id,
-                &codec::encode_stream_marker(),
-                out,
-            );
-            spawn_forwarder(shared, conn, request_id, subscription);
-        }
-        Ok(resp) => {
-            debug_assert!(!is_subscribe || matches!(resp, Response::Stream(_)));
-            let body = codec::encode_response(&resp);
-            if wire::frame_fits(body.len()) {
-                wire::encode_frame(FrameKind::ResponseOk, request_id, &body, out);
-            } else {
-                // An unframeable frame would be rejected as Corrupt and
-                // kill the connection for every pipelined caller; answer
-                // with a typed error instead.
-                let err = Error::Net(format!(
-                    "response too large for one frame ({} bytes > {} cap); \
-                     narrow the query or split the batch",
-                    body.len(),
-                    wire::MAX_FRAME_PAYLOAD
-                ));
-                wire::encode_frame(
-                    FrameKind::ResponseErr,
-                    request_id,
-                    &codec::encode_error(&err),
-                    out,
-                );
-            }
-        }
-        Err(e) => {
-            wire::encode_frame(
-                FrameKind::ResponseErr,
-                request_id,
-                &codec::encode_error(&e),
-                out,
-            );
-        }
-    }
-}
-
-fn spawn_forwarder(
-    shared: &Arc<Shared>,
-    conn: &Arc<ConnState>,
-    request_id: u64,
-    subscription: quaestor_kv::Subscription,
-) {
-    let conn2 = conn.clone();
-    let poll = shared.config.stream_poll;
-    let cancel = Arc::new(AtomicBool::new(false));
-    let cancelled = cancel.clone();
-    let spawned = std::thread::Builder::new()
-        .name("qnet-stream".to_owned())
-        .spawn(move || {
-            let mut frame = Vec::new();
-            while conn2.alive.load(Ordering::Acquire) && !cancelled.load(Ordering::Acquire) {
-                let Some(message) = subscription.recv_timeout(poll) else {
-                    continue;
-                };
-                if !wire::frame_fits(message.len()) {
-                    continue; // cannot frame it; drop rather than corrupt
-                }
-                frame.clear();
-                wire::encode_frame(FrameKind::StreamPush, request_id, &message, &mut frame);
-                if conn2.writer.lock().write_all(&frame).is_err() {
-                    return;
-                }
-            }
-        });
-    match spawned {
-        Ok(handle) => {
-            // analyze: allow(lock-order) the writer acquisition above runs on the spawned forwarder thread, never held here
-            conn.forwarders.lock().insert(request_id, (cancel, handle));
-        }
-        Err(_) => { /* out of threads: the stream silently ends */ }
+    #[test]
+    fn wake_addr_passes_through_concrete_and_fixes_wildcards() {
+        let concrete: SocketAddr = "127.0.0.1:4100".parse().unwrap();
+        assert_eq!(wake_addr_for(concrete), concrete);
+        let v4_any: SocketAddr = "0.0.0.0:4100".parse().unwrap();
+        assert_eq!(wake_addr_for(v4_any), "127.0.0.1:4100".parse().unwrap());
+        let v6_any: SocketAddr = "[::]:4100".parse().unwrap();
+        assert_eq!(wake_addr_for(v6_any), "[::1]:4100".parse().unwrap());
     }
 }

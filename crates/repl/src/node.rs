@@ -703,17 +703,21 @@ fn probe_handshake(primary: SocketAddr, hello: Hello, io_timeout: Duration) -> R
 /// replica connection. Holds only a weak node handle; `kill` wakes it
 /// with a throwaway connection.
 fn accept_loop(listener: TcpListener, node: Weak<ReplNode>) {
+    // Same escalating EMFILE/accept-error policy as the client-facing
+    // net server: pause, don't spin, when the box is starved of fds.
+    let mut backoff = quaestor_net::AcceptBackoff::new();
     loop {
         let (sock, _peer) = match listener.accept() {
             Ok(pair) => pair,
             Err(_) => match node.upgrade() {
                 Some(n) if !n.shutdown.load(Ordering::SeqCst) => {
-                    std::thread::sleep(Duration::from_millis(20));
+                    std::thread::sleep(backoff.next_delay());
                     continue;
                 }
                 _ => return,
             },
         };
+        backoff.reset();
         let Some(n) = node.upgrade() else { return };
         if n.shutdown.load(Ordering::SeqCst) {
             let _ = sock.shutdown(Shutdown::Both);

@@ -1,0 +1,271 @@
+//! C10k soak scenario: thousands of concurrent connections, each
+//! holding a live InvaliDB change-stream subscription, all receiving
+//! the fan-out from one write burst.
+//!
+//! This is the scenario the event-loop `NetServer` rewrite exists for.
+//! The thread-per-connection server it replaced spent two OS threads
+//! per idle subscriber (reader + stream forwarder); at 10k connections
+//! that is 20k threads before the first byte of payload. The readiness
+//! loop holds the same population as N shard threads plus one
+//! registration-table entry per connection, so the soak's job is to
+//! demonstrate exactly that: *idle subscribers are nearly free, and a
+//! single publish reaches all of them.*
+//!
+//! Like [`netloop`](crate::netloop), this scenario runs on real time —
+//! the object under measurement is the transport. Clients are raw
+//! framed sockets rather than [`RemoteService`] handles on purpose:
+//! a `RemoteService` spins a reader thread per connection, which would
+//! re-introduce on the *client* side the thread explosion the server
+//! rewrite removed, and the measured figure would be dominated by the
+//! harness. One fd per subscriber on each side is the whole budget.
+//!
+//! The swarm helpers ([`subscribe_swarm`], [`drain_pushes`]) are public
+//! because the benchmark harness reuses them from a child process: a
+//! 10k soak needs ~10k fds on each side of the socket, and splitting
+//! client from server across two processes keeps both under a 20k
+//! `RLIMIT_NOFILE` ceiling that a single process would breach.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use quaestor_common::{raise_fd_limit, SystemClock};
+use quaestor_core::{QuaestorServer, Request, ServiceExt};
+use quaestor_document::doc;
+use quaestor_net::wire::{decode_frame, encode_frame, FrameDecode, FrameKind};
+use quaestor_net::{codec, NetServer};
+use quaestor_query::{Filter, Query, QueryKey};
+
+/// Scenario knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct C10kConfig {
+    /// Concurrent subscriber connections to hold. The run caps this to
+    /// what the process' fd limit can actually carry (two fds per
+    /// connection in-process: the client socket and its accepted peer).
+    pub connections: usize,
+    /// Matching writes in the burst; every subscriber must receive one
+    /// push per write.
+    pub burst: usize,
+    /// Per-socket read timeout while draining pushes.
+    pub read_timeout: Duration,
+}
+
+impl Default for C10kConfig {
+    fn default() -> Self {
+        C10kConfig {
+            connections: 10_000,
+            burst: 3,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome of one soak run.
+#[derive(Debug, Clone)]
+pub struct C10kReport {
+    /// Connections asked for.
+    pub requested: usize,
+    /// Connections that completed the subscribe handshake (and were
+    /// still holding their stream when the burst fired).
+    pub connected: usize,
+    /// `connected × burst`: the pushes the fan-out owes.
+    pub expected: usize,
+    /// `StreamPush` frames actually read back across all connections.
+    pub delivered: usize,
+    /// Wall time to connect + subscribe the whole swarm, microseconds.
+    pub connect_wall_us: u128,
+    /// Wall time from the first burst write to the last push read,
+    /// microseconds.
+    pub fanout_wall_us: u128,
+}
+
+impl C10kReport {
+    /// Did every held subscription receive the full burst?
+    pub fn complete(&self) -> bool {
+        self.connected == self.requested && self.delivered == self.expected
+    }
+
+    /// Subscribe handshakes per second during ramp-up.
+    pub fn connect_rate(&self) -> f64 {
+        rate(self.connected, self.connect_wall_us)
+    }
+
+    /// Pushes delivered per second during the fan-out drain.
+    pub fn push_rate(&self) -> f64 {
+        rate(self.delivered, self.fanout_wall_us)
+    }
+}
+
+fn rate(count: usize, wall_us: u128) -> f64 {
+    if wall_us == 0 {
+        0.0
+    } else {
+        count as f64 / (wall_us as f64 / 1e6)
+    }
+}
+
+/// One raw framed subscriber connection in the swarm.
+pub struct SwarmConn {
+    stream: TcpStream,
+    /// Unparsed inbound bytes carried between frame reads.
+    buf: Vec<u8>,
+}
+
+/// Read one complete frame, pulling from the socket as needed.
+fn read_frame(conn: &mut SwarmConn) -> std::io::Result<(FrameKind, u64)> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match decode_frame(&conn.buf) {
+            FrameDecode::Frame(f) => {
+                let out = (f.kind, f.request_id);
+                let size = f.size;
+                conn.buf.drain(..size);
+                return Ok(out);
+            }
+            FrameDecode::Incomplete => {}
+            FrameDecode::Corrupt(e) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+            }
+        }
+        let n = conn.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        conn.buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Open `connections` raw sockets against `addr` and subscribe each to
+/// `key` (request id 1), serially — each handshake completes before the
+/// next connect, which self-paces the swarm against the listen backlog.
+/// Stops early (returning the partial swarm) if the OS refuses a
+/// connect or a handshake fails; callers compare `len()` to what they
+/// asked for.
+pub fn subscribe_swarm(
+    addr: SocketAddr,
+    key: &QueryKey,
+    connections: usize,
+    read_timeout: Duration,
+) -> Vec<SwarmConn> {
+    let mut subscribe = Vec::new();
+    encode_frame(
+        FrameKind::Request,
+        1,
+        &codec::encode_request(&Request::Subscribe { key: key.clone() }),
+        &mut subscribe,
+    );
+    let mut swarm: Vec<SwarmConn> = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let ok = (|| -> std::io::Result<SwarmConn> {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_read_timeout(Some(read_timeout))?;
+            let mut conn = SwarmConn {
+                stream,
+                buf: Vec::new(),
+            };
+            conn.stream.write_all(&subscribe)?;
+            match read_frame(&mut conn)? {
+                (FrameKind::ResponseOk, 1) => Ok(conn),
+                (kind, id) => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("subscribe answered {kind:?}/{id}"),
+                )),
+            }
+        })();
+        match ok {
+            Ok(conn) => swarm.push(conn),
+            Err(_) => break,
+        }
+    }
+    swarm
+}
+
+/// Read up to `per_conn` `StreamPush` frames from every swarm
+/// connection, returning the total actually delivered. Read timeouts
+/// and dead sockets truncate that connection's count rather than
+/// aborting the drain.
+pub fn drain_pushes(swarm: &mut [SwarmConn], per_conn: usize) -> usize {
+    let mut delivered = 0;
+    for conn in swarm.iter_mut() {
+        for _ in 0..per_conn {
+            match read_frame(conn) {
+                Ok((FrameKind::StreamPush, 1)) => delivered += 1,
+                Ok(_) | Err(_) => break,
+            }
+        }
+    }
+    delivered
+}
+
+/// Run the soak in-process: an event-loop `NetServer` over a fresh
+/// origin, a swarm of raw subscribers, one write burst, full drain.
+pub fn c10k_soak(config: C10kConfig) -> C10kReport {
+    // Two fds per in-process connection, plus headroom for the origin's
+    // WAL, the listener, wake fds, and whatever the harness holds open.
+    let fd_limit = raise_fd_limit();
+    let carryable = (fd_limit.saturating_sub(256) / 2) as usize;
+    let requested = config.connections.min(carryable.max(1));
+
+    let origin = QuaestorServer::with_defaults(SystemClock::shared());
+    let server = NetServer::bind("127.0.0.1:0", origin.clone()).expect("bind c10k loopback");
+
+    // Register the continuous query whose change stream the swarm
+    // holds: pushes flow only for queries InvaliDB actively matches.
+    let query = Query::table("c10k").filter(Filter::eq("tag", "burst"));
+    origin.query(&query).expect("register burst query");
+    let key = QueryKey::of(&query);
+
+    let started = Instant::now();
+    let mut swarm = subscribe_swarm(server.local_addr(), &key, requested, config.read_timeout);
+    let connect_wall_us = started.elapsed().as_micros();
+    let connected = swarm.len();
+
+    // The burst: every insert enters the registered result set (an
+    // `Add` notification), so each is one push to every subscriber.
+    let fanout_started = Instant::now();
+    for b in 0..config.burst {
+        origin
+            .insert(
+                "c10k",
+                &format!("burst-{b}"),
+                doc! { "tag" => "burst", "b" => b as i64 },
+            )
+            .expect("burst write");
+    }
+    let delivered = drain_pushes(&mut swarm, config.burst);
+    let fanout_wall_us = fanout_started.elapsed().as_micros();
+
+    server.shutdown();
+    C10kReport {
+        requested,
+        connected,
+        expected: connected * config.burst,
+        delivered,
+        connect_wall_us,
+        fanout_wall_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick-mode soak: 1k connections (the CI `net-c10k` job and the
+    /// benchmark harness run the full 10k across two processes).
+    #[test]
+    fn a_thousand_held_subscriptions_all_receive_the_burst() {
+        let report = c10k_soak(C10kConfig {
+            connections: 1000,
+            burst: 3,
+            read_timeout: Duration::from_secs(30),
+        });
+        assert_eq!(report.connected, 1000, "swarm failed to ramp");
+        assert_eq!(report.expected, 3000);
+        assert_eq!(
+            report.delivered, report.expected,
+            "fan-out dropped pushes: {report:?}"
+        );
+        assert!(report.complete());
+        assert!(report.connect_rate() > 0.0 && report.push_rate() > 0.0);
+    }
+}

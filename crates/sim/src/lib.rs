@@ -16,6 +16,7 @@
 //! measured against globally ordered ground truth, exactly as the paper
 //! prescribes.
 
+pub mod c10k;
 pub mod crash;
 pub mod driver;
 pub mod failover;
@@ -27,6 +28,7 @@ pub mod scenario;
 pub mod staleness;
 pub mod ttl_cdf;
 
+pub use c10k::{c10k_soak, drain_pushes, subscribe_swarm, C10kConfig, C10kReport, SwarmConn};
 pub use crash::{crash_recovery, CrashConfig, CrashReport};
 pub use driver::{SimConfig, SimReport, Simulation, SystemVariant};
 pub use failover::{kill_primary_failover, FailoverConfig, FailoverReport};

@@ -7,7 +7,7 @@ use parking_lot::RwLock;
 use quaestor_common::lock_rank;
 use quaestor_common::{fx_hash_str, ClockRef, Error, FxHashMap, Result, Timestamp, Version};
 use quaestor_document::{Document, Path, Update, Value};
-use quaestor_query::{matcher, Query};
+use quaestor_query::{matcher, Order, Query, SortKey};
 
 use crate::changes::{ChangeStream, WriteEvent, WriteKind};
 use crate::index::{HashIndex, IndexKind, IndexSet, OrderedIndex, RangeBounds};
@@ -611,16 +611,25 @@ impl Table {
     ) -> Vec<(Arc<str>, Arc<Document>)> {
         match strategy {
             SortStrategy::TopK { k } => {
-                let mut tk = TopK::new(*k, |a: &(Arc<str>, Arc<Document>), b: &_| {
-                    matcher::compare_docs(&a.1, &b.1, &query.sort)
+                // The hits are already materialized, so carry the document
+                // alongside the extracted keys — no re-fetch — but compare
+                // on the keys, not by re-resolving paths per comparison.
+                let mut tk = TopK::new(*k, |a: &(SortEntry, Arc<Document>), b: &_| {
+                    compare_entries(&a.0, &b.0, &query.sort)
                 });
-                for hit in hits {
-                    tk.push(hit);
+                for (id, doc) in hits {
+                    let entry = sort_entry(id, &doc, &query.sort);
+                    tk.push((entry, doc));
                 }
                 if tk.truncated() {
                     self.stats.record_short_circuit();
                 }
-                paginate(tk.into_sorted(), query.offset, query.limit)
+                let ordered = tk
+                    .into_sorted()
+                    .into_iter()
+                    .map(|(entry, doc)| (entry.id, doc))
+                    .collect();
+                paginate(ordered, query.offset, query.limit)
             }
             _ => {
                 hits.sort_by(|a, b| matcher::compare_docs(&a.1, &b.1, &query.sort));
@@ -640,21 +649,33 @@ impl Table {
         let fast_filter = matches!(query.filter, Filter::True);
         match strategy {
             SortStrategy::TopK { k } => {
-                let mut tk = TopK::new(*k, |a: &(Arc<str>, Arc<Document>), b: &_| {
-                    matcher::compare_docs(&a.1, &b.1, &query.sort)
+                // The heap holds only extracted sort keys and ids — not
+                // documents — so the n-k losers of a 1M-doc scan cost a few
+                // `Value` clones each instead of an `Arc<Document>` clone
+                // plus per-comparison path resolution over the full doc.
+                // Winners are fetched by id afterwards; a record deleted
+                // concurrently between scan and fetch simply drops out, the
+                // same as if the scan had run a moment later.
+                let mut tk = TopK::new(*k, |a: &SortEntry, b: &SortEntry| {
+                    compare_entries(a, b, &query.sort)
                 });
                 for shard in &self.shards {
                     let shard = shard.read();
                     for (id, rec) in &shard.map {
                         if fast_filter || matcher::matches(&query.filter, &rec.doc) {
-                            tk.push((id.clone(), rec.doc.clone()));
+                            tk.push(sort_entry(id.clone(), &rec.doc, &query.sort));
                         }
                     }
                 }
                 if tk.truncated() {
                     self.stats.record_short_circuit();
                 }
-                paginate(tk.into_sorted(), query.offset, query.limit)
+                let winners = tk
+                    .into_sorted()
+                    .into_iter()
+                    .filter_map(|entry| self.get(&entry.id).map(|rec| (entry.id, rec.doc)))
+                    .collect();
+                paginate(winners, query.offset, query.limit)
             }
             _ => {
                 let mut hits: Vec<(Arc<str>, Arc<Document>)> = Vec::new();
@@ -814,6 +835,51 @@ impl Table {
         // analyze: allow(lock-order) deliberate seeded inversion; the lockcheck regression test asserts the detector panic
         let _shard = self.shards[0].read();
     }
+}
+
+/// A top-k heap entry: the query's sort keys (and the `_id` tie-break)
+/// extracted once per candidate. Heap comparisons become plain `Value`
+/// comparisons instead of repeated dotted-path resolution over the
+/// document, and the scan path's heap holds no documents at all.
+struct SortEntry {
+    keys: Box<[Value]>,
+    id_key: Value,
+    id: Arc<str>,
+}
+
+/// Extract `doc`'s sort keys per `sort`; absent paths become `Null`,
+/// exactly as [`matcher::compare_docs`] resolves them.
+fn sort_entry(id: Arc<str>, doc: &Document, sort: &[SortKey]) -> SortEntry {
+    let keys = sort
+        .iter()
+        .map(|key| {
+            matcher::resolve_path(doc, &key.path)
+                .cloned()
+                .unwrap_or(Value::Null)
+        })
+        .collect();
+    SortEntry {
+        keys,
+        id_key: doc.get("_id").cloned().unwrap_or(Value::Null),
+        id,
+    }
+}
+
+/// [`matcher::compare_docs`] over pre-extracted keys: same per-key
+/// Asc/Desc handling, same `_id`-value tie-break, so the top-k paths
+/// stay byte-identical with the reference full-sort semantics.
+fn compare_entries(a: &SortEntry, b: &SortEntry, sort: &[SortKey]) -> std::cmp::Ordering {
+    for (i, key) in sort.iter().enumerate() {
+        let ord = a.keys[i].cmp(&b.keys[i]);
+        let ord = match key.order {
+            Order::Asc => ord,
+            Order::Desc => ord.reverse(),
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.id_key.cmp(&b.id_key)
 }
 
 #[cfg(test)]
